@@ -1,0 +1,97 @@
+// Command zerber-server runs one Zerber index server over HTTP.
+//
+// Each of the n servers in a deployment runs this binary on a box owned
+// by a different part of the enterprise (paper §5). All servers share the
+// enterprise authentication key and replicate the group table; each has
+// its own unique x-coordinate.
+//
+// Usage:
+//
+//	zerber-server -addr :8291 -x 1 -key 000102...1f \
+//	              -groups alice:1,alice:2,bob:2
+//
+// The key is the 32-byte hex HMAC key of the enterprise authentication
+// service (see cmd/zerber-search -issue for minting matching tokens).
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"zerber/internal/auth"
+	"zerber/internal/durable"
+	"zerber/internal/field"
+	"zerber/internal/server"
+	"zerber/internal/transport"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8291", "listen address")
+		x      = flag.Uint64("x", 1, "this server's public Shamir x-coordinate (unique, non-zero)")
+		keyHex = flag.String("key", "", "32-byte hex HMAC key of the enterprise auth service")
+		groups = flag.String("groups", "", "comma-separated user:group memberships, e.g. alice:1,bob:2")
+		name   = flag.String("name", "", "server name for logs (default ix<x>)")
+		ttl    = flag.Duration("token-ttl", time.Hour, "token lifetime")
+		walAt  = flag.String("wal", "", "write-ahead log path for crash recovery (empty = in-memory only)")
+	)
+	flag.Parse()
+
+	if *keyHex == "" {
+		log.Fatal("zerber-server: -key is required (shared enterprise auth key)")
+	}
+	key, err := hex.DecodeString(*keyHex)
+	if err != nil || len(key) < 16 {
+		log.Fatalf("zerber-server: bad -key: %v (need >= 16 hex bytes)", err)
+	}
+	xe, err := field.Check(*x)
+	if err != nil || xe == 0 {
+		log.Fatalf("zerber-server: bad -x %d: must be a non-zero canonical field element", *x)
+	}
+	if *name == "" {
+		*name = fmt.Sprintf("ix%d", *x)
+	}
+
+	gt := auth.NewGroupTable()
+	if *groups != "" {
+		for _, pair := range strings.Split(*groups, ",") {
+			parts := strings.SplitN(strings.TrimSpace(pair), ":", 2)
+			if len(parts) != 2 {
+				log.Fatalf("zerber-server: bad -groups entry %q (want user:group)", pair)
+			}
+			gid, err := strconv.ParseUint(parts[1], 10, 32)
+			if err != nil {
+				log.Fatalf("zerber-server: bad group ID in %q: %v", pair, err)
+			}
+			gt.Add(auth.UserID(parts[0]), auth.GroupID(gid))
+		}
+	}
+
+	cfg := server.Config{
+		Name:   *name,
+		X:      xe,
+		Auth:   auth.NewServiceWithKey(key, *ttl),
+		Groups: gt,
+	}
+	var api transport.API
+	if *walAt != "" {
+		ds, err := durable.Open(cfg, *walAt)
+		if err != nil {
+			log.Fatalf("zerber-server: %v", err)
+		}
+		defer ds.Close()
+		log.Printf("zerber-server %s: recovered %d log records from %s", *name, ds.Recovered, *walAt)
+		api = ds
+	} else {
+		api = server.New(cfg)
+	}
+	log.Printf("zerber-server %s: listening on %s (x=%d, %d group memberships)",
+		*name, *addr, xe, len(strings.Split(*groups, ",")))
+	log.Fatal(http.ListenAndServe(*addr, transport.NewHTTPHandler(api)))
+}

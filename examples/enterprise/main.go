@@ -1,0 +1,130 @@
+// Enterprise: the paper's motivating scenario (§2) — many collaboration
+// groups with churning membership, multiple document-owner sites, and
+// overlapping access, on one shared set of largely-untrusted index
+// servers.
+//
+//	go run ./examples/enterprise
+//
+// It simulates three project groups across two sites, exercises
+// overlapping membership, document updates with minimal network traffic,
+// and mid-project membership changes — all without any key management.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zerber"
+	"zerber/internal/peer"
+)
+
+const (
+	groupChemical zerber.GroupID = 1 // R&D: new chemical process
+	groupMerger   zerber.GroupID = 2 // executives: acquisition talks
+	groupCourse   zerber.GroupID = 3 // internal training course
+)
+
+func main() {
+	docFreqs := map[string]int{
+		"the": 200, "process": 60, "report": 55, "draft": 50, "review": 45,
+		"compound": 20, "catalyst": 15, "merger": 12, "valuation": 10,
+		"suitor": 8, "syllabus": 7, "homework": 6, "polymer": 5, "bid": 4,
+	}
+	cluster, err := zerber.NewCluster(docFreqs, zerber.Options{N: 3, K: 2, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Membership: Dana is in both R&D and the course; the CEO only in
+	// merger talks. Each index server checks membership independently.
+	cluster.AddUser("dana", groupChemical)
+	cluster.AddUser("dana", groupCourse)
+	cluster.AddUser("raj", groupChemical)
+	cluster.AddUser("ceo", groupMerger)
+	cluster.AddUser("eve", groupCourse) // eve is ONLY in the course
+
+	labSite, err := cluster.NewPeer("lab-server", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hqSite, err := cluster.NewPeer("hq-server", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dana := cluster.IssueToken("dana")
+	ceo := cluster.IssueToken("ceo")
+	eve := cluster.IssueToken("eve")
+
+	// The lab indexes R&D and course material in one shuffled batch, so
+	// even an adversary watching inserts cannot tell which elements
+	// belong to which document (§5.4.1).
+	batch := labSite.NewBatch()
+	mustAdd(batch, peer.Document{ID: 10, Name: "trial-7.txt", Group: groupChemical,
+		Content: "The polymer compound with the new catalyst doubled yield in the process trial."})
+	mustAdd(batch, peer.Document{ID: 11, Name: "week3.md", Group: groupCourse,
+		Content: "Course syllabus week three: homework on process safety review."})
+	if err := batch.Flush(dana); err != nil {
+		log.Fatal(err)
+	}
+
+	// HQ indexes the merger documents.
+	if err := hqSite.IndexDocument(ceo, peer.Document{ID: 20, Name: "bid.eml", Group: groupMerger,
+		Content: "The suitor raised the bid; valuation review is due before the merger draft."}); err != nil {
+		log.Fatal(err)
+	}
+
+	searcher, err := cluster.Searcher()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(who string, tok zerber.Token, query []string) {
+		results, err := searcher.Search(tok, query, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5s query %-22v -> %d hit(s)", who, query, len(results))
+		for _, r := range results {
+			fmt.Printf("  [doc %d @ %s]", r.DocID, r.Peer)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("--- initial state ---")
+	show("dana", dana, []string{"process"})   // sees lab doc AND course doc
+	show("eve", eve, []string{"process"})     // sees only the course doc
+	show("eve", eve, []string{"compound"})    // R&D term: nothing
+	show("ceo", ceo, []string{"valuation"})   // merger doc
+	show("dana", dana, []string{"valuation"}) // not a member: nothing
+
+	// Document update: only the changed terms travel (§5.4.1 "performs
+	// only the necessary updates").
+	before := cluster.Servers()[0].StatsSnapshot()
+	if err := labSite.UpdateDocument(dana, peer.Document{ID: 10, Name: "trial-7.txt", Group: groupChemical,
+		Content: "The polymer compound with the improved catalyst doubled yield in the process trial."}); err != nil {
+		log.Fatal(err)
+	}
+	after := cluster.Servers()[0].StatsSnapshot()
+	fmt.Printf("\n--- update: 1 word changed -> %d inserts, %d deletes per server ---\n",
+		after.Inserts-before.Inserts, after.Deletes-before.Deletes)
+	show("dana", dana, []string{"improved"})
+
+	// Project ends: the group dissolves member by member; content needs
+	// no re-encryption because access control lives in the group table.
+	fmt.Println("\n--- dana leaves R&D ---")
+	cluster.RemoveUser("dana", groupChemical)
+	show("dana", dana, []string{"compound"}) // gone
+	show("dana", dana, []string{"syllabus"}) // course access intact
+
+	// A new hire joins mid-project and immediately sees history.
+	fmt.Println("\n--- newhire joins the merger group ---")
+	cluster.AddUser("newhire", groupMerger)
+	show("newh", cluster.IssueToken("newhire"), []string{"suitor"})
+}
+
+func mustAdd(b *peer.Batch, d peer.Document) {
+	if err := b.Add(d); err != nil {
+		log.Fatal(err)
+	}
+}

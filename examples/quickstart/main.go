@@ -1,0 +1,93 @@
+// Quickstart: a 3-server Zerber cluster with one document owner and one
+// searcher, all in-process.
+//
+//	go run ./examples/quickstart
+//
+// It walks the whole pipeline: cluster setup from corpus statistics,
+// group membership, indexing, ranked search with snippets, and the
+// no-key-management revocation story.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zerber"
+	"zerber/internal/peer"
+)
+
+func main() {
+	// 1. Corpus statistics (normally learned from an initial crawl; the
+	//    paper uses the first 30% of documents). They drive the merging
+	//    table that hides per-term document frequencies.
+	docFreqs := map[string]int{
+		"the": 90, "project": 55, "budget": 40, "meeting": 30, "report": 25,
+		"martha": 12, "imclone": 6, "layoff": 5, "merger": 4, "chemical": 3,
+	}
+
+	// 2. A cluster: n=3 index servers, k=2 secret sharing (any 2 servers
+	//    reconstruct; 1 compromised server learns nothing).
+	cluster, err := zerber.NewCluster(docFreqs, zerber.Options{N: 3, K: 2, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster: %d servers, k=%d, merging r=%.3g\n",
+		cluster.N(), cluster.K(), cluster.RValue())
+
+	// 3. Group membership — the only administration Zerber needs.
+	cluster.AddUser("alice", 1)
+	cluster.AddUser("bob", 1)
+	aliceTok := cluster.IssueToken("alice")
+	bobTok := cluster.IssueToken("bob")
+
+	// 4. Alice's machine indexes her documents for group 1.
+	site, err := cluster.NewPeer("alice-laptop", 0) // 0 = crypto randomness
+	if err != nil {
+		log.Fatal(err)
+	}
+	docs := []peer.Document{
+		{ID: 1, Name: "memo.eml", Group: 1,
+			Content: "Martha sold her ImClone shares the day before the layoff announcement."},
+		{ID: 2, Name: "q3.doc", Group: 1,
+			Content: "The project budget meeting moved to Thursday; merger still pending."},
+		{ID: 3, Name: "lab.txt", Group: 1,
+			Content: "Chemical trials for the new compound start after the budget review."},
+	}
+	batch := site.NewBatch() // batching hides cross-document correlations
+	for _, d := range docs {
+		if err := batch.Add(d); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := batch.Flush(aliceTok); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d documents from %s\n", len(docs), "alice-laptop")
+
+	// 5. Bob searches. The index servers never see his terms (only
+	//    merged posting-list IDs) nor any plaintext postings.
+	searcher, err := cluster.Searcher()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, query := range [][]string{{"imclone"}, {"budget", "merger"}} {
+		results, err := searcher.Search(bobTok, query, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nquery %v -> %d hit(s)\n", query, len(results))
+		for i, r := range results {
+			fmt.Printf("  %d. doc %d (score %.3f) @ %s\n     %s\n",
+				i+1, r.DocID, r.Score, r.Peer, r.Snippet)
+		}
+	}
+
+	// 6. Revocation: drop Bob from the group — no keys to rotate, no
+	//    re-encryption; his next query simply returns nothing.
+	cluster.RemoveUser("bob", 1)
+	results, err := searcher.Search(bobTok, []string{"imclone"}, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter revocation, bob's query returns %d results\n", len(results))
+}

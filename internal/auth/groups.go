@@ -1,0 +1,116 @@
+package auth
+
+import (
+	"sort"
+	"sync"
+)
+
+// GroupID identifies a collaboration group. Documents are shared with one
+// group; users belong to a (small, §2) set of groups.
+type GroupID uint32
+
+// GroupTable is the user-group metadata each index server records
+// (paper Fig. 3). Membership changes take effect immediately: "To add or
+// remove a user from a group, only the table containing the user-group
+// metadata needs to be updated" (§5.3).
+//
+// GroupTable is safe for concurrent use.
+type GroupTable struct {
+	mu      sync.RWMutex
+	byUser  map[UserID]map[GroupID]struct{}
+	byGroup map[GroupID]map[UserID]struct{}
+}
+
+// NewGroupTable returns an empty table.
+func NewGroupTable() *GroupTable {
+	return &GroupTable{
+		byUser:  make(map[UserID]map[GroupID]struct{}),
+		byGroup: make(map[GroupID]map[UserID]struct{}),
+	}
+}
+
+// Add puts user into group (idempotent).
+func (g *GroupTable) Add(user UserID, group GroupID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.byUser[user] == nil {
+		g.byUser[user] = make(map[GroupID]struct{})
+	}
+	g.byUser[user][group] = struct{}{}
+	if g.byGroup[group] == nil {
+		g.byGroup[group] = make(map[UserID]struct{})
+	}
+	g.byGroup[group][user] = struct{}{}
+}
+
+// Remove takes user out of group; it reports whether the membership
+// existed. Future queries by the user immediately stop seeing the group's
+// posting elements.
+func (g *GroupTable) Remove(user UserID, group GroupID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.byUser[user][group]; !ok {
+		return false
+	}
+	delete(g.byUser[user], group)
+	if len(g.byUser[user]) == 0 {
+		delete(g.byUser, user)
+	}
+	delete(g.byGroup[group], user)
+	if len(g.byGroup[group]) == 0 {
+		delete(g.byGroup, group)
+	}
+	return true
+}
+
+// GroupsOf returns the sorted groups of a user. This is the O(N) group
+// lookup performed per query (§5.4.2).
+func (g *GroupTable) GroupsOf(user UserID) []GroupID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]GroupID, 0, len(g.byUser[user]))
+	for gid := range g.byUser[user] {
+		out = append(out, gid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// GroupSetOf returns the user's groups as a set for O(1) membership
+// filtering during posting-list scans.
+func (g *GroupTable) GroupSetOf(user UserID) map[GroupID]struct{} {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make(map[GroupID]struct{}, len(g.byUser[user]))
+	for gid := range g.byUser[user] {
+		out[gid] = struct{}{}
+	}
+	return out
+}
+
+// MembersOf returns the sorted members of a group.
+func (g *GroupTable) MembersOf(group GroupID) []UserID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]UserID, 0, len(g.byGroup[group]))
+	for u := range g.byGroup[group] {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsMember reports whether user belongs to group.
+func (g *GroupTable) IsMember(user UserID, group GroupID) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.byUser[user][group]
+	return ok
+}
+
+// NumGroups returns the number of non-empty groups.
+func (g *GroupTable) NumGroups() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.byGroup)
+}

@@ -1,0 +1,56 @@
+package auth
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Pseudonymizer derives stable opaque user IDs, implementing the §7.1
+// extension: "If Alice takes over a server, she can learn who sends each
+// new query/update to that server; to prevent this, one would need to
+// extend Zerber to include only opaque user IDs in requests and in the
+// user-group mapping."
+//
+// The pseudonym is a truncated HMAC-SHA256 of the real user ID under a
+// key known only to the enterprise authentication service. Index servers
+// store and see only pseudonyms; linking a pseudonym back to a person
+// requires the pseudonym key. Pseudonyms are stable so the group table
+// still works, which means an adversary can track one pseudonym's
+// activity over time — full unlinkability additionally needs MIX-style
+// transport (§4).
+type Pseudonymizer struct {
+	key []byte
+}
+
+// NewPseudonymizer creates a pseudonymizer with a fresh random key.
+func NewPseudonymizer() (*Pseudonymizer, error) {
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		return nil, fmt.Errorf("auth: generating pseudonym key: %w", err)
+	}
+	return NewPseudonymizerWithKey(key), nil
+}
+
+// NewPseudonymizerWithKey creates a pseudonymizer with an explicit key
+// (for tests and for sharing across the auth service replicas).
+func NewPseudonymizerWithKey(key []byte) *Pseudonymizer {
+	k := make([]byte, len(key))
+	copy(k, key)
+	return &Pseudonymizer{key: k}
+}
+
+// Pseudonym returns the opaque ID for a user. It is deterministic: the
+// same user always maps to the same pseudonym.
+func (p *Pseudonymizer) Pseudonym(user UserID) UserID {
+	h := hmac.New(sha256.New, p.key)
+	h.Write([]byte(user))
+	return UserID("p:" + hex.EncodeToString(h.Sum(nil)[:16]))
+}
+
+// IsPseudonym reports whether an ID is in the pseudonym namespace.
+func IsPseudonym(u UserID) bool {
+	return len(u) == 2+32 && u[0] == 'p' && u[1] == ':'
+}

@@ -1,0 +1,86 @@
+package auth
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPseudonymDeterministic(t *testing.T) {
+	p := NewPseudonymizerWithKey([]byte("0123456789abcdef0123456789abcdef"))
+	a := p.Pseudonym("alice")
+	if a != p.Pseudonym("alice") {
+		t.Fatal("pseudonym not stable")
+	}
+	if a == p.Pseudonym("bob") {
+		t.Fatal("distinct users collided")
+	}
+	if !IsPseudonym(a) {
+		t.Errorf("pseudonym %q not recognized", a)
+	}
+	if IsPseudonym("alice") {
+		t.Error("plain ID recognized as pseudonym")
+	}
+}
+
+func TestPseudonymHidesIdentity(t *testing.T) {
+	p := NewPseudonymizerWithKey([]byte("0123456789abcdef0123456789abcdef"))
+	f := func(user string) bool {
+		if user == "" {
+			return true
+		}
+		ps := string(p.Pseudonym(UserID(user)))
+		// The pseudonym must not embed the user ID.
+		return !strings.Contains(ps, user) || len(user) <= 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPseudonymKeySeparation(t *testing.T) {
+	a := NewPseudonymizerWithKey([]byte("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"))
+	b := NewPseudonymizerWithKey([]byte("bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb"))
+	if a.Pseudonym("alice") == b.Pseudonym("alice") {
+		t.Error("different keys produced the same pseudonym")
+	}
+}
+
+func TestPseudonymRandomKey(t *testing.T) {
+	p, err := NewPseudonymizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsPseudonym(p.Pseudonym("carol")) {
+		t.Error("pseudonym malformed")
+	}
+}
+
+func TestPseudonymWorksWithGroupTableAndTokens(t *testing.T) {
+	// End-to-end: group table and token service operate purely on
+	// pseudonyms, so a compromised server never stores a real identity.
+	p := NewPseudonymizerWithKey([]byte("0123456789abcdef0123456789abcdef"))
+	svc := NewServiceWithKey([]byte("kkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkk"), 0)
+	gt := NewGroupTable()
+
+	alias := p.Pseudonym("alice")
+	gt.Add(alias, 1)
+	tok := svc.Issue(alias)
+
+	got, err := svc.Verify(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != alias {
+		t.Fatalf("verified %q, want pseudonym %q", got, alias)
+	}
+	if !gt.IsMember(got, 1) {
+		t.Error("pseudonymous membership broken")
+	}
+	// The real name never appears in server-side state.
+	for _, u := range gt.MembersOf(1) {
+		if strings.Contains(string(u), "alice") {
+			t.Error("real identity leaked into the group table")
+		}
+	}
+}

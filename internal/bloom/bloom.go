@@ -1,0 +1,119 @@
+// Package bloom implements the Bloom filter substrate for the μ-Serv
+// baseline (paper §3, ref [3]): μ-Serv's central index stores one Bloom
+// filter per site and answers queries with the sites whose filters
+// (probabilistically) match.
+//
+// The implementation uses the standard double-hashing scheme
+// g_i(x) = h1(x) + i*h2(x) over FNV-64, which preserves the asymptotic
+// false-positive behaviour of k independent hash functions.
+package bloom
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Filter is a fixed-size Bloom filter.
+type Filter struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    int    // hash count
+	n    int    // inserted elements (for estimation)
+}
+
+// New creates a filter with m bits and k hash functions. m is rounded up
+// to a multiple of 64; k is clamped to at least 1.
+func New(m uint64, k int) *Filter {
+	if m == 0 {
+		m = 64
+	}
+	if k < 1 {
+		k = 1
+	}
+	words := (m + 63) / 64
+	return &Filter{bits: make([]uint64, words), m: words * 64, k: k}
+}
+
+// NewForCapacity sizes a filter for n elements at the target
+// false-positive rate p, using the textbook optima
+// m = -n ln p / (ln 2)^2 and k = (m/n) ln 2.
+func NewForCapacity(n int, p float64) *Filter {
+	if n < 1 {
+		n = 1
+	}
+	if p <= 0 || p >= 1 {
+		p = 0.01
+	}
+	m := math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2))
+	k := int(math.Round(m / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return New(uint64(m), k)
+}
+
+func hashPair(s string) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(s)) // never fails
+	h1 := h.Sum64()
+	h.Write([]byte{0xFF})
+	h2 := h.Sum64() | 1 // odd, so all probe positions differ
+	return h1, h2
+}
+
+// Add inserts a string.
+func (f *Filter) Add(s string) {
+	h1, h2 := hashPair(s)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+	f.n++
+}
+
+// Contains reports whether s may have been added (false positives
+// possible, false negatives impossible).
+func (f *Filter) Contains(s string) bool {
+	h1, h2 := hashPair(s)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// EstimatedFalsePositiveRate returns (1 - e^{-kn/m})^k for the current
+// fill level.
+func (f *Filter) EstimatedFalsePositiveRate() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	return math.Pow(1-math.Exp(-float64(f.k)*float64(f.n)/float64(f.m)), float64(f.k))
+}
+
+// Bits returns the filter size in bits.
+func (f *Filter) Bits() uint64 { return f.m }
+
+// Len returns the number of inserted elements.
+func (f *Filter) Len() int { return f.n }
+
+// FillRatio returns the fraction of set bits (used to sanity-check
+// sizing).
+func (f *Filter) FillRatio() float64 {
+	set := 0
+	for _, w := range f.bits {
+		set += popcount(w)
+	}
+	return float64(set) / float64(f.m)
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,96 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := NewForCapacity(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.Add(fmt.Sprintf("term%04d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.Contains(fmt.Sprintf("term%04d", i)) {
+			t.Fatalf("false negative for term%04d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	target := 0.05
+	f := NewForCapacity(2000, target)
+	for i := 0; i < 2000; i++ {
+		f.Add(fmt.Sprintf("in%05d", i))
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.Contains(fmt.Sprintf("out%06d", i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 2.5*target {
+		t.Errorf("observed FP rate %v far above target %v", rate, target)
+	}
+	est := f.EstimatedFalsePositiveRate()
+	if est <= 0 || est > 2*target {
+		t.Errorf("estimated FP rate %v inconsistent with target %v", est, target)
+	}
+}
+
+func TestEmptyFilter(t *testing.T) {
+	f := New(128, 3)
+	if f.Contains("anything") {
+		t.Error("empty filter must contain nothing")
+	}
+	if f.EstimatedFalsePositiveRate() != 0 {
+		t.Error("empty filter FP rate must be 0")
+	}
+	if f.FillRatio() != 0 {
+		t.Error("empty filter fill ratio must be 0")
+	}
+}
+
+func TestNewClampsParameters(t *testing.T) {
+	f := New(0, 0)
+	if f.Bits() < 64 || f.Len() != 0 {
+		t.Errorf("clamped filter: bits=%d", f.Bits())
+	}
+	f.Add("x")
+	if !f.Contains("x") {
+		t.Error("clamped filter must still work")
+	}
+	g := NewForCapacity(-5, 2)
+	g.Add("y")
+	if !g.Contains("y") {
+		t.Error("capacity clamping broke the filter")
+	}
+}
+
+func TestAddedAlwaysContained(t *testing.T) {
+	f := NewForCapacity(500, 0.01)
+	prop := func(s string) bool {
+		f.Add(s)
+		return f.Contains(s)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFillRatioGrows(t *testing.T) {
+	f := NewForCapacity(100, 0.01)
+	before := f.FillRatio()
+	for i := 0; i < 100; i++ {
+		f.Add(fmt.Sprintf("e%d", i))
+	}
+	if f.FillRatio() <= before {
+		t.Error("fill ratio must grow with inserts")
+	}
+	if f.FillRatio() > 0.75 {
+		t.Errorf("fill ratio %v too high for optimal sizing (expected ≈0.5)", f.FillRatio())
+	}
+}

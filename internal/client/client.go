@@ -1,0 +1,250 @@
+// Package client implements the querying user's side of Zerber
+// (paper §5.4.2 and Algorithm 2): mapping query terms to merged posting
+// lists, fanning the request out to at least k index servers, joining the
+// returned shares by global element ID, decrypting with Shamir
+// reconstruction, filtering false positives (elements of merged-in terms
+// the user did not query), and ranking the survivors client-side.
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"zerber/internal/auth"
+	"zerber/internal/field"
+	"zerber/internal/merging"
+	"zerber/internal/posting"
+	"zerber/internal/ranking"
+	"zerber/internal/shamir"
+	"zerber/internal/transport"
+	"zerber/internal/vocab"
+)
+
+// Errors returned by the client.
+var (
+	ErrTooFewServers = errors.New("client: fewer than k servers available")
+	ErrNotEnough     = errors.New("client: could not reach k servers")
+)
+
+// Client is a querying user's handle on a Zerber cluster.
+type Client struct {
+	servers []transport.API
+	k       int
+	table   *merging.Table
+	voc     *vocab.Vocabulary
+	// verify enables k+1 cross-checked retrieval (see EnableVerification).
+	verify bool
+}
+
+// Stats describes one search, for the bandwidth/efficiency experiments.
+type Stats struct {
+	// ListsRequested is the number of distinct merged posting lists asked for.
+	ListsRequested int
+	// ElementsFetched counts decrypted elements, including false positives.
+	ElementsFetched int
+	// FalsePositives counts elements filtered out because their term ID
+	// did not match any query term (§5.4.2: "filters out false
+	// positives, i.e., elements for terms not queried").
+	FalsePositives int
+	// ServersQueried is how many servers contributed shares (>= k).
+	ServersQueried int
+	// ElementsVerified counts elements whose shares were cross-checked
+	// against two k-subsets (verified retrieval only).
+	ElementsVerified int
+}
+
+// New creates a client. servers are the index servers in preference
+// order; at least k must be reachable per query. table and voc are the
+// public mapping table and vocabulary distributed with it.
+func New(servers []transport.API, k int, table *merging.Table, voc *vocab.Vocabulary) (*Client, error) {
+	if k < 1 || len(servers) < k {
+		return nil, fmt.Errorf("%w: k=%d, servers=%d", ErrTooFewServers, k, len(servers))
+	}
+	seen := make(map[field.Element]struct{}, len(servers))
+	for _, s := range servers {
+		x := s.XCoord()
+		if x == 0 {
+			return nil, errors.New("client: server with zero x-coordinate")
+		}
+		if _, dup := seen[x]; dup {
+			return nil, fmt.Errorf("client: duplicate server x-coordinate %d", x)
+		}
+		seen[x] = struct{}{}
+	}
+	return &Client{servers: servers, k: k, table: table, voc: voc}, nil
+}
+
+// Search runs a keyword query and returns the top-K accessible documents
+// ranked by TF-IDF over the user's personalized collection statistics.
+func (c *Client) Search(tok auth.Token, query []string, topK int) ([]ranking.ScoredDoc, Stats, error) {
+	lists, stats, err := c.Retrieve(tok, query)
+	if err != nil {
+		return nil, stats, err
+	}
+	// Personalized collection statistics: document frequencies among the
+	// documents this user can access, derived from the decrypted results.
+	dfs := make(map[string]int, len(lists))
+	docs := make(map[uint32]struct{})
+	for term, ps := range lists {
+		dfs[term] = len(ps)
+		for _, p := range ps {
+			docs[p.DocID] = struct{}{}
+		}
+	}
+	in := ranking.Input{
+		Query:   query,
+		Lists:   lists,
+		NumDocs: len(docs),
+		DocFreq: dfs,
+	}
+	return ranking.TopK(in, topK), stats, nil
+}
+
+// Retrieve performs the fetch-join-decrypt-filter pipeline and returns
+// the decrypted postings grouped by query term. Search builds on it; the
+// experiment harness calls it directly.
+func (c *Client) Retrieve(tok auth.Token, query []string) (map[string][]ranking.Posting, Stats, error) {
+	var stats Stats
+	terms := dedup(query)
+	if len(terms) == 0 {
+		return map[string][]ranking.Posting{}, stats, nil
+	}
+	if c.verify {
+		return c.retrieveVerified(tok, terms)
+	}
+	lids := c.table.ListsOf(terms)
+	stats.ListsRequested = len(lids)
+
+	// Fan out to servers until k have answered (Algorithm 2: the client
+	// queries the available Zerber servers and needs k responses).
+	type response struct {
+		x     field.Element
+		lists map[merging.ListID][]posting.EncryptedShare
+	}
+	responses := make([]response, 0, c.k)
+	var lastErr error
+	for _, s := range c.servers {
+		out, err := s.GetPostingLists(tok, lids)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		responses = append(responses, response{x: s.XCoord(), lists: out})
+		if len(responses) == c.k {
+			break
+		}
+	}
+	if len(responses) < c.k {
+		if lastErr != nil {
+			return nil, stats, fmt.Errorf("%w: %d of %d (last error: %v)", ErrNotEnough, len(responses), c.k, lastErr)
+		}
+		return nil, stats, fmt.Errorf("%w: %d of %d", ErrNotEnough, len(responses), c.k)
+	}
+	stats.ServersQueried = len(responses)
+
+	// The set of term IDs we are actually looking for.
+	wanted := make(map[uint32]string, len(terms))
+	for _, term := range terms {
+		wanted[c.voc.Resolve(term)] = term
+	}
+
+	// Elements replicated on all k responding servers share one Lagrange
+	// basis; precompute it once (the §7.6 "700 elements/ms" fast path).
+	fullXs := make([]field.Element, c.k)
+	for i, resp := range responses {
+		fullXs[i] = resp.x
+	}
+	fastRec, err := shamir.NewReconstructor(fullXs)
+	if err != nil {
+		return nil, stats, fmt.Errorf("client: building reconstructor: %w", err)
+	}
+
+	out := make(map[string][]ranking.Posting, len(terms))
+	for _, lid := range lids {
+		// Join shares by global element ID across the k responses.
+		type joined struct {
+			ys []field.Element
+			xs []field.Element
+		}
+		byID := make(map[posting.GlobalID]*joined)
+		for _, resp := range responses {
+			for _, sh := range resp.lists[lid] {
+				j := byID[sh.GlobalID]
+				if j == nil {
+					j = &joined{}
+					byID[sh.GlobalID] = j
+				}
+				j.ys = append(j.ys, sh.Y)
+				j.xs = append(j.xs, resp.x)
+			}
+		}
+		for gid, j := range byID {
+			if len(j.ys) < c.k {
+				// Element not replicated on enough of the responding
+				// servers (e.g. mid-batch); skip rather than mis-decrypt.
+				continue
+			}
+			var secret field.Element
+			if len(j.ys) == c.k && sameXs(j.xs, fullXs) {
+				secret, err = fastRec.Reconstruct(j.ys)
+			} else {
+				secret, err = reconstructSlow(j.xs[:c.k], j.ys[:c.k])
+			}
+			if err != nil {
+				return nil, stats, fmt.Errorf("client: decrypting element %d of list %d: %w", gid, lid, err)
+			}
+			elem := posting.Decode(secret)
+			stats.ElementsFetched++
+			term, ok := wanted[elem.TermID]
+			if !ok {
+				stats.FalsePositives++ // merged-in neighbor term; discard
+				continue
+			}
+			out[term] = append(out[term], ranking.Posting{DocID: elem.DocID, TF: elem.TF})
+		}
+	}
+	return out, stats, nil
+}
+
+// K returns the reconstruction threshold.
+func (c *Client) K() int { return c.k }
+
+// sameXs reports whether the element's share origins match the
+// precomputed basis order exactly.
+func sameXs(a, b []field.Element) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// reconstructSlow handles elements whose shares come from an unusual
+// server subset (e.g. a server missed a batch): plain Lagrange on the
+// ad-hoc point set.
+func reconstructSlow(xs, ys []field.Element) (field.Element, error) {
+	pts := make([]shamir.Share, len(xs))
+	for i := range xs {
+		pts[i] = shamir.Share{X: xs[i], Y: ys[i]}
+	}
+	return shamir.Reconstruct(pts, len(pts))
+}
+
+func dedup(terms []string) []string {
+	seen := make(map[string]struct{}, len(terms))
+	out := make([]string, 0, len(terms))
+	for _, t := range terms {
+		if t == "" {
+			continue
+		}
+		if _, dup := seen[t]; !dup {
+			seen[t] = struct{}{}
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"zerber/internal/auth"
+	"zerber/internal/field"
+	"zerber/internal/merging"
+	"zerber/internal/posting"
+	"zerber/internal/ranking"
+	"zerber/internal/shamir"
+)
+
+// ErrCorruptShare reports that two k-subsets of shares reconstructed
+// different secrets for one element: at least one of the responding
+// servers returned a bad share (malicious or corrupted storage).
+var ErrCorruptShare = errors.New("client: share sets disagree; a server returned a corrupted share")
+
+// EnableVerification switches the client to verified retrieval: every
+// query contacts k+1 servers, and each element replicated on all of them is
+// reconstructed from two distinct k-subsets, which must agree. This
+// detects (not just tolerates) a server that tampers with stored shares
+// — Shamir sharing alone hides information but does not authenticate it.
+// The price is one extra server response per query.
+//
+// It returns an error if the client does not know at least k+1 servers.
+func (c *Client) EnableVerification() error {
+	if len(c.servers) < c.k+1 {
+		return fmt.Errorf("client: verification needs k+1=%d servers, have %d", c.k+1, len(c.servers))
+	}
+	c.verify = true
+	return nil
+}
+
+// VerificationEnabled reports whether verified retrieval is active.
+func (c *Client) VerificationEnabled() bool { return c.verify }
+
+// retrieveVerified is the verification variant of Retrieve: it gathers
+// k+1 responses and cross-checks each fully replicated element.
+func (c *Client) retrieveVerified(tok auth.Token, terms []string) (map[string][]ranking.Posting, Stats, error) {
+	var stats Stats
+	lids := c.table.ListsOf(terms)
+	stats.ListsRequested = len(lids)
+
+	need := c.k + 1
+	type response struct {
+		x     field.Element
+		lists map[merging.ListID][]posting.EncryptedShare
+	}
+	responses := make([]response, 0, need)
+	var lastErr error
+	for _, s := range c.servers {
+		out, err := s.GetPostingLists(tok, lids)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		responses = append(responses, response{x: s.XCoord(), lists: out})
+		if len(responses) == need {
+			break
+		}
+	}
+	if len(responses) < need {
+		if lastErr != nil {
+			return nil, stats, fmt.Errorf("%w: %d of %d (last error: %v)", ErrNotEnough, len(responses), need, lastErr)
+		}
+		return nil, stats, fmt.Errorf("%w: %d of %d", ErrNotEnough, len(responses), need)
+	}
+	stats.ServersQueried = len(responses)
+
+	// Two overlapping bases: servers [0..k) and servers [1..k+1).
+	xsA := make([]field.Element, c.k)
+	xsB := make([]field.Element, c.k)
+	for i := 0; i < c.k; i++ {
+		xsA[i] = responses[i].x
+		xsB[i] = responses[i+1].x
+	}
+	recA, err := shamir.NewReconstructor(xsA)
+	if err != nil {
+		return nil, stats, err
+	}
+	recB, err := shamir.NewReconstructor(xsB)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	wanted := make(map[uint32]string, len(terms))
+	for _, term := range terms {
+		wanted[c.voc.Resolve(term)] = term
+	}
+
+	out := make(map[string][]ranking.Posting, len(terms))
+	for _, lid := range lids {
+		type joined struct {
+			ys []field.Element
+			xs []field.Element
+		}
+		byID := make(map[posting.GlobalID]*joined)
+		for _, resp := range responses {
+			for _, sh := range resp.lists[lid] {
+				j := byID[sh.GlobalID]
+				if j == nil {
+					j = &joined{}
+					byID[sh.GlobalID] = j
+				}
+				j.ys = append(j.ys, sh.Y)
+				j.xs = append(j.xs, resp.x)
+			}
+		}
+		for gid, j := range byID {
+			if len(j.ys) < c.k {
+				continue
+			}
+			var secret field.Element
+			if len(j.ys) >= need {
+				// Present on all k+1 responders, so j.xs follows the
+				// response order and both precomputed bases apply.
+				a, err := recA.Reconstruct(j.ys[:c.k])
+				if err != nil {
+					return nil, stats, err
+				}
+				bIn := j.ys[1 : c.k+1]
+				bSecret, err := recB.Reconstruct(bIn)
+				if err != nil {
+					return nil, stats, err
+				}
+				if a != bSecret {
+					return nil, stats, fmt.Errorf("%w (element %d, list %d)", ErrCorruptShare, gid, lid)
+				}
+				secret = a
+				stats.ElementsVerified++
+			} else {
+				// Not replicated on all k+1 responders: decrypt from the
+				// first k shares without cross-checking.
+				secret, err = reconstructSlow(j.xs[:c.k], j.ys[:c.k])
+				if err != nil {
+					return nil, stats, err
+				}
+			}
+			stats.ElementsFetched++
+			elem := posting.Decode(secret)
+			term, ok := wanted[elem.TermID]
+			if !ok {
+				stats.FalsePositives++
+				continue
+			}
+			out[term] = append(out[term], ranking.Posting{DocID: elem.DocID, TF: elem.TF})
+		}
+	}
+	return out, stats, nil
+}

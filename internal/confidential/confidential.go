@@ -1,0 +1,137 @@
+// Package confidential implements the r-confidentiality mathematics of
+// the Zerber paper (§4 Definition 1 and §5.2 formulas (2)-(5)).
+//
+// An indexing scheme is r-confidential iff for every fact X of the form
+// "term t is (not) in document d",
+//
+//	P(X | B, I) <= r * P(X | B)
+//
+// where B is the adversary's background knowledge and I the index she can
+// inspect. For Zerber's merged posting lists, the amplification an
+// adversary gains on a term t merged into set S is
+//
+//	amp(t) = (p_t / Σ_{ti∈S} p_ti) / p_t = 1 / Σ_{ti∈S} p_ti
+//
+// so a merged list satisfies the r-constraint iff Σ p_ti >= 1/r
+// (formula (5)).
+package confidential
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Distribution holds the term occurrence probabilities p_t of formula (2):
+// p_t = n_d(t) / Σ_ti n_d(ti), i.e. document frequency normalized by the
+// total document-frequency mass of the corpus.
+type Distribution struct {
+	probs map[string]float64
+	// byProb caches the terms sorted by descending probability (ties
+	// broken lexicographically so results are deterministic).
+	byProb []string
+}
+
+// ErrEmptyCorpus reports a distribution built from no postings.
+var ErrEmptyCorpus = errors.New("confidential: empty document-frequency table")
+
+// NewDistribution computes the term probability distribution from raw
+// document frequencies (formula (2)). Terms with non-positive frequency
+// are ignored.
+func NewDistribution(docFreqs map[string]int) (*Distribution, error) {
+	total := 0
+	for _, df := range docFreqs {
+		if df > 0 {
+			total += df
+		}
+	}
+	if total == 0 {
+		return nil, ErrEmptyCorpus
+	}
+	d := &Distribution{probs: make(map[string]float64, len(docFreqs))}
+	for term, df := range docFreqs {
+		if df > 0 {
+			d.probs[term] = float64(df) / float64(total)
+		}
+	}
+	d.byProb = make([]string, 0, len(d.probs))
+	for term := range d.probs {
+		d.byProb = append(d.byProb, term)
+	}
+	sort.Slice(d.byProb, func(i, j int) bool {
+		pi, pj := d.probs[d.byProb[i]], d.probs[d.byProb[j]]
+		if pi != pj {
+			return pi > pj
+		}
+		return d.byProb[i] < d.byProb[j]
+	})
+	return d, nil
+}
+
+// P returns p_t (0 for unknown terms).
+func (d *Distribution) P(term string) float64 { return d.probs[term] }
+
+// Len returns the number of terms with positive probability.
+func (d *Distribution) Len() int { return len(d.probs) }
+
+// TermsByProbability returns the terms in descending probability order,
+// the order every merging heuristic consumes (§6: "Sort terms into
+// descending order, based on pt").
+func (d *Distribution) TermsByProbability() []string {
+	out := make([]string, len(d.byProb))
+	copy(out, d.byProb)
+	return out
+}
+
+// Probs returns a snapshot of the whole distribution.
+func (d *Distribution) Probs() map[string]float64 {
+	out := make(map[string]float64, len(d.probs))
+	for t, p := range d.probs {
+		out[t] = p
+	}
+	return out
+}
+
+// Amplification returns the probability amplification 1/Σp for a merged
+// set with total probability mass sumP (formulas (3)-(4)). An infinite
+// amplification (empty set) is reported as +Inf.
+func Amplification(sumP float64) float64 {
+	if sumP <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / sumP
+}
+
+// AbsenceAmplification bounds the adversary's gain on claims of the form
+// "term t is NOT in document d" (§5.2): given an element of a merged set
+// with mass sumP containing t with probability pt, the posterior of
+// absence is 1 - pt/sumP versus the prior 1 - pt. The ratio is <= 1, i.e.
+// absence claims are never amplified.
+func AbsenceAmplification(pt, sumP float64) float64 {
+	if pt <= 0 || sumP <= 0 || pt > sumP || pt >= 1 {
+		return math.NaN()
+	}
+	return (1 - pt/sumP) / (1 - pt)
+}
+
+// SatisfiesR reports whether a merged set with probability mass sumP meets
+// the r-constraint Σp >= 1/r (formula (5)).
+func SatisfiesR(sumP, r float64) bool {
+	if r <= 0 {
+		return false
+	}
+	return sumP >= 1/r || nearlyEqual(sumP, 1/r)
+}
+
+// RequiredMass returns the minimal probability mass 1/r a merged posting
+// list must accumulate to be r-confidential.
+func RequiredMass(r float64) float64 {
+	if r <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / r
+}
+
+func nearlyEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12*math.Max(math.Abs(a), math.Abs(b))
+}

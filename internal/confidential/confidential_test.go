@@ -1,0 +1,173 @@
+package confidential
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDistributionNormalizes(t *testing.T) {
+	d, err := NewDistribution(map[string]int{"a": 3, "b": 1, "c": 0, "d": -2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (non-positive frequencies dropped)", d.Len())
+	}
+	if got := d.P("a"); got != 0.75 {
+		t.Errorf("P(a) = %v, want 0.75", got)
+	}
+	if got := d.P("b"); got != 0.25 {
+		t.Errorf("P(b) = %v, want 0.25", got)
+	}
+	if got := d.P("absent"); got != 0 {
+		t.Errorf("P(absent) = %v, want 0", got)
+	}
+}
+
+func TestNewDistributionEmpty(t *testing.T) {
+	if _, err := NewDistribution(nil); !errors.Is(err, ErrEmptyCorpus) {
+		t.Errorf("got %v, want ErrEmptyCorpus", err)
+	}
+	if _, err := NewDistribution(map[string]int{"a": 0}); !errors.Is(err, ErrEmptyCorpus) {
+		t.Errorf("got %v, want ErrEmptyCorpus", err)
+	}
+}
+
+func TestDistributionSumsToOne(t *testing.T) {
+	f := func(dfs []uint8) bool {
+		m := make(map[string]int)
+		for i, df := range dfs {
+			m[string(rune('a'+i%26))+string(rune('a'+i/26))] = int(df)
+		}
+		d, err := NewDistribution(m)
+		if err != nil {
+			return true // all-zero input is allowed to fail
+		}
+		sum := 0.0
+		for _, p := range d.Probs() {
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTermsByProbabilityOrder(t *testing.T) {
+	d, err := NewDistribution(map[string]int{"rare": 1, "mid": 5, "top": 20, "mid2": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := d.TermsByProbability()
+	if terms[0] != "top" {
+		t.Errorf("first term = %q, want top", terms[0])
+	}
+	if terms[3] != "rare" {
+		t.Errorf("last term = %q, want rare", terms[3])
+	}
+	// Ties broken lexicographically for determinism.
+	if terms[1] != "mid" || terms[2] != "mid2" {
+		t.Errorf("tie order = %v", terms[1:3])
+	}
+	// Returned slice is a copy.
+	terms[0] = "mutated"
+	if d.TermsByProbability()[0] != "top" {
+		t.Error("TermsByProbability must return a copy")
+	}
+}
+
+func TestAmplification(t *testing.T) {
+	if got := Amplification(0.5); got != 2 {
+		t.Errorf("Amplification(0.5) = %v, want 2", got)
+	}
+	if got := Amplification(1); got != 1 {
+		t.Errorf("Amplification(1) = %v, want 1", got)
+	}
+	if !math.IsInf(Amplification(0), 1) {
+		t.Error("Amplification(0) must be +Inf")
+	}
+}
+
+func TestUniformMergingRValue(t *testing.T) {
+	// Paper §6: under a uniform term distribution, merging all terms into
+	// M lists yields r = M. With 100 uniform terms in 4 lists of 25, each
+	// list has mass 0.25, so amplification = 4.
+	const terms, lists = 100, 4
+	sumPerList := float64(terms/lists) / float64(terms)
+	if got := Amplification(sumPerList); math.Abs(got-float64(lists)) > 1e-9 {
+		t.Errorf("uniform merging amplification = %v, want %d", got, lists)
+	}
+	// One single list -> r = 1 (no information beyond background).
+	if got := Amplification(1.0); got != 1 {
+		t.Errorf("single-list amplification = %v, want 1", got)
+	}
+}
+
+func TestAbsenceNeverAmplified(t *testing.T) {
+	// §5.2: the posterior probability of absence is always smaller than
+	// the prior, so the absence ratio is <= 1.
+	f := func(a, b uint16) bool {
+		pt := float64(a%1000+1) / 10000.0  // (0, 0.1]
+		extra := float64(b%1000) / 10000.0 // [0, 0.1)
+		sum := pt + extra
+		ratio := AbsenceAmplification(pt, sum)
+		return !math.IsNaN(ratio) && ratio <= 1+1e-12 && ratio > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if !math.IsNaN(AbsenceAmplification(0, 0.5)) {
+		t.Error("pt=0 must be rejected")
+	}
+	if !math.IsNaN(AbsenceAmplification(0.6, 0.5)) {
+		t.Error("pt > sum must be rejected")
+	}
+}
+
+func TestSatisfiesR(t *testing.T) {
+	cases := []struct {
+		sum, r float64
+		want   bool
+	}{
+		{0.5, 2, true},     // exactly 1/r
+		{0.51, 2, true},    // above
+		{0.49, 2, false},   // below
+		{1e-6, 1e6, true},  // paper's target r at the 32K-list scale
+		{9e-7, 1e6, false}, // just below the target mass
+		{0.5, 0, false},    // nonsensical r
+	}
+	for _, c := range cases {
+		if got := SatisfiesR(c.sum, c.r); got != c.want {
+			t.Errorf("SatisfiesR(%v, %v) = %v, want %v", c.sum, c.r, got, c.want)
+		}
+	}
+}
+
+func TestRequiredMass(t *testing.T) {
+	if got := RequiredMass(4); got != 0.25 {
+		t.Errorf("RequiredMass(4) = %v, want 0.25", got)
+	}
+	if !math.IsInf(RequiredMass(0), 1) {
+		t.Error("RequiredMass(0) must be +Inf")
+	}
+}
+
+func TestAmplificationSatisfiesDefinition(t *testing.T) {
+	// End-to-end check of Definition 1 on a concrete merged set: posterior
+	// = p_t/Σp must not exceed amp * prior for every member term.
+	d, err := NewDistribution(map[string]int{"t1": 10, "t2": 5, "t3": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := d.P("t1") + d.P("t2") + d.P("t3")
+	amp := Amplification(sum)
+	for _, term := range []string{"t1", "t2", "t3"} {
+		posterior := d.P(term) / sum
+		if posterior > amp*d.P(term)+1e-12 {
+			t.Errorf("posterior %v exceeds r*prior %v for %s", posterior, amp*d.P(term), term)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+// Package corpus generates the synthetic substitutes for the paper's
+// three proprietary data sets (see DESIGN.md §5 for the substitution
+// argument):
+//
+//   - an ODP-like web corpus (237,000 docs / 987,700 terms in the paper;
+//     sizes are parameters here) with a Zipfian document-frequency
+//     distribution and documents partitioned into topic groups;
+//   - a Stud-IP-like learning-management-system profile reproducing the
+//     qualitative shapes of Fig. 5 (Zipf docs-per-group, linear semester
+//     uploads, bounded groups-per-user, bounded accessible documents);
+//   - a web-search query log (7M queries / 135,000 distinct terms in the
+//     paper) whose query frequencies are Zipfian and positively but
+//     imperfectly correlated with document frequencies — the paper notes
+//     "some frequent terms are rarely queried (e.g., 'although')".
+//
+// All generators are deterministic given their seed.
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Doc is one synthetic document: a bag of term counts plus the metadata
+// the experiments need.
+type Doc struct {
+	ID     uint32
+	Group  uint32 // collaboration group / topic
+	Counts map[string]int
+	Day    int // upload day within the observation window (Stud-IP)
+}
+
+// Corpus is a generated document collection.
+type Corpus struct {
+	Docs  []Doc
+	Vocab []string // terms by frequency rank (rank 0 = most frequent)
+}
+
+// DocFreqs computes the document-frequency table of the corpus.
+func (c *Corpus) DocFreqs() map[string]int {
+	dfs := make(map[string]int)
+	for _, d := range c.Docs {
+		for term := range d.Counts {
+			dfs[term]++
+		}
+	}
+	return dfs
+}
+
+// TotalPostings returns the number of (document, term) pairs.
+func (c *Corpus) TotalPostings() int {
+	n := 0
+	for _, d := range c.Docs {
+		n += len(d.Counts)
+	}
+	return n
+}
+
+// GroupOf returns the set of document IDs per group.
+func (c *Corpus) GroupOf() map[uint32][]uint32 {
+	out := make(map[uint32][]uint32)
+	for _, d := range c.Docs {
+		out[d.Group] = append(out[d.Group], d.ID)
+	}
+	return out
+}
+
+// termName returns the canonical synthetic term for a frequency rank.
+func termName(rank int) string { return fmt.Sprintf("t%07d", rank) }
+
+// zipfSampler draws term ranks with P(rank) ∝ 1/(rank+1)^s, the shape of
+// both data sets' term distributions (Fig. 7: "the term probability
+// distribution is Zipfian").
+type zipfSampler struct {
+	z *rand.Zipf
+}
+
+func newZipfSampler(rng *rand.Rand, s float64, n int) *zipfSampler {
+	if s <= 1 {
+		s = 1.0001 // rand.Zipf requires s > 1
+	}
+	return &zipfSampler{z: rand.NewZipf(rng, s, 1, uint64(n-1))}
+}
+
+func (zs *zipfSampler) rank() int { return int(zs.z.Uint64()) }
+
+// ODPConfig parameterizes the ODP-like corpus generator. Zero fields get
+// scaled-down defaults suitable for experiments on one machine.
+type ODPConfig struct {
+	Seed       int64
+	NumDocs    int     // paper: 237,000; default 20,000
+	VocabSize  int     // paper: 987,700; default 200,000
+	NumGroups  int     // paper: 100 topics; default 100
+	MeanDocLen int     // mean distinct terms per document; default 80
+	ZipfS      float64 // Zipf exponent; default 1.15
+}
+
+func (c *ODPConfig) fill() {
+	if c.NumDocs == 0 {
+		c.NumDocs = 20000
+	}
+	if c.VocabSize == 0 {
+		c.VocabSize = 200000
+	}
+	if c.NumGroups == 0 {
+		c.NumGroups = 100
+	}
+	if c.MeanDocLen == 0 {
+		c.MeanDocLen = 80
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.15
+	}
+}
+
+// SyntheticODP generates the ODP-like corpus: each document draws a
+// geometric-ish number of distinct terms from the Zipf rank distribution;
+// documents are assigned round-robin-randomly to topic groups, mirroring
+// the paper's "the set of documents on one topic [is] the set of
+// documents of one group" (§7.4.2).
+func SyntheticODP(cfg ODPConfig) *Corpus {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zs := newZipfSampler(rng, cfg.ZipfS, cfg.VocabSize)
+
+	vocabSeen := make([]bool, cfg.VocabSize)
+	docs := make([]Doc, cfg.NumDocs)
+	for i := range docs {
+		// Document length: exponential around the mean, at least 5.
+		length := int(rng.ExpFloat64()*float64(cfg.MeanDocLen)/2) + cfg.MeanDocLen/2
+		if length < 5 {
+			length = 5
+		}
+		counts := make(map[string]int, length)
+		for len(counts) < length {
+			r := zs.rank()
+			term := termName(r)
+			vocabSeen[r] = true
+			counts[term] += 1 + int(rng.ExpFloat64()*1.5) // within-doc tf, skewed
+		}
+		docs[i] = Doc{
+			ID:     uint32(i + 1),
+			Group:  uint32(rng.Intn(cfg.NumGroups) + 1),
+			Counts: counts,
+		}
+	}
+	vocab := make([]string, 0, cfg.VocabSize)
+	for r := 0; r < cfg.VocabSize; r++ {
+		if vocabSeen[r] {
+			vocab = append(vocab, termName(r))
+		}
+	}
+	return &Corpus{Docs: docs, Vocab: vocab}
+}
+
+// StudIPConfig parameterizes the Stud-IP-like generator. The defaults
+// approximate the paper's "University 1" (§7.4.1: 3,300 courses, 6,000
+// students, 8,500 documents mid-semester, users in at most ~20 groups,
+// fewer than 200 accessible documents each).
+type StudIPConfig struct {
+	Seed         int64
+	Courses      int // group count; default 3300
+	Users        int // default 6000
+	NumDocs      int // default 8500
+	SemesterDays int // default 120
+	VocabSize    int // paper: 570,000 terms; default 40,000
+	MeanDocLen   int // default 120
+	MaxGroups    int // max groups per user; default 20
+	ZipfS        float64
+}
+
+func (c *StudIPConfig) fill() {
+	if c.Courses == 0 {
+		c.Courses = 3300
+	}
+	if c.Users == 0 {
+		c.Users = 6000
+	}
+	if c.NumDocs == 0 {
+		c.NumDocs = 8500
+	}
+	if c.SemesterDays == 0 {
+		c.SemesterDays = 120
+	}
+	if c.VocabSize == 0 {
+		c.VocabSize = 40000
+	}
+	if c.MeanDocLen == 0 {
+		c.MeanDocLen = 120
+	}
+	if c.MaxGroups == 0 {
+		c.MaxGroups = 20
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.25
+	}
+}
+
+// StudIP is the generated learning-management-system snapshot.
+type StudIP struct {
+	Corpus
+	// Membership maps user index -> course groups (1-based group IDs).
+	Membership [][]uint32
+	Config     StudIPConfig
+}
+
+// SyntheticStudIP generates the Stud-IP profile. Documents are assigned
+// to course groups with a Zipfian popularity (a few large courses, a long
+// tail), upload days are uniform over the semester (Fig. 5b: "The amount
+// of material stored for each course increases uniformly during the
+// semester"), and each user joins a small Zipf-distributed number of
+// courses (Fig. 5: "Most users belong to at most 20 groups").
+func SyntheticStudIP(cfg StudIPConfig) *StudIP {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	termZ := newZipfSampler(rng, cfg.ZipfS, cfg.VocabSize)
+	// Course popularity for document placement: mildly skewed (a few
+	// large courses, a long tail), calibrated so that users accessing
+	// "fewer than 200 documents" dominate, as in Fig. 5d.
+	courseZ := newZipfSampler(rng, 1.03, cfg.Courses)
+
+	vocabSeen := make([]bool, cfg.VocabSize)
+	docs := make([]Doc, cfg.NumDocs)
+	for i := range docs {
+		length := int(rng.ExpFloat64()*float64(cfg.MeanDocLen)/2) + cfg.MeanDocLen/2
+		if length < 5 {
+			length = 5
+		}
+		counts := make(map[string]int, length)
+		for len(counts) < length {
+			r := termZ.rank()
+			vocabSeen[r] = true
+			counts[termName(r)] += 1 + int(rng.ExpFloat64()*1.5)
+		}
+		docs[i] = Doc{
+			ID:     uint32(i + 1),
+			Group:  uint32(courseZ.rank() + 1),
+			Counts: counts,
+			Day:    rng.Intn(cfg.SemesterDays),
+		}
+	}
+	vocab := make([]string, 0, cfg.VocabSize)
+	for r := 0; r < cfg.VocabSize; r++ {
+		if vocabSeen[r] {
+			vocab = append(vocab, termName(r))
+		}
+	}
+
+	// Users join 1..MaxGroups courses, Zipf-skewed toward few groups,
+	// preferring popular courses.
+	membership := make([][]uint32, cfg.Users)
+	for u := range membership {
+		n := 1 + int(float64(cfg.MaxGroups-1)*math.Pow(rng.Float64(), 2.5))
+		seen := make(map[uint32]struct{}, n)
+		for len(seen) < n {
+			seen[uint32(courseZ.rank()+1)] = struct{}{}
+		}
+		groups := make([]uint32, 0, n)
+		for g := range seen {
+			groups = append(groups, g)
+		}
+		membership[u] = groups
+	}
+	return &StudIP{
+		Corpus:     Corpus{Docs: docs, Vocab: vocab},
+		Membership: membership,
+		Config:     cfg,
+	}
+}
+
+// DocsPerGroup returns the Fig. 5a series: document count per group.
+func (s *StudIP) DocsPerGroup() map[uint32]int {
+	out := make(map[uint32]int)
+	for _, d := range s.Docs {
+		out[d.Group]++
+	}
+	return out
+}
+
+// UploadsByDay returns the Fig. 5b series: cumulative uploads per
+// semester day.
+func (s *StudIP) UploadsByDay() []int {
+	daily := make([]int, s.Config.SemesterDays)
+	for _, d := range s.Docs {
+		daily[d.Day]++
+	}
+	cum := make([]int, len(daily))
+	total := 0
+	for i, n := range daily {
+		total += n
+		cum[i] = total
+	}
+	return cum
+}
+
+// GroupsPerUser returns the Fig. 5c series: group count per user.
+func (s *StudIP) GroupsPerUser() []int {
+	out := make([]int, len(s.Membership))
+	for u, groups := range s.Membership {
+		out[u] = len(groups)
+	}
+	return out
+}
+
+// DocsAccessiblePerUser returns the Fig. 5d series: the number of
+// documents each user can reach through group membership.
+func (s *StudIP) DocsAccessiblePerUser() []int {
+	perGroup := s.DocsPerGroup()
+	out := make([]int, len(s.Membership))
+	for u, groups := range s.Membership {
+		n := 0
+		for _, g := range groups {
+			n += perGroup[g]
+		}
+		out[u] = n
+	}
+	return out
+}

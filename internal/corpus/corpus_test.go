@@ -1,0 +1,289 @@
+package corpus
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func smallODP() ODPConfig {
+	return ODPConfig{Seed: 1, NumDocs: 500, VocabSize: 5000, NumGroups: 10, MeanDocLen: 30}
+}
+
+func TestSyntheticODPBasics(t *testing.T) {
+	c := SyntheticODP(smallODP())
+	if len(c.Docs) != 500 {
+		t.Fatalf("docs = %d", len(c.Docs))
+	}
+	for _, d := range c.Docs {
+		if len(d.Counts) < 5 {
+			t.Fatalf("doc %d has only %d distinct terms", d.ID, len(d.Counts))
+		}
+		if d.Group < 1 || d.Group > 10 {
+			t.Fatalf("doc %d in group %d", d.ID, d.Group)
+		}
+		for term, tf := range d.Counts {
+			if tf < 1 {
+				t.Fatalf("doc %d term %s tf %d", d.ID, term, tf)
+			}
+		}
+	}
+	if len(c.Vocab) == 0 {
+		t.Fatal("empty vocab")
+	}
+	if c.TotalPostings() < 500*5 {
+		t.Error("suspiciously few postings")
+	}
+}
+
+func TestSyntheticODPDeterministic(t *testing.T) {
+	a := SyntheticODP(smallODP())
+	b := SyntheticODP(smallODP())
+	if len(a.Docs) != len(b.Docs) {
+		t.Fatal("doc count differs")
+	}
+	for i := range a.Docs {
+		if len(a.Docs[i].Counts) != len(b.Docs[i].Counts) || a.Docs[i].Group != b.Docs[i].Group {
+			t.Fatalf("doc %d differs between runs", i)
+		}
+	}
+	c := SyntheticODP(ODPConfig{Seed: 2, NumDocs: 500, VocabSize: 5000, NumGroups: 10, MeanDocLen: 30})
+	if len(c.DocFreqs()) == len(a.DocFreqs()) {
+		// Different seeds should (very likely) give different vocab usage.
+		same := true
+		adf, cdf := a.DocFreqs(), c.DocFreqs()
+		for k, v := range adf {
+			if cdf[k] != v {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical corpora")
+		}
+	}
+}
+
+func TestODPDocFreqsZipfShape(t *testing.T) {
+	// The top-ranked term must dominate; the distribution must have a
+	// long tail of df=1 terms (Fig. 7's Zipf shape).
+	c := SyntheticODP(smallODP())
+	dfs := c.DocFreqs()
+	var values []int
+	for _, df := range dfs {
+		values = append(values, df)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(values)))
+	if values[0] < 10*values[len(values)/2] {
+		t.Errorf("head df %d not much larger than median %d; distribution not skewed",
+			values[0], values[len(values)/2])
+	}
+	ones := 0
+	for _, df := range values {
+		if df == 1 {
+			ones++
+		}
+	}
+	if float64(ones) < 0.3*float64(len(values)) {
+		t.Errorf("only %d/%d singleton terms; tail too thin for Zipf", ones, len(values))
+	}
+}
+
+func TestGroupOfPartition(t *testing.T) {
+	c := SyntheticODP(smallODP())
+	groups := c.GroupOf()
+	total := 0
+	for _, docs := range groups {
+		total += len(docs)
+	}
+	if total != len(c.Docs) {
+		t.Errorf("group partition covers %d docs, want %d", total, len(c.Docs))
+	}
+}
+
+func smallStudIP() StudIPConfig {
+	return StudIPConfig{Seed: 3, Courses: 100, Users: 300, NumDocs: 500,
+		SemesterDays: 60, VocabSize: 5000, MeanDocLen: 40, MaxGroups: 20}
+}
+
+func TestStudIPProfileShapes(t *testing.T) {
+	s := SyntheticStudIP(smallStudIP())
+
+	// Fig. 5c shape: every user in 1..MaxGroups groups.
+	for u, n := range s.GroupsPerUser() {
+		if n < 1 || n > 20 {
+			t.Fatalf("user %d in %d groups", u, n)
+		}
+	}
+
+	// Fig. 5b shape: cumulative uploads are nondecreasing and end at the
+	// document count (uniform increase over the semester).
+	cum := s.UploadsByDay()
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatal("cumulative uploads decreased")
+		}
+	}
+	if cum[len(cum)-1] != 500 {
+		t.Errorf("final cumulative uploads = %d, want 500", cum[len(cum)-1])
+	}
+	// Roughly linear: the midpoint is between 30%% and 70%% of the total.
+	mid := float64(cum[len(cum)/2]) / float64(cum[len(cum)-1])
+	if mid < 0.3 || mid > 0.7 {
+		t.Errorf("mid-semester fraction = %v; uploads not roughly uniform", mid)
+	}
+
+	// Fig. 5a shape: docs per group is skewed (some courses much larger).
+	perGroup := s.DocsPerGroup()
+	max, sum := 0, 0
+	for _, n := range perGroup {
+		if n > max {
+			max = n
+		}
+		sum += n
+	}
+	if sum != 500 {
+		t.Errorf("group doc partition sums to %d", sum)
+	}
+	mean := float64(sum) / float64(len(perGroup))
+	if float64(max) < 3*mean {
+		t.Errorf("max group size %d vs mean %.1f; distribution not skewed", max, mean)
+	}
+
+	// Fig. 5d shape: accessible docs bounded well below the corpus for
+	// most users.
+	acc := s.DocsAccessiblePerUser()
+	over := 0
+	for _, n := range acc {
+		if n > 450 {
+			over++
+		}
+	}
+	if over > len(acc)/4 {
+		t.Errorf("%d/%d users can access nearly everything", over, len(acc))
+	}
+}
+
+func TestStudIPDeterministic(t *testing.T) {
+	a := SyntheticStudIP(smallStudIP())
+	b := SyntheticStudIP(smallStudIP())
+	ga, gb := a.GroupsPerUser(), b.GroupsPerUser()
+	for i := range ga {
+		if ga[i] != gb[i] {
+			t.Fatal("membership differs between identical runs")
+		}
+	}
+}
+
+func TestQueryLogBasics(t *testing.T) {
+	c := SyntheticODP(smallODP())
+	dfs := c.DocFreqs()
+	ranked := rankTerms(dfs)
+	log := SyntheticQueryLog(QueryLogConfig{Seed: 4, NumQueries: 5000}, ranked)
+	if len(log.Queries) != 5000 {
+		t.Fatalf("queries = %d", len(log.Queries))
+	}
+	mean := log.MeanQueryLength()
+	if math.Abs(mean-2.45) > 0.25 {
+		t.Errorf("mean query length = %v, want ≈2.45", mean)
+	}
+	for _, q := range log.Queries {
+		if len(q) == 0 {
+			t.Fatal("empty query")
+		}
+		seen := map[string]bool{}
+		for _, term := range q {
+			if seen[term] {
+				t.Fatal("duplicate term within one query")
+			}
+			seen[term] = true
+		}
+	}
+}
+
+func TestQueryLogZipfConcentration(t *testing.T) {
+	// Fig. 6: the most frequent query terms carry nearly the whole
+	// workload. Check the top 10% of query terms carry >70% of the mass.
+	c := SyntheticODP(smallODP())
+	ranked := rankTerms(c.DocFreqs())
+	log := SyntheticQueryLog(QueryLogConfig{Seed: 5, NumQueries: 20000}, ranked)
+	var freqs []int
+	total := 0
+	for _, f := range log.TermFreq {
+		freqs = append(freqs, f)
+		total += f
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	top := 0
+	cut := len(freqs) / 10
+	if cut == 0 {
+		cut = 1
+	}
+	for _, f := range freqs[:cut] {
+		top += f
+	}
+	if frac := float64(top) / float64(total); frac < 0.7 {
+		t.Errorf("top-10%% query terms carry %.2f of mass, want > 0.7", frac)
+	}
+}
+
+func TestQueryLogDFCorrelationImperfect(t *testing.T) {
+	// With Correlation < 1 some frequently-queried terms must NOT be the
+	// top document-frequency terms (the "although" effect).
+	c := SyntheticODP(smallODP())
+	ranked := rankTerms(c.DocFreqs())
+	log := SyntheticQueryLog(QueryLogConfig{Seed: 6, NumQueries: 20000, Correlation: 0.7}, ranked)
+
+	dfRank := make(map[string]int, len(ranked))
+	for i, term := range ranked {
+		dfRank[term] = i
+	}
+	// Collect the 50 most-queried terms.
+	type tf struct {
+		term string
+		n    int
+	}
+	var tfs []tf
+	for term, n := range log.TermFreq {
+		tfs = append(tfs, tf{term, n})
+	}
+	sort.Slice(tfs, func(i, j int) bool { return tfs[i].n > tfs[j].n })
+	deepRank := 0
+	for _, e := range tfs[:50] {
+		if dfRank[e.term] > len(ranked)/10 {
+			deepRank++
+		}
+	}
+	if deepRank == 0 {
+		t.Error("all hot query terms are top-DF terms; correlation should be imperfect")
+	}
+}
+
+func TestQueryLogEmptyVocab(t *testing.T) {
+	log := SyntheticQueryLog(QueryLogConfig{Seed: 1, NumQueries: 10}, nil)
+	if len(log.Queries) != 0 {
+		t.Error("empty vocabulary must yield no queries")
+	}
+}
+
+func rankTerms(dfs map[string]int) []string {
+	type e struct {
+		t  string
+		df int
+	}
+	var es []e
+	for t, df := range dfs {
+		es = append(es, e{t, df})
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].df != es[j].df {
+			return es[i].df > es[j].df
+		}
+		return es[i].t < es[j].t
+	})
+	out := make([]string, len(es))
+	for i, x := range es {
+		out[i] = x.t
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package corpus
+
+import (
+	"math/rand"
+)
+
+// QueryLogConfig parameterizes the synthetic web-search query log
+// (paper §7.4.3: 7M queries, 135,000 distinct query terms, 2.45 terms
+// per query on average).
+type QueryLogConfig struct {
+	Seed       int64
+	NumQueries int // default 100,000 (scaled from the paper's 7M)
+	// MeanTerms is the mean query length; default 2.45 (paper's value).
+	MeanTerms float64
+	// Correlation in [0,1] is the probability that a query term is drawn
+	// in document-frequency rank order; the remainder is drawn from a
+	// shuffled rank order, producing the paper's "some frequent terms are
+	// rarely queried" effect. Default 0.8.
+	Correlation float64
+	// ZipfS is the query-frequency Zipf exponent; default 1.4 (Fig. 6:
+	// "The most frequent queries constitute nearly the whole query
+	// workload").
+	ZipfS float64
+}
+
+func (c *QueryLogConfig) fill() {
+	if c.NumQueries == 0 {
+		c.NumQueries = 100000
+	}
+	if c.MeanTerms == 0 {
+		c.MeanTerms = 2.45
+	}
+	if c.Correlation == 0 {
+		c.Correlation = 0.8
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.4
+	}
+}
+
+// QueryLog is a generated workload.
+type QueryLog struct {
+	Queries [][]string
+	// TermFreq counts how often each term occurs across all queries (the
+	// q_j of formula (6) / qf_x of formula (8)).
+	TermFreq map[string]int
+}
+
+// NumTerms returns the total number of term occurrences in the log.
+func (q *QueryLog) NumTerms() int {
+	n := 0
+	for _, t := range q.TermFreq {
+		n += t
+	}
+	return n
+}
+
+// MeanQueryLength returns the average number of terms per query.
+func (q *QueryLog) MeanQueryLength() float64 {
+	if len(q.Queries) == 0 {
+		return 0
+	}
+	return float64(q.NumTerms()) / float64(len(q.Queries))
+}
+
+// SyntheticQueryLog draws queries over the given vocabulary (terms in
+// document-frequency rank order, most frequent first). Query term
+// selection is Zipfian over a rank order that equals the DF rank order
+// with probability Correlation and a seeded shuffle of it otherwise.
+func SyntheticQueryLog(cfg QueryLogConfig, vocabByDFRank []string) *QueryLog {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := len(vocabByDFRank)
+	if n == 0 {
+		return &QueryLog{TermFreq: map[string]int{}}
+	}
+	zs := newZipfSampler(rng, cfg.ZipfS, n)
+
+	// The decorrelated rank order: a fixed shuffle of the vocabulary.
+	shuffled := make([]string, n)
+	copy(shuffled, vocabByDFRank)
+	rng.Shuffle(n, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	// Query length: shifted geometric with mean MeanTerms.
+	p := 1 / cfg.MeanTerms
+
+	log := &QueryLog{
+		Queries:  make([][]string, 0, cfg.NumQueries),
+		TermFreq: make(map[string]int),
+	}
+	for i := 0; i < cfg.NumQueries; i++ {
+		length := 1
+		for rng.Float64() > p {
+			length++
+		}
+		query := make([]string, 0, length)
+		seen := make(map[string]struct{}, length)
+		for len(query) < length {
+			r := zs.rank()
+			var term string
+			if rng.Float64() < cfg.Correlation {
+				term = vocabByDFRank[r]
+			} else {
+				term = shuffled[r]
+			}
+			if _, dup := seen[term]; dup {
+				continue
+			}
+			seen[term] = struct{}{}
+			query = append(query, term)
+			log.TermFreq[term]++
+		}
+		log.Queries = append(log.Queries, query)
+	}
+	return log
+}

@@ -1,0 +1,261 @@
+package dht
+
+import (
+	"fmt"
+	"sync"
+
+	"zerber/internal/auth"
+	"zerber/internal/field"
+	"zerber/internal/merging"
+	"zerber/internal/posting"
+	"zerber/internal/server"
+	"zerber/internal/transport"
+)
+
+// Slot is one share slot: the set of physical nodes that jointly store
+// the shares evaluated at one public x-coordinate, partitioned by a
+// consistent-hashing ring. Slot implements transport.API, so a Zerber
+// peer or client can use a Slot wherever it would use a monolithic
+// index server.
+type Slot struct {
+	x    field.Element
+	ring *Ring
+
+	mu    sync.RWMutex
+	nodes map[string]*server.Server
+}
+
+var _ transport.API = (*Slot)(nil)
+
+// NewSlot creates an empty slot for the given x-coordinate.
+func NewSlot(x field.Element, vnodesPerNode int) (*Slot, error) {
+	if x == 0 {
+		return nil, fmt.Errorf("dht: x-coordinate 0 is reserved for the secret")
+	}
+	return &Slot{
+		x:     x,
+		ring:  NewRing(vnodesPerNode),
+		nodes: make(map[string]*server.Server),
+	}, nil
+}
+
+// AddNode joins a physical node to the slot. The node's server must be
+// configured with the slot's x-coordinate (shares are bound to x, not to
+// boxes). Lists the new node now owns are migrated from their previous
+// owners.
+func (s *Slot) AddNode(name string, srv *server.Server) error {
+	if srv.XCoord() != s.x {
+		return fmt.Errorf("dht: node %s has x=%d, slot requires x=%d", name, srv.XCoord(), s.x)
+	}
+	s.mu.Lock()
+	if _, dup := s.nodes[name]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("dht: node %s already in slot", name)
+	}
+	s.nodes[name] = srv
+	s.ring.AddNode(name)
+	s.mu.Unlock()
+	return s.rebalance()
+}
+
+// RemoveNode leaves a node from the slot, first migrating its lists to
+// the remaining owners. Removing the last node fails: its data would be
+// lost.
+func (s *Slot) RemoveNode(name string) error {
+	s.mu.Lock()
+	leaving, ok := s.nodes[name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("dht: node %s not in slot", name)
+	}
+	if len(s.nodes) == 1 {
+		s.mu.Unlock()
+		return fmt.Errorf("dht: cannot remove the last node of a slot")
+	}
+	delete(s.nodes, name)
+	s.ring.RemoveNode(name)
+	s.mu.Unlock()
+
+	// Hand the leaving node's shares to their new owners.
+	return s.migrateFrom(leaving)
+}
+
+// rebalance moves every stored list to its current ring owner; called
+// after membership changes.
+func (s *Slot) rebalance() error {
+	s.mu.RLock()
+	nodes := make(map[string]*server.Server, len(s.nodes))
+	for n, srv := range s.nodes {
+		nodes[n] = srv
+	}
+	s.mu.RUnlock()
+	for name, srv := range nodes {
+		if err := s.migrateMisplaced(name, srv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// migrateMisplaced moves lists that no longer belong on srv.
+func (s *Slot) migrateMisplaced(name string, srv *server.Server) error {
+	for lid := range srv.ListLengths() {
+		owner, err := s.ring.OwnerOfList(lid)
+		if err != nil {
+			return err
+		}
+		if owner == name {
+			continue
+		}
+		if err := s.moveList(srv, owner, lid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// migrateFrom moves all lists off a (removed) node.
+func (s *Slot) migrateFrom(leaving *server.Server) error {
+	for lid := range leaving.ListLengths() {
+		owner, err := s.ring.OwnerOfList(lid)
+		if err != nil {
+			return err
+		}
+		if err := s.moveList(leaving, owner, lid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// moveList transplants one merged posting list between nodes using the
+// trusted migration path (node-to-node transfer inside one slot; the
+// shares stay encrypted throughout — migration never sees plaintext).
+func (s *Slot) moveList(from *server.Server, toName string, lid merging.ListID) error {
+	s.mu.RLock()
+	to := s.nodes[toName]
+	s.mu.RUnlock()
+	if to == nil {
+		return fmt.Errorf("dht: migration target %s vanished", toName)
+	}
+	shares := from.RawList(lid)
+	if err := to.IngestMigrated(lid, shares); err != nil {
+		return err
+	}
+	return from.DropList(lid)
+}
+
+// XCoord returns the slot's public x-coordinate.
+func (s *Slot) XCoord() field.Element { return s.x }
+
+// Insert routes each op to the node owning its posting list.
+func (s *Slot) Insert(tok auth.Token, ops []transport.InsertOp) error {
+	grouped, err := s.groupInsert(ops)
+	if err != nil {
+		return err
+	}
+	for name, nodeOps := range grouped {
+		s.mu.RLock()
+		srv := s.nodes[name]
+		s.mu.RUnlock()
+		if srv == nil {
+			return fmt.Errorf("dht: owner %s vanished", name)
+		}
+		if err := srv.Insert(tok, nodeOps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete routes each op to the node owning its posting list.
+func (s *Slot) Delete(tok auth.Token, ops []transport.DeleteOp) error {
+	grouped := make(map[string][]transport.DeleteOp)
+	for _, op := range ops {
+		owner, err := s.ring.OwnerOfList(op.List)
+		if err != nil {
+			return err
+		}
+		grouped[owner] = append(grouped[owner], op)
+	}
+	for name, nodeOps := range grouped {
+		s.mu.RLock()
+		srv := s.nodes[name]
+		s.mu.RUnlock()
+		if srv == nil {
+			return fmt.Errorf("dht: owner %s vanished", name)
+		}
+		if err := srv.Delete(tok, nodeOps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GetPostingLists fans the request to the owners of the requested lists
+// and merges the responses.
+func (s *Slot) GetPostingLists(tok auth.Token, lists []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error) {
+	grouped := make(map[string][]merging.ListID)
+	for _, lid := range lists {
+		owner, err := s.ring.OwnerOfList(lid)
+		if err != nil {
+			return nil, err
+		}
+		grouped[owner] = append(grouped[owner], lid)
+	}
+	out := make(map[merging.ListID][]posting.EncryptedShare, len(lists))
+	for name, nodeLists := range grouped {
+		s.mu.RLock()
+		srv := s.nodes[name]
+		s.mu.RUnlock()
+		if srv == nil {
+			return nil, fmt.Errorf("dht: owner %s vanished", name)
+		}
+		part, err := srv.GetPostingLists(tok, nodeLists)
+		if err != nil {
+			return nil, err
+		}
+		for lid, shares := range part {
+			out[lid] = shares
+		}
+	}
+	return out, nil
+}
+
+func (s *Slot) groupInsert(ops []transport.InsertOp) (map[string][]transport.InsertOp, error) {
+	grouped := make(map[string][]transport.InsertOp)
+	for _, op := range ops {
+		owner, err := s.ring.OwnerOfList(op.List)
+		if err != nil {
+			return nil, err
+		}
+		grouped[owner] = append(grouped[owner], op)
+	}
+	return grouped, nil
+}
+
+// NumNodes returns the number of physical nodes in the slot.
+func (s *Slot) NumNodes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.nodes)
+}
+
+// Node returns a physical node by name (for instrumentation).
+func (s *Slot) Node(name string) (*server.Server, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	srv, ok := s.nodes[name]
+	return srv, ok
+}
+
+// ListDistribution returns, per node, how many lists it currently holds.
+func (s *Slot) ListDistribution() map[string]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]int, len(s.nodes))
+	for name, srv := range s.nodes {
+		out[name] = len(srv.ListLengths())
+	}
+	return out
+}

@@ -1,0 +1,283 @@
+package durable_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"zerber/internal/auth"
+	"zerber/internal/client"
+	"zerber/internal/confidential"
+	"zerber/internal/durable"
+	"zerber/internal/field"
+	"zerber/internal/merging"
+	"zerber/internal/peer"
+	pkgposting "zerber/internal/posting"
+	"zerber/internal/server"
+	"zerber/internal/transport"
+	"zerber/internal/vocab"
+	"zerber/internal/wal"
+)
+
+type env struct {
+	dir    string
+	svc    *auth.Service
+	groups *auth.GroupTable
+	table  *merging.Table
+	voc    *vocab.Vocabulary
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	svc, err := auth.NewService(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := auth.NewGroupTable()
+	groups.Add("alice", 1)
+	dfs := map[string]int{"martha": 5, "imclone": 4, "layoff": 3, "budget": 2, "merger": 1}
+	dist, err := confidential.NewDistribution(dfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := merging.Build(dist, merging.Options{Heuristic: merging.UDM, M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{
+		dir:    t.TempDir(),
+		svc:    svc,
+		groups: groups,
+		table:  table,
+		voc:    vocab.NewFromTerms(table.ListedTerms()),
+	}
+}
+
+func (e *env) open(t *testing.T, i int) *durable.Server {
+	t.Helper()
+	s, err := durable.Open(server.Config{
+		Name: fmt.Sprintf("dx%d", i), X: field.Element(i + 1), Auth: e.svc, Groups: e.groups,
+	}, filepath.Join(e.dir, fmt.Sprintf("ix%d.wal", i)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCrashRecoveryEndToEnd(t *testing.T) {
+	e := newEnv(t)
+	tok := e.svc.Issue("alice")
+
+	// Phase 1: a 3-server durable cluster indexes documents, then
+	// "crashes" (we just close the logs and drop the servers).
+	servers := []*durable.Server{e.open(t, 0), e.open(t, 1), e.open(t, 2)}
+	apis := []transport.API{servers[0], servers[1], servers[2]}
+	p, err := peer.New(peer.Config{
+		Name: "site", Servers: apis, K: 2, Table: e.table, Vocab: e.voc,
+		Rand: rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.IndexDocument(tok, peer.Document{ID: 1, Content: "martha imclone layoff", Group: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.IndexDocument(tok, peer.Document{ID: 2, Content: "budget merger", Group: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DeleteDocument(tok, 2); err != nil {
+		t.Fatal(err)
+	}
+	wantElements := servers[0].Inner().TotalElements()
+	for _, s := range servers {
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Phase 2: restart from the logs; state and search must be intact.
+	revived := []*durable.Server{e.open(t, 0), e.open(t, 1), e.open(t, 2)}
+	for i, s := range revived {
+		if s.Recovered == 0 {
+			t.Fatalf("server %d recovered nothing", i)
+		}
+		if got := s.Inner().TotalElements(); got != wantElements {
+			t.Fatalf("server %d has %d elements after recovery, want %d", i, got, wantElements)
+		}
+	}
+	cl, err := client.New([]transport.API{revived[0], revived[1], revived[2]}, 2, e.table, e.voc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := cl.Search(tok, []string{"martha"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].DocID != 1 {
+		t.Fatalf("post-recovery search = %v", res)
+	}
+	res, _, err = cl.Search(tok, []string{"budget"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatal("deleted document resurrected by recovery")
+	}
+}
+
+func TestTornWriteRecovery(t *testing.T) {
+	e := newEnv(t)
+	tok := e.svc.Issue("alice")
+	s := e.open(t, 0)
+	if err := s.Insert(tok, []transport.InsertOp{
+		{List: 1, Share: sh(1, 100)},
+		{List: 1, Share: sh(2, 200)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash mid-append: garbage half-record at the tail.
+	path := filepath.Join(e.dir, "ix0.wal")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, wal.RecordSize-5)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	revived := e.open(t, 0)
+	if revived.Recovered != 2 {
+		t.Fatalf("recovered %d records, want 2", revived.Recovered)
+	}
+	if revived.Inner().TotalElements() != 2 {
+		t.Fatalf("elements = %d", revived.Inner().TotalElements())
+	}
+	// The server accepts new writes after torn-tail truncation.
+	if err := revived.Insert(tok, []transport.InsertOp{{List: 2, Share: sh(3, 300)}}); err != nil {
+		t.Fatal(err)
+	}
+	revived.Close()
+	again := e.open(t, 0)
+	if again.Recovered != 3 {
+		t.Fatalf("after torn recovery + append: recovered %d, want 3", again.Recovered)
+	}
+}
+
+func TestUnauthorizedWritesNeverLogged(t *testing.T) {
+	e := newEnv(t)
+	s := e.open(t, 0)
+	bad := auth.Token("garbage")
+	if err := s.Insert(bad, []transport.InsertOp{{List: 1, Share: sh(1, 1)}}); err == nil {
+		t.Fatal("unauthorized insert succeeded")
+	}
+	// Cross-group insert is also rejected before logging.
+	tok := e.svc.Issue("alice")
+	foreign := pkgposting.EncryptedShare{GlobalID: 7, Group: 99, Y: 1}
+	if err := s.Insert(tok, []transport.InsertOp{{List: 1, Share: foreign}}); err == nil {
+		t.Fatal("cross-group insert succeeded")
+	}
+	s.Close()
+	revived := e.open(t, 0)
+	if revived.Recovered != 0 {
+		t.Fatalf("rejected writes leaked into the log: %d records", revived.Recovered)
+	}
+}
+
+func TestDeleteOfMissingElementStillLogged(t *testing.T) {
+	// A delete that races a crash may replay against state where the
+	// element is already gone; idempotency requires logging it anyway.
+	e := newEnv(t)
+	tok := e.svc.Issue("alice")
+	s := e.open(t, 0)
+	if err := s.Insert(tok, []transport.InsertOp{{List: 1, Share: sh(1, 1)}}); err != nil {
+		t.Fatal(err)
+	}
+	// Delete both an existing and a missing element.
+	err := s.Delete(tok, []transport.DeleteOp{{List: 1, ID: 1}, {List: 1, ID: 999}})
+	if err == nil {
+		t.Fatal("expected ErrNotFound for the missing element")
+	}
+	s.Close()
+	revived := e.open(t, 0)
+	if revived.Inner().TotalElements() != 0 {
+		t.Fatal("recovered state should have no elements")
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	e := newEnv(t)
+	tok := e.svc.Issue("alice")
+	s := e.open(t, 0)
+	path := filepath.Join(e.dir, "ix0.wal")
+
+	// Churn: insert 50 elements, delete 40 — the log holds 90 records
+	// but only 10 live elements.
+	for i := 0; i < 50; i++ {
+		if err := s.Insert(tok, []transport.InsertOp{{List: merging.ListID(i % 3), Share: sh(uint64(i), uint64(i)*7)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		if err := s.Delete(tok, []transport.DeleteOp{{List: merging.ListID(i % 3), ID: pkgposting.GlobalID(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(path); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Errorf("compaction did not shrink the log: %d -> %d", before.Size(), after.Size())
+	}
+	if after.Size() != 10*wal.RecordSize {
+		t.Errorf("compacted log is %d bytes, want %d (10 live elements)", after.Size(), 10*wal.RecordSize)
+	}
+	// The compacted log still accepts writes...
+	if err := s.Insert(tok, []transport.InsertOp{{List: 9, Share: sh(999, 999)}}); err != nil {
+		t.Fatal(err)
+	}
+	wantElements := s.Inner().TotalElements()
+	s.Close()
+	// ...and recovery from it reproduces the exact state.
+	revived := e.open(t, 0)
+	if revived.Recovered != 11 {
+		t.Errorf("recovered %d records, want 11", revived.Recovered)
+	}
+	if got := revived.Inner().TotalElements(); got != wantElements {
+		t.Errorf("recovered %d elements, want %d", got, wantElements)
+	}
+	for i := 40; i < 50; i++ {
+		lid := merging.ListID(i % 3)
+		found := false
+		for _, share := range revived.Inner().RawList(lid) {
+			if share.GlobalID == pkgposting.GlobalID(i) && share.Y == field.New(uint64(i)*7) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("live element %d lost or corrupted by compaction", i)
+		}
+	}
+}
+
+func sh(gid uint64, y uint64) pkgposting.EncryptedShare {
+	return pkgposting.EncryptedShare{
+		GlobalID: pkgposting.GlobalID(gid),
+		Group:    1,
+		Y:        field.New(y),
+	}
+}

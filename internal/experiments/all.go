@@ -1,0 +1,96 @@
+package experiments
+
+import "fmt"
+
+// All runs every experiment in paper order.
+func (e *Env) All() ([]*Report, error) {
+	var out []*Report
+	add := func(r *Report, err error) error {
+		if err != nil {
+			return err
+		}
+		out = append(out, r)
+		return nil
+	}
+	out = append(out, e.Timing())
+	out = append(out, e.Fig5())
+	out = append(out, e.Fig6())
+	out = append(out, e.Fig7())
+	if err := add(e.Table1()); err != nil {
+		return nil, fmt.Errorf("table1: %w", err)
+	}
+	if err := add(e.Fig8()); err != nil {
+		return nil, fmt.Errorf("fig8: %w", err)
+	}
+	if err := add(e.Fig9()); err != nil {
+		return nil, fmt.Errorf("fig9: %w", err)
+	}
+	if err := add(e.Fig10()); err != nil {
+		return nil, fmt.Errorf("fig10: %w", err)
+	}
+	if err := add(e.Fig11()); err != nil {
+		return nil, fmt.Errorf("fig11: %w", err)
+	}
+	if err := add(e.Fig12()); err != nil {
+		return nil, fmt.Errorf("fig12: %w", err)
+	}
+	out = append(out, e.Storage())
+	if err := add(e.Bandwidth()); err != nil {
+		return nil, fmt.Errorf("bandwidth: %w", err)
+	}
+	out = append(out, e.MuServ())
+	if err := add(e.QueryInference()); err != nil {
+		return nil, fmt.Errorf("queryconf: %w", err)
+	}
+	if err := add(e.BatchingAblation()); err != nil {
+		return nil, fmt.Errorf("batching: %w", err)
+	}
+	return out, nil
+}
+
+// ByID returns the experiment runner for a command-line identifier.
+func (e *Env) ByID(id string) (*Report, error) {
+	switch id {
+	case "timing":
+		return e.Timing(), nil
+	case "fig5":
+		return e.Fig5(), nil
+	case "fig6":
+		return e.Fig6(), nil
+	case "fig7":
+		return e.Fig7(), nil
+	case "table1":
+		return e.Table1()
+	case "fig8":
+		return e.Fig8()
+	case "fig9":
+		return e.Fig9()
+	case "fig10":
+		return e.Fig10()
+	case "fig11":
+		return e.Fig11()
+	case "fig12":
+		return e.Fig12()
+	case "storage":
+		return e.Storage(), nil
+	case "bandwidth":
+		return e.Bandwidth()
+	case "muserv":
+		return e.MuServ(), nil
+	case "queryconf":
+		return e.QueryInference()
+	case "batching":
+		return e.BatchingAblation()
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q (want one of %v)", id, IDs())
+	}
+}
+
+// IDs lists the valid experiment identifiers in paper order.
+func IDs() []string {
+	return []string{
+		"timing", "fig5", "fig6", "fig7", "table1", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "storage", "bandwidth", "muserv",
+		"queryconf", "batching",
+	}
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"zerber/internal/confidential"
+	"zerber/internal/merging"
+)
+
+// Table1 regenerates paper Table 1: the resulting 1/r value (formula (7))
+// for BFM/DFM versus UDM at the four list counts.
+func (e *Env) Table1() (*Report, error) {
+	r := &Report{
+		ID:     "Table 1",
+		Title:  "r-parameter value for 3 merging heuristics",
+		Header: []string{"# posting lists", "1/r for DFM", "1/r for BFM", "1/r for UDM"},
+	}
+	ms, labels := e.MValues()
+	for i, m := range ms {
+		dfm, err := e.buildDFM(m)
+		if err != nil {
+			return nil, err
+		}
+		bfm, err := e.BFMWithTargetM(m)
+		if err != nil {
+			return nil, err
+		}
+		udm, err := e.buildUDM(m)
+		if err != nil {
+			return nil, err
+		}
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%d (%s)", m, labels[i]),
+			f(dfm.MinMass()),
+			fmt.Sprintf("%s (M=%d)", f(bfm.MinMass()), bfm.M()),
+			f(udm.MinMass()),
+		})
+	}
+	r.Notes = append(r.Notes,
+		"paper shape: BFM and DFM produce (nearly) the same 1/r; UDM's 1/r is smaller (less confidentiality)",
+		"paper values at full scale: 9.30e-4 / 4.45e-4 / 2.07e-4 / 1.609e-5 for BFM-DFM")
+	return r, nil
+}
+
+// Fig8 regenerates the correlation between r and the number of merged
+// posting lists M for BFM/DFM on the ODP-like corpus (paper Fig. 8).
+func (e *Env) Fig8() (*Report, error) {
+	r := &Report{
+		ID:     "Fig. 8",
+		Title:  "Correlation between r and M (ODP & BFM/DFM)",
+		Header: []string{"M (lists)", "resulting r", "1/r"},
+	}
+	v := len(e.Ranked)
+	prev := 0.0
+	for _, frac := range []int{2048, 1024, 512, 256, 128, 64, 30} {
+		m := v / frac
+		if m < 2 {
+			continue
+		}
+		tab, err := e.buildDFM(m)
+		if err != nil {
+			return nil, err
+		}
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%d", m), f(tab.RValue()), f(tab.MinMass()),
+		})
+		if tab.RValue() < prev {
+			r.Notes = append(r.Notes, fmt.Sprintf("WARNING: r not monotone at M=%d", m))
+		}
+		prev = tab.RValue()
+	}
+	r.Notes = append(r.Notes,
+		"paper shape: r grows (confidentiality decreases) as M increases, following the Zipf distribution")
+	return r, nil
+}
+
+// Fig9 regenerates the per-term probability amplification under 1,024
+// (equivalent) posting lists for DFM versus UDM (paper Fig. 9),
+// summarized over the top 1,000 terms.
+func (e *Env) Fig9() (*Report, error) {
+	ms, _ := e.MValues()
+	m := ms[0] // the 1K-equivalent index
+	dfm, err := e.buildDFM(m)
+	if err != nil {
+		return nil, err
+	}
+	udm, err := e.buildUDM(m)
+	if err != nil {
+		return nil, err
+	}
+
+	top := e.Ranked
+	if len(top) > 1000 {
+		top = top[:1000]
+	}
+	// Per-term amplification = 1 / (mass of the term's merged list).
+	ampFor := func(tab *merging.Table) []float64 {
+		// Precompute list masses over the whole vocabulary.
+		mass := make(map[merging.ListID]float64)
+		for _, term := range e.Ranked {
+			mass[tab.ListOf(term)] += e.Dist.P(term)
+		}
+		out := make([]float64, len(top))
+		for i, term := range top {
+			out[i] = confidential.Amplification(mass[tab.ListOf(term)])
+		}
+		return out
+	}
+	dfmAmp := sortedCopy(ampFor(dfm))
+	udmAmp := sortedCopy(ampFor(udm))
+
+	r := &Report{
+		ID:     "Fig. 9",
+		Title:  fmt.Sprintf("Term probability amplification, %d lists (top-1000 terms)", m),
+		Header: []string{"heuristic", "min amp", "median amp", "p90 amp", "max amp"},
+	}
+	row := func(name string, a []float64) {
+		r.Rows = append(r.Rows, []string{
+			name, f(a[0]), f(percentile(a, 0.5)), f(percentile(a, 0.9)), f(a[len(a)-1]),
+		})
+	}
+	row("DFM", dfmAmp)
+	row("UDM", udmAmp)
+	r.Notes = append(r.Notes,
+		"paper shape: UDM exceeds DFM's r in places but is comparable on average and protects very common terms better (DFM gives top terms singleton lists with amplification 1/p_t)")
+	return r, nil
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"zerber/internal/workload"
+)
+
+// Fig5 regenerates the Stud-IP statistical profile (paper Fig. 5):
+// documents per group, cumulative uploads over the semester, users per
+// group, and documents accessible per user.
+func (e *Env) Fig5() *Report {
+	s := e.StudIP
+	r := &Report{
+		ID:     "Fig. 5",
+		Title:  "Stud IP statistical profile (synthetic)",
+		Header: []string{"series", "p10", "p50", "p90", "max"},
+	}
+
+	intSeries := func(name string, values []int) {
+		fs := make([]float64, len(values))
+		for i, v := range values {
+			fs[i] = float64(v)
+		}
+		sorted := sortedCopy(fs)
+		r.Rows = append(r.Rows, []string{
+			name,
+			f(percentile(sorted, 0.10)),
+			f(percentile(sorted, 0.50)),
+			f(percentile(sorted, 0.90)),
+			f(sorted[len(sorted)-1]),
+		})
+	}
+
+	perGroup := s.DocsPerGroup()
+	docs := make([]int, 0, len(perGroup))
+	for _, n := range perGroup {
+		docs = append(docs, n)
+	}
+	intSeries("(a) documents per group", docs)
+
+	users := make(map[uint32]int)
+	for _, groups := range s.Membership {
+		for _, g := range groups {
+			users[g]++
+		}
+	}
+	perGroupUsers := make([]int, 0, len(users))
+	for _, n := range users {
+		perGroupUsers = append(perGroupUsers, n)
+	}
+	intSeries("(c) users per group", perGroupUsers)
+	intSeries("(c') groups per user", s.GroupsPerUser())
+	intSeries("(d) documents accessible per user", s.DocsAccessiblePerUser())
+
+	cum := s.UploadsByDay()
+	quarter := cum[len(cum)/4]
+	half := cum[len(cum)/2]
+	final := cum[len(cum)-1]
+	r.Rows = append(r.Rows, []string{
+		"(b) cumulative uploads (25%/50%/100% of semester)",
+		f(float64(quarter)), f(float64(half)), "-", f(float64(final)),
+	})
+	r.Notes = append(r.Notes,
+		"paper shape: most users in <=20 groups, <200 accessible documents, uploads grow uniformly",
+		fmt.Sprintf("snapshot: %d docs, %d courses, %d users",
+			len(s.Docs), s.Config.Courses, s.Config.Users))
+	return r
+}
+
+// Fig6 regenerates the cumulative query workload cost curve (paper
+// Fig. 6): terms in descending query-frequency order versus the
+// cumulative share of the total (unmerged) workload cost.
+func (e *Env) Fig6() *Report {
+	terms, cum := workload.CumulativeWorkload(e.Stats)
+	r := &Report{
+		ID:     "Fig. 6",
+		Title:  "Cumulative query workload cost vs term rank",
+		Header: []string{"term rank (by query freq)", "cumulative workload share"},
+	}
+	marks := []float64{0.0001, 0.001, 0.01, 0.1, 0.5, 1.0}
+	for _, m := range marks {
+		idx := int(m * float64(len(terms)-1))
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%d (top %.2f%%)", idx+1, 100*float64(idx+1)/float64(len(terms))),
+			f(cum[idx]),
+		})
+	}
+	r.Notes = append(r.Notes,
+		"paper shape: the most frequent queries constitute nearly the whole workload",
+		fmt.Sprintf("log: %d queries, %d distinct terms, mean %.2f terms/query",
+			len(e.Log.Queries), len(e.Log.TermFreq), e.Log.MeanQueryLength()))
+	return r
+}
+
+// Fig7 regenerates the r-parameter selection plot (paper Fig. 7): the
+// term occurrence probability distribution with the 1/r lines for the
+// four list counts, plus the fraction of terms above each line (the
+// terms DFM/BFM give singleton lists).
+func (e *Env) Fig7() *Report {
+	probs := make([]float64, len(e.Ranked))
+	for i, term := range e.Ranked {
+		probs[i] = e.Dist.P(term)
+	}
+	r := &Report{
+		ID:     "Fig. 7",
+		Title:  "Term probability distribution and 1/r lines (ODP-like)",
+		Header: []string{"M (lists)", "1/r line (=1/M)", "terms above line", "% of vocab"},
+	}
+	ms, labels := e.MValues()
+	for i, m := range ms {
+		line := 1.0 / float64(m)
+		above := sort.Search(len(probs), func(j int) bool { return probs[j] < line })
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%s (M=%d)", labels[i], m),
+			f(line),
+			fmt.Sprintf("%d", above),
+			fmt.Sprintf("%.2f%%", 100*float64(above)/float64(len(probs))),
+		})
+	}
+	// Distribution shape summary (the Zipf curve itself).
+	r.Rows = append(r.Rows, []string{"p_t at rank 1", f(probs[0]), "", ""})
+	r.Rows = append(r.Rows, []string{"p_t at rank 10%", f(probs[len(probs)/10]), "", ""})
+	r.Rows = append(r.Rows, []string{"p_t at median rank", f(probs[len(probs)/2]), "", ""})
+	r.Notes = append(r.Notes,
+		"paper shape: Zipfian; with the 32K index ~1.83% of terms sit above the line and keep singleton lists")
+	return r
+}

@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"zerber/internal/bloom"
+	"zerber/internal/field"
+	"zerber/internal/invindex"
+	"zerber/internal/muserv"
+	"zerber/internal/netsim"
+	"zerber/internal/posting"
+	"zerber/internal/shamir"
+)
+
+// Timing regenerates the §5.1 micro-measurements: splitting a document
+// with 5,000 distinct terms (paper: ~33 ms per server on a 2007 laptop)
+// and decrypting posting elements (paper: 700 elements per ms).
+func (e *Env) Timing() *Report {
+	rng := rand.New(rand.NewSource(e.Cfg.Seed))
+	const terms = 5000
+	k, n := 2, 3
+	xs := []field.Element{1, 2, 3}
+
+	// Encryption: split 5,000 element secrets.
+	secrets := make([]field.Element, terms)
+	for i := range secrets {
+		secrets[i] = posting.Element{
+			DocID: uint32(i % posting.MaxDocID), TermID: uint32(i % posting.MaxTermID), TF: 1,
+		}.MustEncode()
+	}
+	start := time.Now()
+	allShares := make([][]shamir.Share, terms)
+	for i, s := range secrets {
+		shares, err := shamir.Split(s, k, xs, rng)
+		if err != nil {
+			panic(err) // deterministic inputs; cannot fail
+		}
+		allShares[i] = shares
+	}
+	encTotal := time.Since(start)
+	perServer := encTotal / time.Duration(n)
+
+	// Decryption throughput, using the precomputed-basis fast path the
+	// client uses for same-server batches.
+	rec, err := shamir.NewReconstructor(xs[:k])
+	if err != nil {
+		panic(err)
+	}
+	ys := make([]field.Element, k)
+	start = time.Now()
+	for _, shares := range allShares {
+		for i := 0; i < k; i++ {
+			ys[i] = shares[i].Y
+		}
+		if _, err := rec.Reconstruct(ys); err != nil {
+			panic(err)
+		}
+	}
+	decTotal := time.Since(start)
+	perMs := float64(terms) / (float64(decTotal.Microseconds()) / 1000)
+
+	r := &Report{
+		ID:     "§5.1 timing",
+		Title:  "Secret sharing micro-benchmarks (k=2, n=3)",
+		Header: []string{"operation", "measured", "paper (2007 hardware)"},
+	}
+	r.Rows = append(r.Rows, []string{
+		"split 5,000-term document (per server)",
+		fmt.Sprintf("%.2f ms", float64(perServer.Microseconds())/1000),
+		"~33 ms",
+	})
+	r.Rows = append(r.Rows, []string{
+		"decrypt throughput",
+		fmt.Sprintf("%.0f elements/ms", perMs),
+		"700 elements/ms",
+	})
+	r.Notes = append(r.Notes, "absolute numbers depend on hardware; the paper's point is that both costs are negligible per document/query")
+	return r
+}
+
+// Storage regenerates the §7.2 storage-overhead accounting by actually
+// materializing both indexes over a corpus sample.
+func (e *Env) Storage() *Report {
+	sample := e.ODP.Docs
+	if len(sample) > 2000 {
+		sample = sample[:2000]
+	}
+	plain := invindex.New()
+	elements := 0
+	for _, d := range sample {
+		plain.Add(d.ID, d.Counts)
+		elements += len(d.Counts)
+	}
+	n := 3
+	plainBytes := plain.StorageBytes()
+	zerberPerServer := elements * posting.WireBytes
+	r := &Report{
+		ID:     "§7.2 storage",
+		Title:  "Storage overhead vs ordinary inverted index",
+		Header: []string{"quantity", "value"},
+	}
+	r.Rows = append(r.Rows, []string{"posting elements (both systems)", fmt.Sprintf("%d", elements)})
+	r.Rows = append(r.Rows, []string{"ordinary index bytes", fmt.Sprintf("%d", plainBytes)})
+	compressed := plain.CompressedBytes()
+	r.Rows = append(r.Rows, []string{
+		"ordinary index compressed (delta+varint)",
+		fmt.Sprintf("%d (%.2fx)", compressed, float64(plainBytes)/float64(compressed)),
+	})
+	r.Rows = append(r.Rows, []string{"Zerber bytes per server", fmt.Sprintf("%d", zerberPerServer)})
+	r.Rows = append(r.Rows, []string{
+		"Zerber compressed", "≈ uncompressed (shares are uniform in Z_p; §7.3: compression ineffective)",
+	})
+	r.Rows = append(r.Rows, []string{
+		"per-server overhead factor",
+		f(float64(zerberPerServer) / float64(plainBytes)),
+	})
+	r.Rows = append(r.Rows, []string{
+		fmt.Sprintf("total overhead factor (n=%d)", n),
+		f(float64(n*zerberPerServer) / float64(plainBytes)),
+	})
+	r.Rows = append(r.Rows, []string{
+		"paper accounting (1.5 per server, 1.5n total)",
+		fmt.Sprintf("%.1f / %.1f", netsim.StorageOverheadFactor, netsim.StorageOverheadTotal(n)),
+	})
+	r.Notes = append(r.Notes,
+		"element counts are identical; the constant factor differs from the paper's 1.5 because our baseline stores a tight 6-byte element while production indexes (the paper's baseline) store positions and skip data — the shape (constant per-server factor × n replication) is what matters")
+	return r
+}
+
+// Bandwidth regenerates the §7.3 network calculations, combining the
+// paper's intranet model with the measured response sizes of the scaled
+// index.
+func (e *Env) Bandwidth() (*Report, error) {
+	// Measured elements per query term on the scaled DFM 32K-equivalent
+	// index: average merged-list length weighted by query frequency.
+	ms, _ := e.MValues()
+	tab, err := e.buildDFM(ms[len(ms)-1])
+	if err != nil {
+		return nil, err
+	}
+	lengths := make(map[uint32]int)
+	for term, df := range e.Stats.DocFreq {
+		lengths[uint32(tab.ListOf(term))] += df
+	}
+	var weighted, totalQ float64
+	for term, qf := range e.Stats.QueryFreq {
+		if qf == 0 {
+			continue
+		}
+		weighted += float64(lengths[uint32(tab.ListOf(term))]) * float64(qf)
+		totalQ += float64(qf)
+	}
+	measuredElems := int(weighted / totalQ)
+
+	r := &Report{
+		ID:     "§7.3 bandwidth",
+		Title:  "Network bandwidth model (55 Mb/s client, 100 Mb/s server, 2-of-3 sharing)",
+		Header: []string{"quantity", "scaled corpus", "paper (ODP full scale)"},
+	}
+	scaled := netsim.QueryCost{ElementsPerTerm: measuredElems, Terms: e.Log.MeanQueryLength(), K: 2}
+	paper := netsim.QueryCost{ElementsPerTerm: netsim.MeanElementsPerTerm, Terms: netsim.MeanTermsPerQuery, K: 2}
+	r.Rows = append(r.Rows, []string{
+		"elements returned per query term",
+		fmt.Sprintf("%d", measuredElems),
+		fmt.Sprintf("%d", netsim.MeanElementsPerTerm),
+	})
+	r.Rows = append(r.Rows, []string{
+		"response per query term (KB)",
+		f(scaled.PerTermResponseBytes() / 1024),
+		f(paper.PerTermResponseBytes() / 1024),
+	})
+	r.Rows = append(r.Rows, []string{
+		"client queries/second",
+		f(scaled.ClientQueriesPerSecond(netsim.ClientLink)),
+		"~35",
+	})
+	r.Rows = append(r.Rows, []string{
+		"server queries/second",
+		f(scaled.ServerQueriesPerSecond(netsim.ServerLink)),
+		"~200",
+	})
+	r.Rows = append(r.Rows, []string{
+		"top-10 response incl. snippets (KB)",
+		f((scaled.PerTermResponseBytes() + scaled.SnippetBytesTotal()) / 1024),
+		"24",
+	})
+	r.Rows = append(r.Rows, []string{
+		"insert bandwidth overhead (n=3)",
+		f(netsim.InsertionOverheadFactor(3)),
+		"1.5n = 4.5",
+	})
+	r.Rows = append(r.Rows, []string{
+		"vs Google top-10 (15 KB)",
+		f((paper.PerTermResponseBytes() + paper.SnippetBytesTotal()) / float64(netsim.GoogleTop10Bytes)),
+		"1.6x",
+	})
+	return r, nil
+}
+
+// MuServ regenerates the §3 comparison against the μ-Serv baseline: the
+// site fan-out an imprecise Bloom-filter index forces on the user versus
+// Zerber's exact answers.
+func (e *Env) MuServ() *Report {
+	// Sites = ODP groups; each site's vocabulary is the union of its
+	// documents' terms.
+	siteTerms := make(map[uint32]map[string]struct{})
+	for _, d := range e.ODP.Docs {
+		m := siteTerms[d.Group]
+		if m == nil {
+			m = make(map[string]struct{})
+			siteTerms[d.Group] = m
+		}
+		for term := range d.Counts {
+			m[term] = struct{}{}
+		}
+	}
+	x := 0.05
+	ix := muserv.New(x)
+	for site, terms := range siteTerms {
+		list := make([]string, 0, len(terms))
+		for t := range terms {
+			list = append(list, t)
+		}
+		ix.AddSite(muserv.SiteID(site), list)
+	}
+
+	// Replay two workload slices: the raw query log (dominated by hot
+	// terms that genuinely exist at almost every site, where ANY index
+	// sends the user nearly everywhere) and the selective slice — terms
+	// at <= 3 sites — where the imprecision cost shows. The paper's
+	// "20 times as many sites" example is about exactly such selective
+	// queries.
+	replay := func(queries [][]string) (sugg, rel, falseV float64) {
+		var s, r, fv int
+		for _, q := range queries {
+			c := ix.Compare(q)
+			s += c.SitesSuggested
+			r += c.SitesRelevant
+			fv += c.FalseVisits
+		}
+		n := float64(len(queries))
+		return float64(s) / n, float64(r) / n, float64(fv) / n
+	}
+	sample := e.Log.Queries
+	if len(sample) > 2000 {
+		sample = sample[:2000]
+	}
+	// Selective slice: single-term queries over terms hosted at <= 3 sites.
+	siteCount := make(map[string]int)
+	for _, terms := range siteTerms {
+		for t := range terms {
+			siteCount[t]++
+		}
+	}
+	var selective [][]string
+	for _, term := range e.Ranked {
+		if c := siteCount[term]; c >= 1 && c <= 3 {
+			selective = append(selective, []string{term})
+			if len(selective) == 1000 {
+				break
+			}
+		}
+	}
+
+	r := &Report{
+		ID:     "§3 μ-Serv",
+		Title:  fmt.Sprintf("Zerber vs μ-Serv site fan-out (x=%.0f%%, %d sites)", x*100, ix.NumSites()),
+		Header: []string{"workload", "μ-Serv sites/query", "Zerber sites/query", "wasted visits", "fan-out ratio"},
+	}
+	addRow := func(name string, queries [][]string) {
+		if len(queries) == 0 {
+			return
+		}
+		sugg, rel, falseV := replay(queries)
+		ratio := "inf"
+		if rel > 0 {
+			ratio = f(sugg / rel)
+		}
+		r.Rows = append(r.Rows, []string{name, f(sugg), f(rel), f(falseV), ratio})
+	}
+	addRow(fmt.Sprintf("query log sample (%d queries)", len(sample)), sample)
+	addRow(fmt.Sprintf("selective terms at <=3 sites (%d queries)", len(selective)), selective)
+	r.Rows = append(r.Rows, []string{"paper reference at x=5%", "", "", "", "up to 20x"})
+	r.Notes = append(r.Notes,
+		"μ-Serv also lacks centralized ranking: users merge per-site rankings themselves",
+		fmt.Sprintf("Bloom sizing: per-site FP ≈ x (measured fill ratio sanity-checked in package bloom; filter example: %d bits for %d terms)",
+			bloom.NewForCapacity(1000, x).Bits(), 1000))
+	return r
+}

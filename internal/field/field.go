@@ -1,0 +1,157 @@
+// Package field implements arithmetic in the prime field Z_p with
+// p = 2^61 - 1 (a Mersenne prime).
+//
+// All Shamir secret-sharing operations in Zerber (paper §5.1) are carried
+// out in this field. The prime is chosen so that
+//
+//   - a whole posting element secret = [document_ID, term_ID, tf]
+//     (61 bits, see package posting) fits in a single field element,
+//     matching the paper's accounting of "each posting element is encoded
+//     using 64 bits";
+//   - reduction after multiplication is branch-light (Mersenne folding),
+//     so splitting a 5,000-term document stays in the low-millisecond
+//     range reported in §5.1.
+//
+// Elements are represented as uint64 values in the canonical range [0, p).
+package field
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/bits"
+)
+
+// P is the field modulus, the Mersenne prime 2^61 - 1.
+const P uint64 = 1<<61 - 1
+
+// Element is a member of Z_p, always kept in the canonical range [0, P).
+type Element uint64
+
+// ErrNotCanonical reports a uint64 that is outside [0, P).
+var ErrNotCanonical = errors.New("field: value out of canonical range [0, p)")
+
+// New reduces v into the field. Any uint64 is accepted; values at or above
+// P are folded by Mersenne reduction.
+func New(v uint64) Element {
+	// v = hi*2^61 + lo with hi < 2^3; fold once, then a conditional subtract.
+	v = (v >> 61) + (v & P)
+	if v >= P {
+		v -= P
+	}
+	return Element(v)
+}
+
+// Check validates that v is already canonical and converts it.
+func Check(v uint64) (Element, error) {
+	if v >= P {
+		return 0, ErrNotCanonical
+	}
+	return Element(v), nil
+}
+
+// Uint64 returns the canonical representative of e.
+func (e Element) Uint64() uint64 { return uint64(e) }
+
+// Add returns a + b mod p.
+func Add(a, b Element) Element {
+	s := uint64(a) + uint64(b) // < 2^62, no overflow
+	if s >= P {
+		s -= P
+	}
+	return Element(s)
+}
+
+// Sub returns a - b mod p.
+func Sub(a, b Element) Element {
+	d := uint64(a) - uint64(b)
+	if uint64(a) < uint64(b) {
+		d += P
+	}
+	return Element(d)
+}
+
+// Neg returns -a mod p.
+func Neg(a Element) Element {
+	if a == 0 {
+		return 0
+	}
+	return Element(P - uint64(a))
+}
+
+// Mul returns a * b mod p using a 128-bit product and Mersenne folding.
+func Mul(a, b Element) Element {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	// The product of two 61-bit values is < 2^122. Split it at bit 61:
+	//   product = high61 * 2^61 + low61, and 2^61 ≡ 1 (mod p).
+	low := lo & P
+	mid := lo>>61 | hi<<3 // bits [61, 122) of the product; < 2^61
+	s := low + mid
+	if s >= P {
+		s -= P
+	}
+	return Element(s)
+}
+
+// Square returns a * a mod p.
+func Square(a Element) Element { return Mul(a, a) }
+
+// Pow returns a^e mod p by binary exponentiation.
+func Pow(a Element, e uint64) Element {
+	result := Element(1)
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			result = Mul(result, base)
+		}
+		base = Square(base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse a^(p-2) mod p.
+// Inv(0) returns 0; callers that can receive zero must check first.
+func Inv(a Element) Element {
+	if a == 0 {
+		return 0
+	}
+	return Pow(a, P-2)
+}
+
+// Div returns a / b mod p. Division by zero returns 0.
+func Div(a, b Element) Element { return Mul(a, Inv(b)) }
+
+// Rand returns a uniformly random field element read from r.
+// If r is nil, crypto/rand.Reader is used. Sampling is by rejection so the
+// distribution is exactly uniform over [0, P).
+func Rand(r io.Reader) (Element, error) {
+	if r == nil {
+		r = rand.Reader
+	}
+	var buf [8]byte
+	for {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return 0, err
+		}
+		// Take 61 bits; rejection keeps uniformity.
+		v := binary.LittleEndian.Uint64(buf[:]) & ((1 << 61) - 1)
+		if v < P {
+			return Element(v), nil
+		}
+	}
+}
+
+// RandNonZero returns a uniformly random non-zero field element.
+func RandNonZero(r io.Reader) (Element, error) {
+	for {
+		e, err := Rand(r)
+		if err != nil {
+			return 0, err
+		}
+		if e != 0 {
+			return e, nil
+		}
+	}
+}

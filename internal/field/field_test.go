@@ -1,0 +1,301 @@
+package field
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// deterministic source for property tests.
+func detRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func randElem(r *rand.Rand) Element { return New(r.Uint64()) }
+
+func TestNewReduces(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want uint64
+	}{
+		{0, 0},
+		{1, 1},
+		{P - 1, P - 1},
+		{P, 0},
+		{P + 1, 1},
+		{2 * P, 0},
+		{^uint64(0), (^uint64(0) >> 61) + (^uint64(0) & P) - P},
+	}
+	for _, c := range cases {
+		if got := New(c.in).Uint64(); got != c.want {
+			t.Errorf("New(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCheck(t *testing.T) {
+	if _, err := Check(P); err == nil {
+		t.Error("Check(P) should fail")
+	}
+	if _, err := Check(P - 1); err != nil {
+		t.Errorf("Check(P-1) failed: %v", err)
+	}
+}
+
+func TestAddSubInverse(t *testing.T) {
+	r := detRand(1)
+	for i := 0; i < 1000; i++ {
+		a, b := randElem(r), randElem(r)
+		if got := Sub(Add(a, b), b); got != a {
+			t.Fatalf("(a+b)-b != a for a=%d b=%d: got %d", a, b, got)
+		}
+		if got := Add(a, Neg(a)); got != 0 {
+			t.Fatalf("a + (-a) != 0 for a=%d: got %d", a, got)
+		}
+	}
+}
+
+func TestMulCommutativeAssociativeDistributive(t *testing.T) {
+	r := detRand(2)
+	for i := 0; i < 500; i++ {
+		a, b, c := randElem(r), randElem(r), randElem(r)
+		if Mul(a, b) != Mul(b, a) {
+			t.Fatal("multiplication not commutative")
+		}
+		if Mul(Mul(a, b), c) != Mul(a, Mul(b, c)) {
+			t.Fatal("multiplication not associative")
+		}
+		if Mul(a, Add(b, c)) != Add(Mul(a, b), Mul(a, c)) {
+			t.Fatal("multiplication not distributive over addition")
+		}
+	}
+}
+
+func TestMulAgainstBigIntSemantics(t *testing.T) {
+	// Spot-check Mul against simple known identities near the modulus.
+	if got := Mul(Element(P-1), Element(P-1)); got != 1 {
+		// (p-1)^2 = p^2 - 2p + 1 ≡ 1 (mod p)
+		t.Errorf("(p-1)^2 = %d, want 1", got)
+	}
+	if got := Mul(Element(2), Element((P+1)/2)); got != 1 {
+		t.Errorf("2 * (p+1)/2 = %d, want 1", got)
+	}
+}
+
+func TestInv(t *testing.T) {
+	r := detRand(3)
+	for i := 0; i < 200; i++ {
+		a := randElem(r)
+		if a == 0 {
+			continue
+		}
+		if got := Mul(a, Inv(a)); got != 1 {
+			t.Fatalf("a * a^-1 != 1 for a=%d: got %d", a, got)
+		}
+	}
+	if Inv(0) != 0 {
+		t.Error("Inv(0) should return 0")
+	}
+}
+
+func TestDiv(t *testing.T) {
+	r := detRand(4)
+	for i := 0; i < 200; i++ {
+		a, b := randElem(r), randElem(r)
+		if b == 0 {
+			continue
+		}
+		q := Div(a, b)
+		if Mul(q, b) != a {
+			t.Fatalf("(a/b)*b != a for a=%d b=%d", a, b)
+		}
+	}
+}
+
+func TestPow(t *testing.T) {
+	if Pow(0, 0) != 1 {
+		t.Error("x^0 must be 1 (including 0^0 by convention here)")
+	}
+	if Pow(3, 1) != 3 {
+		t.Error("x^1 must be x")
+	}
+	// Fermat: a^(p-1) = 1 for a != 0.
+	r := detRand(5)
+	for i := 0; i < 50; i++ {
+		a := randElem(r)
+		if a == 0 {
+			continue
+		}
+		if Pow(a, P-1) != 1 {
+			t.Fatalf("Fermat's little theorem violated for a=%d", a)
+		}
+	}
+}
+
+func TestFieldAxiomsQuick(t *testing.T) {
+	// Property-based check of the core field axioms on arbitrary inputs.
+	additionCommutes := func(x, y uint64) bool {
+		a, b := New(x), New(y)
+		return Add(a, b) == Add(b, a)
+	}
+	if err := quick.Check(additionCommutes, nil); err != nil {
+		t.Error(err)
+	}
+	mulIdentity := func(x uint64) bool {
+		a := New(x)
+		return Mul(a, 1) == a && Mul(1, a) == a
+	}
+	if err := quick.Check(mulIdentity, nil); err != nil {
+		t.Error(err)
+	}
+	negNeg := func(x uint64) bool {
+		a := New(x)
+		return Neg(Neg(a)) == a
+	}
+	if err := quick.Check(negNeg, nil); err != nil {
+		t.Error(err)
+	}
+	canonical := func(x, y uint64) bool {
+		a, b := New(x), New(y)
+		return uint64(Add(a, b)) < P && uint64(Mul(a, b)) < P && uint64(Sub(a, b)) < P
+	}
+	if err := quick.Check(canonical, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandUniformRange(t *testing.T) {
+	r := detRand(6)
+	for i := 0; i < 1000; i++ {
+		e, err := Rand(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint64(e) >= P {
+			t.Fatalf("Rand produced non-canonical value %d", e)
+		}
+	}
+}
+
+func TestRandCryptoDefault(t *testing.T) {
+	e, err := Rand(nil) // uses crypto/rand
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(e) >= P {
+		t.Fatalf("Rand(nil) produced non-canonical value %d", e)
+	}
+}
+
+func TestRandNonZero(t *testing.T) {
+	// A reader of only zeros must exhaust without ever returning zero.
+	zeros := bytes.NewReader(make([]byte, 64))
+	if _, err := RandNonZero(zeros); err == nil {
+		t.Error("RandNonZero over an all-zero stream must fail, not return 0")
+	}
+	r := detRand(7)
+	for i := 0; i < 100; i++ {
+		e, err := RandNonZero(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e == 0 {
+			t.Fatal("RandNonZero returned zero")
+		}
+	}
+}
+
+func TestPolyEvalKnown(t *testing.T) {
+	// f(x) = 5 + 3x + 2x^2
+	p := Poly{5, 3, 2}
+	cases := []struct{ x, want uint64 }{
+		{0, 5},
+		{1, 10},
+		{2, 19},
+		{10, 235},
+	}
+	for _, c := range cases {
+		if got := p.Eval(Element(c.x)); got.Uint64() != c.want {
+			t.Errorf("f(%d) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestPolyEvalEmpty(t *testing.T) {
+	var p Poly
+	if p.Eval(7) != 0 {
+		t.Error("empty polynomial must evaluate to 0")
+	}
+	if p.Degree() != -1 {
+		t.Error("empty polynomial degree must be -1")
+	}
+}
+
+func TestNewRandomPoly(t *testing.T) {
+	r := detRand(8)
+	p, err := NewRandomPoly(42, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 4 {
+		t.Fatalf("len = %d, want 4", len(p))
+	}
+	if p[0] != 42 {
+		t.Fatalf("constant term = %d, want 42 (the secret)", p[0])
+	}
+	if p.Eval(0) != 42 {
+		t.Fatal("f(0) must equal the secret")
+	}
+	if _, err := NewRandomPoly(1, 0, r); err == nil {
+		t.Error("k=0 must be rejected")
+	}
+}
+
+func TestAddPoly(t *testing.T) {
+	a := Poly{1, 2, 3}
+	b := Poly{10, 20}
+	sum := AddPoly(a, b)
+	want := Poly{11, 22, 3}
+	if len(sum) != len(want) {
+		t.Fatalf("len = %d, want %d", len(sum), len(want))
+	}
+	for i := range want {
+		if sum[i] != want[i] {
+			t.Errorf("sum[%d] = %d, want %d", i, sum[i], want[i])
+		}
+	}
+	// Evaluation is linear: (a+b)(x) = a(x) + b(x).
+	r := detRand(9)
+	for i := 0; i < 100; i++ {
+		x := randElem(r)
+		if sum.Eval(x) != Add(a.Eval(x), b.Eval(x)) {
+			t.Fatal("polynomial addition must commute with evaluation")
+		}
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x, y := New(1234567891234567), New(9876543210987654)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = Mul(x, y)
+	}
+	_ = x
+}
+
+func BenchmarkInv(b *testing.B) {
+	x := New(1234567891234567)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Inv(x)
+	}
+}
+
+func BenchmarkPolyEval(b *testing.B) {
+	r := detRand(10)
+	p, _ := NewRandomPoly(42, 3, r)
+	x := randElem(r)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Eval(x)
+	}
+}

@@ -1,0 +1,70 @@
+package field
+
+import (
+	"errors"
+	"io"
+)
+
+// Poly is a polynomial over Z_p stored as coefficients in ascending degree
+// order: Poly{a0, a1, ..., a_{k-1}} represents a0 + a1*x + ... .
+// In Shamir's scheme (paper Algorithm 1a), a0 is the secret and the
+// remaining coefficients are random.
+type Poly []Element
+
+// ErrEmptyPoly reports evaluation of a zero-length polynomial.
+var ErrEmptyPoly = errors.New("field: empty polynomial")
+
+// NewRandomPoly builds a pseudo-random polynomial of degree k-1 with the
+// given constant term (the secret), drawing the remaining k-1 coefficients
+// from rng, exactly as Algorithm 1a step 1-2 prescribes.
+func NewRandomPoly(secret Element, k int, rng io.Reader) (Poly, error) {
+	if k < 1 {
+		return nil, errors.New("field: polynomial degree bound k must be >= 1")
+	}
+	p := make(Poly, k)
+	p[0] = secret
+	for i := 1; i < k; i++ {
+		c, err := Rand(rng)
+		if err != nil {
+			return nil, err
+		}
+		p[i] = c
+	}
+	return p, nil
+}
+
+// Eval evaluates the polynomial at x by Horner's rule.
+func (p Poly) Eval(x Element) Element {
+	if len(p) == 0 {
+		return 0
+	}
+	acc := p[len(p)-1]
+	for i := len(p) - 2; i >= 0; i-- {
+		acc = Add(Mul(acc, x), p[i])
+	}
+	return acc
+}
+
+// Degree returns the formal degree (len-1); -1 for the empty polynomial.
+func (p Poly) Degree() int { return len(p) - 1 }
+
+// AddPoly returns a + b coefficient-wise, used by proactive resharing where
+// a fresh zero-constant polynomial is added to the share polynomial.
+func AddPoly(a, b Poly) Poly {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make(Poly, n)
+	for i := range out {
+		var av, bv Element
+		if i < len(a) {
+			av = a[i]
+		}
+		if i < len(b) {
+			bv = b[i]
+		}
+		out[i] = Add(av, bv)
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package invindex
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodePostingsRoundTrip(t *testing.T) {
+	cases := [][]Posting{
+		nil,
+		{},
+		{{DocID: 0, TF: 0}},
+		{{DocID: 5, TF: 3}},
+		{{DocID: 1, TF: 1}, {DocID: 2, TF: 2}, {DocID: 1000000, TF: 65535}},
+		{{DocID: 7, TF: 9}, {DocID: 3, TF: 1}}, // unsorted input
+	}
+	for _, pl := range cases {
+		enc := EncodePostings(pl)
+		dec, err := DecodePostings(enc)
+		if err != nil {
+			t.Fatalf("%v: %v", pl, err)
+		}
+		if len(dec) != len(pl) {
+			t.Fatalf("%v: decoded %d postings", pl, len(dec))
+		}
+		// Decoded output is sorted by doc ID.
+		for i := 1; i < len(dec); i++ {
+			if dec[i].DocID < dec[i-1].DocID {
+				t.Fatalf("decoded list not sorted: %v", dec)
+			}
+		}
+		// Same multiset.
+		want := map[Posting]int{}
+		for _, p := range pl {
+			want[p]++
+		}
+		for _, p := range dec {
+			want[p]--
+		}
+		for p, n := range want {
+			if n != 0 {
+				t.Fatalf("posting %v count mismatch", p)
+			}
+		}
+	}
+}
+
+func TestEncodePostingsQuick(t *testing.T) {
+	f := func(raw []uint32) bool {
+		pl := make([]Posting, len(raw))
+		for i, v := range raw {
+			pl[i] = Posting{DocID: v, TF: uint16(v)}
+		}
+		dec, err := DecodePostings(EncodePostings(pl))
+		return err == nil && len(dec) == len(pl)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	enc := EncodePostings([]Posting{{DocID: 100, TF: 5}, {DocID: 200, TF: 6}})
+	// Truncations at every prefix length must fail or return fewer
+	// postings — never panic, never invent data.
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodePostings(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// A count claiming more postings than the payload holds must fail.
+	if _, err := DecodePostings([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x0F}); !errors.Is(err, ErrCorruptPostings) {
+		t.Errorf("huge count: %v", err)
+	}
+	if _, err := DecodePostings(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+}
+
+func TestCompressionShrinksDenseLists(t *testing.T) {
+	// A dense posting list (small doc-ID gaps) must compress well below
+	// the fixed 6-byte encoding.
+	var pl []Posting
+	for d := uint32(0); d < 10000; d++ {
+		pl = append(pl, Posting{DocID: d * 3, TF: uint16(1 + d%4)})
+	}
+	enc := EncodePostings(pl)
+	fixed := len(pl) * PlainElementBytes
+	if len(enc) >= fixed/2 {
+		t.Errorf("compressed %d bytes vs fixed %d; expected > 2x saving", len(enc), fixed)
+	}
+}
+
+func TestCompressedBytesOnIndex(t *testing.T) {
+	ix := New()
+	r := rand.New(rand.NewSource(1))
+	for d := uint32(1); d <= 500; d++ {
+		ix.Add(d, map[string]int{"common": 1, "other": 1 + r.Intn(3)})
+	}
+	comp := ix.CompressedBytes()
+	raw := ix.StorageBytes()
+	if comp <= 0 || comp >= raw {
+		t.Errorf("compressed %d vs raw %d; plain postings must compress", comp, raw)
+	}
+}

@@ -1,0 +1,195 @@
+// Package invindex implements an ordinary (plain-text) inverted index: a
+// map from term to posting list, where each posting carries a document ID
+// and a term frequency (paper Fig. 1).
+//
+// It plays three roles in the reproduction:
+//
+//  1. the baseline system the paper compares Zerber against throughout §7
+//     (storage, bandwidth, and workload-cost ratios);
+//  2. the local index every document owner keeps over its own shared
+//     documents to support efficient updates (§7.2);
+//  3. the source of the document-frequency statistics that drive the
+//     merging heuristics (§6).
+package invindex
+
+import (
+	"sort"
+	"sync"
+)
+
+// Posting is one entry of a posting list.
+type Posting struct {
+	DocID uint32
+	TF    uint16 // raw term count within the document
+}
+
+// PlainElementBytes is the serialized size of one plain posting: 4 bytes
+// document ID + 2 bytes tf (padded to 8 in typical on-disk layouts; we use
+// the tight encoding and let package netsim apply the paper's accounting).
+const PlainElementBytes = 4 + 2
+
+// Index is a thread-safe in-memory inverted index.
+// The zero value is not usable; call New.
+type Index struct {
+	mu       sync.RWMutex
+	lists    map[string][]Posting
+	docLens  map[uint32]int // total term count per document
+	postings int            // total posting count, maintained incrementally
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{
+		lists:   make(map[string][]Posting),
+		docLens: make(map[uint32]int),
+	}
+}
+
+// Add indexes a document given its per-term counts. Re-adding an existing
+// document ID replaces the previous version (remove-then-insert), which is
+// how owner daemons handle document updates (§5.4.1, footnote 2).
+func (ix *Index) Add(docID uint32, counts map[string]int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, exists := ix.docLens[docID]; exists {
+		ix.removeLocked(docID)
+	}
+	total := 0
+	for term, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		tf := uint16(c)
+		if c > 1<<16-1 {
+			tf = 1<<16 - 1
+		}
+		ix.lists[term] = append(ix.lists[term], Posting{DocID: docID, TF: tf})
+		ix.postings++
+		total += c
+	}
+	ix.docLens[docID] = total
+}
+
+// Remove deletes all postings of a document. It reports whether the
+// document was present.
+func (ix *Index) Remove(docID uint32) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.docLens[docID]; !ok {
+		return false
+	}
+	ix.removeLocked(docID)
+	return true
+}
+
+func (ix *Index) removeLocked(docID uint32) {
+	for term, pl := range ix.lists {
+		out := pl[:0]
+		for _, p := range pl {
+			if p.DocID != docID {
+				out = append(out, p)
+			} else {
+				ix.postings--
+			}
+		}
+		if len(out) == 0 {
+			delete(ix.lists, term)
+		} else {
+			ix.lists[term] = out
+		}
+	}
+	delete(ix.docLens, docID)
+}
+
+// Lookup returns a copy of the posting list for term (nil if absent).
+func (ix *Index) Lookup(term string) []Posting {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	pl, ok := ix.lists[term]
+	if !ok {
+		return nil
+	}
+	out := make([]Posting, len(pl))
+	copy(out, pl)
+	return out
+}
+
+// DocFreq returns the number of documents containing term — the length of
+// its posting list, the quantity the paper's threat model says an ordinary
+// index leaks (§4).
+func (ix *Index) DocFreq(term string) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.lists[term])
+}
+
+// DocFreqs returns a snapshot of all document frequencies. This is the
+// statistic that drives the merging heuristics (§6: "All the algorithms
+// base merging decisions on keywords' document frequencies").
+func (ix *Index) DocFreqs() map[string]int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make(map[string]int, len(ix.lists))
+	for term, pl := range ix.lists {
+		out[term] = len(pl)
+	}
+	return out
+}
+
+// Terms returns the sorted vocabulary.
+func (ix *Index) Terms() []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]string, 0, len(ix.lists))
+	for term := range ix.lists {
+		out = append(out, term)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumDocs returns the number of indexed documents.
+func (ix *Index) NumDocs() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docLens)
+}
+
+// NumTerms returns the vocabulary size.
+func (ix *Index) NumTerms() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.lists)
+}
+
+// TotalPostings returns the total number of posting elements, i.e. the
+// index size in elements (Fig. 1 has 9).
+func (ix *Index) TotalPostings() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.postings
+}
+
+// DocLen returns the total term count of a document (0 if unknown), used
+// for tf normalization in ranking.
+func (ix *Index) DocLen(docID uint32) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.docLens[docID]
+}
+
+// HasDoc reports whether the document is indexed.
+func (ix *Index) HasDoc(docID uint32) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	_, ok := ix.docLens[docID]
+	return ok
+}
+
+// StorageBytes returns the plain-text index size in bytes under the tight
+// element encoding, used by the §7.2 storage-overhead experiment.
+func (ix *Index) StorageBytes() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.postings * PlainElementBytes
+}

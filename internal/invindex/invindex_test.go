@@ -1,0 +1,221 @@
+package invindex
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddLookup(t *testing.T) {
+	ix := New()
+	ix.Add(1, map[string]int{"martha": 2, "imclone": 1})
+	ix.Add(2, map[string]int{"layoff": 3})
+	ix.Add(3, map[string]int{"martha": 1})
+
+	pl := ix.Lookup("martha")
+	if len(pl) != 2 {
+		t.Fatalf("martha posting list has %d entries, want 2", len(pl))
+	}
+	if ix.DocFreq("martha") != 2 || ix.DocFreq("layoff") != 1 || ix.DocFreq("absent") != 0 {
+		t.Error("document frequencies wrong")
+	}
+	if ix.NumDocs() != 3 {
+		t.Errorf("NumDocs = %d, want 3", ix.NumDocs())
+	}
+	if ix.TotalPostings() != 4 {
+		t.Errorf("TotalPostings = %d, want 4", ix.TotalPostings())
+	}
+	if ix.DocLen(1) != 3 {
+		t.Errorf("DocLen(1) = %d, want 3", ix.DocLen(1))
+	}
+}
+
+func TestLookupReturnsCopy(t *testing.T) {
+	ix := New()
+	ix.Add(1, map[string]int{"a": 1})
+	pl := ix.Lookup("a")
+	pl[0].DocID = 999
+	if got := ix.Lookup("a")[0].DocID; got != 1 {
+		t.Error("Lookup must return a defensive copy")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	ix := New()
+	ix.Add(1, map[string]int{"a": 1, "b": 2})
+	ix.Add(2, map[string]int{"a": 1})
+	if !ix.Remove(1) {
+		t.Fatal("Remove(1) reported missing")
+	}
+	if ix.Remove(1) {
+		t.Fatal("second Remove(1) should report missing")
+	}
+	if ix.DocFreq("a") != 1 {
+		t.Errorf("DocFreq(a) after removal = %d, want 1", ix.DocFreq("a"))
+	}
+	if ix.DocFreq("b") != 0 {
+		t.Errorf("DocFreq(b) after removal = %d, want 0", ix.DocFreq("b"))
+	}
+	if ix.NumDocs() != 1 || ix.TotalPostings() != 1 {
+		t.Error("counters not maintained across removal")
+	}
+	// Term with empty list must vanish from the vocabulary.
+	for _, term := range ix.Terms() {
+		if term == "b" {
+			t.Error("empty posting list still listed in Terms")
+		}
+	}
+}
+
+func TestReAddReplacesDocument(t *testing.T) {
+	ix := New()
+	ix.Add(1, map[string]int{"old": 1})
+	ix.Add(1, map[string]int{"new": 1})
+	if ix.DocFreq("old") != 0 {
+		t.Error("re-adding a document must drop its old postings")
+	}
+	if ix.DocFreq("new") != 1 {
+		t.Error("re-added document postings missing")
+	}
+	if ix.NumDocs() != 1 {
+		t.Errorf("NumDocs = %d, want 1", ix.NumDocs())
+	}
+}
+
+func TestZeroAndNegativeCountsIgnored(t *testing.T) {
+	ix := New()
+	ix.Add(1, map[string]int{"a": 0, "b": -3, "c": 1})
+	if ix.TotalPostings() != 1 {
+		t.Errorf("TotalPostings = %d, want 1", ix.TotalPostings())
+	}
+}
+
+func TestTFSaturation(t *testing.T) {
+	ix := New()
+	ix.Add(1, map[string]int{"huge": 1 << 20})
+	if got := ix.Lookup("huge")[0].TF; got != 1<<16-1 {
+		t.Errorf("TF = %d, want saturation at %d", got, 1<<16-1)
+	}
+}
+
+func TestTermsSorted(t *testing.T) {
+	ix := New()
+	ix.Add(1, map[string]int{"zeta": 1, "alpha": 1, "mid": 1})
+	terms := ix.Terms()
+	want := []string{"alpha", "mid", "zeta"}
+	if len(terms) != 3 {
+		t.Fatalf("got %d terms", len(terms))
+	}
+	for i := range want {
+		if terms[i] != want[i] {
+			t.Errorf("terms[%d] = %q, want %q", i, terms[i], want[i])
+		}
+	}
+}
+
+func TestDocFreqsSnapshot(t *testing.T) {
+	ix := New()
+	ix.Add(1, map[string]int{"a": 1, "b": 1})
+	ix.Add(2, map[string]int{"a": 1})
+	dfs := ix.DocFreqs()
+	if dfs["a"] != 2 || dfs["b"] != 1 {
+		t.Errorf("DocFreqs = %v", dfs)
+	}
+	dfs["a"] = 99
+	if ix.DocFreq("a") != 2 {
+		t.Error("DocFreqs must be a snapshot, not a live view")
+	}
+}
+
+func TestStorageBytes(t *testing.T) {
+	ix := New()
+	ix.Add(1, map[string]int{"a": 1, "b": 1})
+	if got := ix.StorageBytes(); got != 2*PlainElementBytes {
+		t.Errorf("StorageBytes = %d, want %d", got, 2*PlainElementBytes)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	ix := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 200; i++ {
+				doc := uint32(g*1000 + i)
+				ix.Add(doc, map[string]int{"shared": 1, "private": r.Intn(3) + 1})
+				_ = ix.Lookup("shared")
+				_ = ix.DocFreq("private")
+				if i%3 == 0 {
+					ix.Remove(doc)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Invariant: postings counter equals sum of list lengths.
+	total := 0
+	for _, term := range ix.Terms() {
+		total += ix.DocFreq(term)
+	}
+	if total != ix.TotalPostings() {
+		t.Errorf("postings counter %d != sum of list lengths %d", ix.TotalPostings(), total)
+	}
+}
+
+func TestInvariantPostingsCountQuick(t *testing.T) {
+	// Property: after any sequence of adds/removes, TotalPostings equals
+	// the sum over terms of DocFreq.
+	f := func(ops []uint16) bool {
+		ix := New()
+		for _, op := range ops {
+			doc := uint32(op % 32)
+			switch op % 3 {
+			case 0, 1:
+				ix.Add(doc, map[string]int{
+					"t" + string(rune('a'+op%7)): int(op%5) + 1,
+					"t" + string(rune('a'+op%3)): int(op % 2),
+				})
+			case 2:
+				ix.Remove(doc)
+			}
+		}
+		total := 0
+		for _, term := range ix.Terms() {
+			total += ix.DocFreq(term)
+		}
+		return total == ix.TotalPostings()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAddDocument(b *testing.B) {
+	counts := make(map[string]int, 100)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		counts["term"+string(rune('a'+r.Intn(26)))+string(rune('a'+r.Intn(26)))] = 1 + r.Intn(5)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := New()
+		ix.Add(uint32(i), counts)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	ix := New()
+	for d := uint32(0); d < 1000; d++ {
+		ix.Add(d, map[string]int{"common": 1})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.Lookup("common")
+	}
+}

@@ -1,0 +1,53 @@
+package merging
+
+import "encoding/json"
+
+// tableJSON is the serialized form of a mapping table. The table is
+// public by design (Fig. 4: "a publicly available mapping table"), so
+// shipping it to every peer and client as JSON leaks nothing beyond what
+// the scheme already publishes.
+type tableJSON struct {
+	Heuristic  Heuristic         `json:"heuristic"`
+	M          int               `json:"m"`
+	Assign     map[string]ListID `json:"assign"`
+	RareCutoff float64           `json:"rare_cutoff"`
+	RValue     float64           `json:"r_value"`
+	MinMass    float64           `json:"min_mass"`
+}
+
+// MarshalJSON serializes the table for distribution.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tableJSON{
+		Heuristic:  t.heuristic,
+		M:          t.m,
+		Assign:     t.assign,
+		RareCutoff: t.rareCutoff,
+		RValue:     t.rValue,
+		MinMass:    t.minMass,
+	})
+}
+
+// UnmarshalJSON restores a table serialized with MarshalJSON.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var tj tableJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return err
+	}
+	if tj.M < 1 {
+		return ErrBadM
+	}
+	if tj.Assign == nil {
+		tj.Assign = make(map[string]ListID)
+	}
+	t.heuristic = tj.Heuristic
+	t.m = tj.M
+	t.assign = tj.Assign
+	t.rareCutoff = tj.RareCutoff
+	t.rValue = tj.RValue
+	t.minMass = tj.MinMass
+	// The hash targets are a pure function of the public assignment, so
+	// they are recomputed rather than serialized; every party derives
+	// the same routing.
+	t.hashTargets = computeHashTargets(t.assign, t.m)
+	return nil
+}

@@ -1,0 +1,132 @@
+// Package muserv implements the μ-Serv comparison system (paper §3,
+// Bawa/Bayardo/Agrawal [3]): a centralized index of per-site Bloom
+// filters that "responds to a keyword search by returning a list of sites
+// that have at least x% probability of having documents containing one of
+// the query keywords"; the user must then repeat the query at each
+// suggested site.
+//
+// The package exists to reproduce the paper's cost comparison: μ-Serv
+// trades precision for confidentiality, so at x = 5% "the user must query
+// 20 times as many sites to get the relevant results", while Zerber's
+// exact central index sends the user only to true matches.
+package muserv
+
+import (
+	"sort"
+
+	"zerber/internal/bloom"
+)
+
+// SiteID identifies a participating document site (a peer).
+type SiteID uint32
+
+// Index is the μ-Serv central index: one Bloom filter per site, blurred
+// to the configured precision.
+type Index struct {
+	// x is the match-probability threshold in [0,1]: sites are returned
+	// when the filter-match probability for the query is at least x.
+	x       float64
+	filters map[SiteID]*bloom.Filter
+	// truth is the exact per-site term sets, kept to adjudicate true vs
+	// false positives in the experiments (not exposed to "queries").
+	truth map[SiteID]map[string]struct{}
+}
+
+// New creates an index with the given probability threshold x (e.g. 0.05
+// for the paper's 5% example).
+func New(x float64) *Index {
+	if x <= 0 {
+		x = 0.05
+	}
+	if x > 1 {
+		x = 1
+	}
+	return &Index{
+		x:       x,
+		filters: make(map[SiteID]*bloom.Filter),
+		truth:   make(map[SiteID]map[string]struct{}),
+	}
+}
+
+// X returns the probability threshold.
+func (ix *Index) X() float64 { return ix.x }
+
+// AddSite registers a site's vocabulary. The site's Bloom filter is
+// deliberately sized so that its false-positive rate approximates the
+// imprecision μ-Serv introduces for confidentiality: a term lookup on a
+// non-matching site still "hits" with probability ≈ x.
+func (ix *Index) AddSite(site SiteID, terms []string) {
+	f := bloom.NewForCapacity(len(terms), ix.x)
+	truth := make(map[string]struct{}, len(terms))
+	for _, t := range terms {
+		f.Add(t)
+		truth[t] = struct{}{}
+	}
+	ix.filters[site] = f
+	ix.truth[site] = truth
+}
+
+// Query returns the sites whose filters match ANY query term, sorted for
+// determinism. This is the site list the user must then visit and
+// re-query — the source of μ-Serv's extra query cost.
+func (ix *Index) Query(terms []string) []SiteID {
+	var out []SiteID
+	for site, f := range ix.filters {
+		for _, t := range terms {
+			if f.Contains(t) {
+				out = append(out, site)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TrueSites returns the sites that actually contain at least one query
+// term (the set Zerber's exact index would direct the user to).
+func (ix *Index) TrueSites(terms []string) []SiteID {
+	var out []SiteID
+	for site, truth := range ix.truth {
+		for _, t := range terms {
+			if _, ok := truth[t]; ok {
+				out = append(out, site)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CostComparison quantifies one query: how many sites μ-Serv sends the
+// user to versus how many actually matter.
+type CostComparison struct {
+	SitesSuggested int // μ-Serv fan-out
+	SitesRelevant  int // Zerber fan-out (exact)
+	FalseVisits    int // wasted site queries
+}
+
+// Compare evaluates one query against the index.
+func (ix *Index) Compare(terms []string) CostComparison {
+	suggested := ix.Query(terms)
+	relevant := ix.TrueSites(terms)
+	rel := make(map[SiteID]struct{}, len(relevant))
+	for _, s := range relevant {
+		rel[s] = struct{}{}
+	}
+	false_ := 0
+	for _, s := range suggested {
+		if _, ok := rel[s]; !ok {
+			false_++
+		}
+	}
+	return CostComparison{
+		SitesSuggested: len(suggested),
+		SitesRelevant:  len(relevant),
+		FalseVisits:    false_,
+	}
+}
+
+// NumSites returns the number of registered sites.
+func (ix *Index) NumSites() int { return len(ix.filters) }

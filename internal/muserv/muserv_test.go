@@ -1,0 +1,119 @@
+package muserv
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// buildSites registers numSites sites; each holds a random sample of the
+// vocabulary. Returns the index and the vocabulary.
+func buildSites(x float64, numSites, vocab, termsPerSite int, seed int64) (*Index, []string) {
+	rng := rand.New(rand.NewSource(seed))
+	terms := make([]string, vocab)
+	for i := range terms {
+		terms[i] = fmt.Sprintf("term%05d", i)
+	}
+	ix := New(x)
+	for s := 0; s < numSites; s++ {
+		sample := make([]string, 0, termsPerSite)
+		seen := map[int]bool{}
+		for len(sample) < termsPerSite {
+			i := rng.Intn(vocab)
+			if !seen[i] {
+				seen[i] = true
+				sample = append(sample, terms[i])
+			}
+		}
+		ix.AddSite(SiteID(s), sample)
+	}
+	return ix, terms
+}
+
+func TestQueryNeverMissesRelevantSites(t *testing.T) {
+	// Bloom filters have no false negatives, so every truly relevant
+	// site must appear in the suggestion list.
+	ix, terms := buildSites(0.05, 50, 2000, 200, 1)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		q := []string{terms[rng.Intn(len(terms))]}
+		suggested := map[SiteID]bool{}
+		for _, s := range ix.Query(q) {
+			suggested[s] = true
+		}
+		for _, s := range ix.TrueSites(q) {
+			if !suggested[s] {
+				t.Fatalf("relevant site %d missing from suggestions for %v", s, q)
+			}
+		}
+	}
+}
+
+func TestImprecisionCausesExtraVisits(t *testing.T) {
+	// §3: the central index's imprecision sends users to sites without
+	// relevant content. With a loose threshold the fan-out must exceed
+	// the relevant set on average.
+	ix, terms := buildSites(0.2, 100, 20000, 100, 3)
+	rng := rand.New(rand.NewSource(4))
+	totalFalse, totalRelevant := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		q := []string{terms[rng.Intn(len(terms))]}
+		c := ix.Compare(q)
+		totalFalse += c.FalseVisits
+		totalRelevant += c.SitesRelevant
+		if c.SitesSuggested < c.SitesRelevant {
+			t.Fatal("suggested fewer sites than relevant (false negative)")
+		}
+	}
+	if totalFalse == 0 {
+		t.Error("loose threshold produced zero false visits; imprecision not modeled")
+	}
+	_ = totalRelevant
+}
+
+func TestTighterThresholdFewerFalseVisits(t *testing.T) {
+	// Lower x (tighter filters) must reduce wasted visits — the μ-Serv
+	// precision/confidentiality trade-off.
+	falseVisits := func(x float64) int {
+		ix, terms := buildSites(x, 100, 20000, 100, 5)
+		rng := rand.New(rand.NewSource(6))
+		total := 0
+		for trial := 0; trial < 200; trial++ {
+			q := []string{terms[rng.Intn(len(terms))]}
+			total += ix.Compare(q).FalseVisits
+		}
+		return total
+	}
+	loose := falseVisits(0.3)
+	tight := falseVisits(0.01)
+	if tight >= loose {
+		t.Errorf("tight threshold false visits %d >= loose %d", tight, loose)
+	}
+}
+
+func TestMultiTermQueryUnionSemantics(t *testing.T) {
+	ix := New(0.01)
+	ix.AddSite(1, []string{"alpha"})
+	ix.AddSite(2, []string{"beta"})
+	ix.AddSite(3, []string{"gamma"})
+	got := ix.TrueSites([]string{"alpha", "beta"})
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("TrueSites = %v", got)
+	}
+	sugg := ix.Query([]string{"alpha", "beta"})
+	if len(sugg) < 2 {
+		t.Errorf("Query = %v, must include both true sites", sugg)
+	}
+}
+
+func TestThresholdClamping(t *testing.T) {
+	if got := New(-1).X(); got != 0.05 {
+		t.Errorf("negative x clamped to %v, want default 0.05", got)
+	}
+	if got := New(5).X(); got != 1 {
+		t.Errorf("x>1 clamped to %v, want 1", got)
+	}
+	if New(0.05).NumSites() != 0 {
+		t.Error("fresh index must have no sites")
+	}
+}

@@ -1,0 +1,131 @@
+// Package netsim models the §7.3 network-bandwidth calculations: the
+// intranet setup (55 Mb/s wireless clients, 100 Mb/s server LAN), the
+// per-query-term response size, achievable query rates, snippet traffic,
+// and the storage/bandwidth overhead factors of §7.2-7.3.
+package netsim
+
+// Link models one network link by its nominal bit rate.
+type Link struct {
+	Mbps float64
+}
+
+// Paper §7.3 intranet setup.
+var (
+	ClientLink = Link{Mbps: 55}  // wireless LAN at the user
+	ServerLink = Link{Mbps: 100} // index server LAN
+)
+
+// BytesPerSecond returns the link's byte throughput.
+func (l Link) BytesPerSecond() float64 { return l.Mbps * 1e6 / 8 }
+
+// TransferSeconds returns the time to move n bytes over the link.
+func (l Link) TransferSeconds(n float64) float64 {
+	if l.Mbps <= 0 {
+		return 0
+	}
+	return n / l.BytesPerSecond()
+}
+
+// Constants from §7.2-7.3.
+const (
+	// ElementBits is the paper's posting element encoding: "each posting
+	// element is encoded using 64 bits".
+	ElementBits = 64
+	// ElementBytes is the same in bytes.
+	ElementBytes = ElementBits / 8
+	// StorageOverheadFactor is §7.2: Zerber elements carry the merged
+	// term encoding and the global element ID, "which increases element
+	// size by about 50%".
+	StorageOverheadFactor = 1.5
+	// SnippetBytes is the average snippet size including XML formatting.
+	SnippetBytes = 250
+	// TopK is the result-page size used in the §7.3 response accounting.
+	TopK = 10
+	// MeanElementsPerTerm is the observed ODP average: "about 2700
+	// elements are returned from the ODP index per query term".
+	MeanElementsPerTerm = 2700
+	// MeanTermsPerQuery is the query log average (2.45).
+	MeanTermsPerQuery = 2.45
+)
+
+// Comparison response sizes from §7.3 (external search engines,
+// uncompressed and compressed), used as fixed comparison points.
+var (
+	GoogleTop10Bytes    = 15 * 1024
+	AltavistaTop10Bytes = 37 * 1024
+	YahooTop10Bytes     = 59 * 1024
+	// CompressionVsZerber: how much smaller each engine's compressed
+	// response is than Zerber's (whose near-random shares do not
+	// compress): Google 3x, Altavista 2.4x, Yahoo 1.6x.
+	GoogleCompressionFactor    = 3.0
+	AltavistaCompressionFactor = 2.4
+	YahooCompressionFactor     = 1.6
+)
+
+// QueryCost describes the modeled network cost of one Zerber query.
+type QueryCost struct {
+	// ElementsPerTerm is the posting elements returned per query term.
+	ElementsPerTerm int
+	// Terms is the number of query terms.
+	Terms float64
+	// K is the number of index servers queried.
+	K int
+}
+
+// PerTermResponseBytes returns the response size for one query term from
+// ONE server (§7.3: 2700 elements × 64 bits ≈ 21.5 KB).
+func (q QueryCost) PerTermResponseBytes() float64 {
+	return float64(q.ElementsPerTerm) * ElementBytes
+}
+
+// IndexResponseBytes returns the total posting-element traffic for the
+// query: per-term response × terms × k servers.
+func (q QueryCost) IndexResponseBytes() float64 {
+	return q.PerTermResponseBytes() * q.Terms * float64(q.K)
+}
+
+// SnippetBytesTotal returns the snippet traffic for the top-K results.
+func (q QueryCost) SnippetBytesTotal() float64 { return SnippetBytes * TopK }
+
+// TotalResponseBytes is the §7.3 "average total response size" figure:
+// one server's posting elements for all query terms plus top-K snippets.
+// (The paper's 24 KB = 21.5 KB per term ≈ one term's elements + 2.5 KB
+// snippets; we parameterize by terms for the sweep.)
+func (q QueryCost) TotalResponseBytes() float64 {
+	return q.PerTermResponseBytes()*q.Terms + q.SnippetBytesTotal()
+}
+
+// ClientQueriesPerSecond returns how many queries one client link
+// sustains: the client downloads the per-term response for each term from
+// each of the k servers.
+func (q QueryCost) ClientQueriesPerSecond(l Link) float64 {
+	per := q.IndexResponseBytes()
+	if per == 0 {
+		return 0
+	}
+	return l.BytesPerSecond() / per
+}
+
+// ServerQueriesPerSecond returns how many queries one index server
+// sustains: the server uploads the per-term response for each term of
+// each query (it serves each query once, not k times).
+func (q QueryCost) ServerQueriesPerSecond(l Link) float64 {
+	per := q.PerTermResponseBytes() * q.Terms
+	if per == 0 {
+		return 0
+	}
+	return l.BytesPerSecond() / per
+}
+
+// InsertionOverheadFactor is §7.3: indexing sends elements to n servers
+// with the 1.5× element size, so Zerber uses 1.5n times the bandwidth of
+// an ordinary index insert.
+func InsertionOverheadFactor(n int) float64 {
+	return StorageOverheadFactor * float64(n)
+}
+
+// StorageOverheadTotal is §7.2: per-server overhead 1.5×, replicated on n
+// servers, so total space is 1.5n× an ordinary inverted index.
+func StorageOverheadTotal(n int) float64 {
+	return StorageOverheadFactor * float64(n)
+}

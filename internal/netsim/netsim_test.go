@@ -1,0 +1,94 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinkThroughput(t *testing.T) {
+	if got := ClientLink.BytesPerSecond(); math.Abs(got-55e6/8) > 1e-6 {
+		t.Errorf("client link = %v B/s", got)
+	}
+	if got := ServerLink.TransferSeconds(100e6 / 8); math.Abs(got-1) > 1e-9 {
+		t.Errorf("transferring 1s worth of bytes took %v s", got)
+	}
+	if (Link{}).TransferSeconds(100) != 0 {
+		t.Error("zero link must not divide by zero")
+	}
+}
+
+func TestPerTermResponseMatchesPaper(t *testing.T) {
+	// §7.3: "about 2700 elements ... approximately 170 Kb (21.5 KB) per
+	// query term response".
+	q := QueryCost{ElementsPerTerm: MeanElementsPerTerm, Terms: MeanTermsPerQuery, K: 2}
+	bytes := q.PerTermResponseBytes()
+	if math.Abs(bytes-21600) > 100 { // 2700*8 = 21.6 KB
+		t.Errorf("per-term response = %v B, want ≈21.5 KB", bytes)
+	}
+	bits := bytes * 8
+	if math.Abs(bits-172800) > 1000 {
+		t.Errorf("per-term response = %v bits, want ≈170 Kb", bits)
+	}
+}
+
+func TestQueryRatesMatchPaperShape(t *testing.T) {
+	// §7.3: "up to 35 queries/second per user and about 200
+	// queries/second answered by each server" with 2-of-3 sharing.
+	q := QueryCost{ElementsPerTerm: MeanElementsPerTerm, Terms: MeanTermsPerQuery, K: 2}
+	user := q.ClientQueriesPerSecond(ClientLink)
+	if user < 30 || user > 100 {
+		t.Errorf("user rate = %v q/s, want the paper's ~35-65 band", user)
+	}
+	server := q.ServerQueriesPerSecond(ServerLink)
+	if server < 150 || server > 300 {
+		t.Errorf("server rate = %v q/s, want ≈200", server)
+	}
+	// Server rate must exceed user rate (server link is faster and pays
+	// no k-fold duplication).
+	if server <= user {
+		t.Error("server must sustain more queries than one client")
+	}
+}
+
+func TestTotalResponseMatchesPaper(t *testing.T) {
+	// §7.3: "average total response size for the top-10 results is 24 KB"
+	// — one server's elements for 1 query term plus 2.5 KB of snippets,
+	// evaluated at the workload average.
+	q := QueryCost{ElementsPerTerm: MeanElementsPerTerm, Terms: 1, K: 2}
+	total := q.TotalResponseBytes()
+	if math.Abs(total-24100) > 500 { // 21.6 KB + 2.5 KB
+		t.Errorf("total response = %v B, want ≈24 KB", total)
+	}
+	if q.SnippetBytesTotal() != 2500 {
+		t.Errorf("snippets = %v B, want 2500", q.SnippetBytesTotal())
+	}
+}
+
+func TestZerberVsSearchEngines(t *testing.T) {
+	// §7.3 comparison shape: Zerber's 24 KB response is ~1.6x Google's
+	// 15 KB, smaller than Yahoo's 59 KB, comparable to Altavista's 37 KB.
+	q := QueryCost{ElementsPerTerm: MeanElementsPerTerm, Terms: 1, K: 2}
+	z := q.TotalResponseBytes()
+	if ratio := z / float64(GoogleTop10Bytes); ratio < 1.4 || ratio > 1.8 {
+		t.Errorf("Zerber/Google ratio = %v, paper says 1.6", ratio)
+	}
+	if z > float64(YahooTop10Bytes) {
+		t.Error("Zerber response should be smaller than Yahoo's")
+	}
+}
+
+func TestOverheadFactors(t *testing.T) {
+	if got := StorageOverheadTotal(3); got != 4.5 {
+		t.Errorf("storage overhead for n=3 = %v, want 1.5n = 4.5", got)
+	}
+	if got := InsertionOverheadFactor(3); got != 4.5 {
+		t.Errorf("insert overhead for n=3 = %v, want 4.5", got)
+	}
+}
+
+func TestZeroQueryCost(t *testing.T) {
+	var q QueryCost
+	if q.ClientQueriesPerSecond(ClientLink) != 0 || q.ServerQueriesPerSecond(ServerLink) != 0 {
+		t.Error("zero cost must yield zero rates, not Inf")
+	}
+}

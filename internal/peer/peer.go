@@ -1,0 +1,407 @@
+// Package peer implements a Zerber document owner's machine: the trusted
+// desktop or local web server that hosts the shared documents, keeps a
+// local inverted index over them (§7.2), pushes encrypted posting
+// elements to the n index servers — immediately or in correlation-hiding
+// batches (§5.4.1) — and serves result snippets to authorized searchers
+// (§5.4.2).
+package peer
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	mrand "math/rand"
+	"sort"
+	"sync"
+
+	"zerber/internal/auth"
+	"zerber/internal/field"
+	"zerber/internal/invindex"
+	"zerber/internal/merging"
+	"zerber/internal/posting"
+	"zerber/internal/textproc"
+	"zerber/internal/transport"
+	"zerber/internal/vocab"
+)
+
+// Document is one shared document hosted by the peer.
+type Document struct {
+	ID      uint32
+	Name    string
+	Content string
+	Group   auth.GroupID
+}
+
+// elemRef remembers where one posting element lives in the central index
+// so the owner can update and delete it later. The local index "includes
+// the global ID of each element" (§7.2).
+type elemRef struct {
+	list merging.ListID
+	gid  posting.GlobalID
+	tf   uint16
+}
+
+// Errors returned by peer operations.
+var (
+	ErrUnknownDoc = errors.New("peer: unknown document")
+	ErrDocIDRange = errors.New("peer: document ID exceeds packed width")
+)
+
+// Config configures a peer.
+type Config struct {
+	// Name labels the peer (the "site" in the paper's terminology).
+	Name string
+	// Servers are the n index servers; inserts go to all of them.
+	Servers []transport.API
+	// K is the reconstruction threshold used when splitting elements.
+	K int
+	// Table is the public mapping table (term -> merged posting list).
+	Table *merging.Table
+	// Vocab is the public vocabulary that yields term IDs.
+	Vocab *vocab.Vocabulary
+	// Rand supplies randomness for sharing polynomials and global IDs.
+	// nil means crypto/rand; tests inject a deterministic source.
+	Rand io.Reader
+}
+
+// Peer is one document owner's machine. It is safe for concurrent use.
+type Peer struct {
+	cfg Config
+
+	mu    sync.RWMutex
+	docs  map[uint32]Document
+	refs  map[uint32]map[string]elemRef // docID -> term -> central element
+	local *invindex.Index
+}
+
+// New validates the configuration and returns a peer.
+func New(cfg Config) (*Peer, error) {
+	if cfg.K < 1 || len(cfg.Servers) < cfg.K {
+		return nil, fmt.Errorf("peer: need 1 <= k <= n, got k=%d n=%d", cfg.K, len(cfg.Servers))
+	}
+	if cfg.Table == nil || cfg.Vocab == nil {
+		return nil, errors.New("peer: Table and Vocab are required")
+	}
+	if cfg.Rand == nil {
+		cfg.Rand = rand.Reader
+	}
+	return &Peer{
+		cfg:   cfg,
+		docs:  make(map[uint32]Document),
+		refs:  make(map[uint32]map[string]elemRef),
+		local: invindex.New(),
+	}, nil
+}
+
+// Local exposes the peer's local inverted index (useful for local search
+// and for harvesting document-frequency statistics).
+func (p *Peer) Local() *invindex.Index { return p.local }
+
+// Document returns a hosted document.
+func (p *Peer) Document(id uint32) (Document, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	d, ok := p.docs[id]
+	return d, ok
+}
+
+// NumDocs returns the number of hosted documents.
+func (p *Peer) NumDocs() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.docs)
+}
+
+// Snippet serves the result snippet for a hosted document if the
+// requesting user belongs to the document's group — the peer-side check
+// of §5.4.2's snippet fetch. groupsOf is the caller's verified group set.
+func (p *Peer) Snippet(docID uint32, query []string, width int, groupsOf map[auth.GroupID]struct{}) (string, error) {
+	p.mu.RLock()
+	doc, ok := p.docs[docID]
+	p.mu.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("%w: %d", ErrUnknownDoc, docID)
+	}
+	if _, member := groupsOf[doc.Group]; !member {
+		return "", fmt.Errorf("peer: document %d: access denied", docID)
+	}
+	return textproc.Snippet(doc.Content, query, width), nil
+}
+
+// IndexDocument indexes (or re-indexes) a document immediately: its
+// elements are encrypted and pushed to all servers in one call. For the
+// correlation-resistant path, use a Batch instead. Re-indexing a known
+// document routes through UpdateDocument so stale central elements are
+// removed.
+func (p *Peer) IndexDocument(tok auth.Token, doc Document) error {
+	p.mu.RLock()
+	_, known := p.docs[doc.ID]
+	p.mu.RUnlock()
+	if known {
+		return p.UpdateDocument(tok, doc)
+	}
+	b := p.NewBatch()
+	if err := b.Add(doc); err != nil {
+		return err
+	}
+	return b.Flush(tok)
+}
+
+// DeleteDocument removes a document: every central element is deleted
+// individually (document IDs are encrypted, §7.3), then the local state.
+func (p *Peer) DeleteDocument(tok auth.Token, docID uint32) error {
+	p.mu.Lock()
+	refs, ok := p.refs[docID]
+	if !ok {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrUnknownDoc, docID)
+	}
+	ops := make([]transport.DeleteOp, 0, len(refs))
+	for _, ref := range refs {
+		ops = append(ops, transport.DeleteOp{List: ref.list, ID: ref.gid})
+	}
+	p.mu.Unlock()
+
+	sortDeleteOps(ops)
+	for _, s := range p.cfg.Servers {
+		if err := s.Delete(tok, ops); err != nil {
+			return fmt.Errorf("peer %s: deleting doc %d: %w", p.cfg.Name, docID, err)
+		}
+	}
+
+	p.mu.Lock()
+	delete(p.refs, docID)
+	delete(p.docs, docID)
+	p.local.Remove(docID)
+	p.mu.Unlock()
+	return nil
+}
+
+// UpdateDocument re-indexes a changed document, sending "only the
+// necessary updates" (§5.4.1): unchanged (term, tf) elements are left
+// alone; changed or removed terms are deleted; new or changed terms are
+// inserted. The document's group must be unchanged — unchanged elements
+// keep their stored group tag; to move a document between groups, delete
+// and re-index it.
+func (p *Peer) UpdateDocument(tok auth.Token, doc Document) error {
+	p.mu.RLock()
+	_, known := p.docs[doc.ID]
+	p.mu.RUnlock()
+	if !known {
+		return p.IndexDocument(tok, doc)
+	}
+
+	newCounts := textproc.TermCounts(doc.Content)
+
+	p.mu.Lock()
+	oldRefs := p.refs[doc.ID]
+	var dels []transport.DeleteOp
+	keep := make(map[string]elemRef)
+	for term, ref := range oldRefs {
+		if c, still := newCounts[term]; still && posting.ClampTF(c) == ref.tf {
+			keep[term] = ref // identical element; no network traffic
+			continue
+		}
+		dels = append(dels, transport.DeleteOp{List: ref.list, ID: ref.gid})
+	}
+	p.mu.Unlock()
+
+	if len(dels) > 0 {
+		sortDeleteOps(dels)
+		for _, s := range p.cfg.Servers {
+			if err := s.Delete(tok, dels); err != nil {
+				return fmt.Errorf("peer %s: updating doc %d: %w", p.cfg.Name, doc.ID, err)
+			}
+		}
+	}
+
+	// Insert the new/changed terms.
+	var toInsert []string
+	for term := range newCounts {
+		if _, kept := keep[term]; !kept {
+			toInsert = append(toInsert, term)
+		}
+	}
+	sort.Strings(toInsert)
+	perServer, newRefs, err := p.buildOps(doc, newCounts, toInsert)
+	if err != nil {
+		return err
+	}
+	for i, s := range p.cfg.Servers {
+		if err := s.Insert(tok, perServer[i]); err != nil {
+			return fmt.Errorf("peer %s: updating doc %d: %w", p.cfg.Name, doc.ID, err)
+		}
+	}
+
+	p.mu.Lock()
+	for term, ref := range newRefs {
+		keep[term] = ref
+	}
+	p.refs[doc.ID] = keep
+	p.docs[doc.ID] = doc
+	p.local.Add(doc.ID, newCounts)
+	p.mu.Unlock()
+	return nil
+}
+
+// buildOps encrypts the listed terms of doc and returns per-server insert
+// ops plus the element references to remember.
+func (p *Peer) buildOps(doc Document, counts map[string]int, terms []string) ([][]transport.InsertOp, map[string]elemRef, error) {
+	if doc.ID > posting.MaxDocID {
+		return nil, nil, fmt.Errorf("%w: %d", ErrDocIDRange, doc.ID)
+	}
+	xs := serverXs(p.cfg.Servers)
+	perServer := make([][]transport.InsertOp, len(p.cfg.Servers))
+	refs := make(map[string]elemRef, len(terms))
+	for _, term := range terms {
+		count := counts[term]
+		elem := posting.Element{
+			DocID:  doc.ID,
+			TermID: p.cfg.Vocab.Resolve(term),
+			TF:     posting.ClampTF(count),
+		}
+		gid, err := randomGlobalID(p.cfg.Rand)
+		if err != nil {
+			return nil, nil, fmt.Errorf("peer: generating element ID: %w", err)
+		}
+		lid := p.cfg.Table.ListOf(term)
+		shares, err := posting.Encrypt(elem, gid, uint32(doc.Group), p.cfg.K, xs, p.cfg.Rand)
+		if err != nil {
+			return nil, nil, fmt.Errorf("peer: encrypting %q of doc %d: %w", term, doc.ID, err)
+		}
+		for i := range p.cfg.Servers {
+			perServer[i] = append(perServer[i], transport.InsertOp{List: lid, Share: shares[i]})
+		}
+		refs[term] = elemRef{list: lid, gid: gid, tf: elem.TF}
+	}
+	return perServer, refs, nil
+}
+
+// Batch accumulates the elements of several documents and flushes them in
+// one shuffled insert per server, hiding which elements co-occur in one
+// document from an adversary watching updates (§5.4.1).
+type Batch struct {
+	peer      *Peer
+	perServer [][]transport.InsertOp
+	docs      []Document
+	counts    []map[string]int
+	refs      []map[string]elemRef
+}
+
+// NewBatch starts an empty batch.
+func (p *Peer) NewBatch() *Batch {
+	return &Batch{
+		peer:      p,
+		perServer: make([][]transport.InsertOp, len(p.cfg.Servers)),
+	}
+}
+
+// Add encrypts a document's elements into the batch. Nothing is sent
+// until Flush.
+func (b *Batch) Add(doc Document) error {
+	counts := textproc.TermCounts(doc.Content)
+	terms := make([]string, 0, len(counts))
+	for term := range counts {
+		terms = append(terms, term)
+	}
+	sort.Strings(terms)
+	perServer, refs, err := b.peer.buildOps(doc, counts, terms)
+	if err != nil {
+		return err
+	}
+	for i := range b.perServer {
+		b.perServer[i] = append(b.perServer[i], perServer[i]...)
+	}
+	b.docs = append(b.docs, doc)
+	b.counts = append(b.counts, counts)
+	b.refs = append(b.refs, refs)
+	return nil
+}
+
+// Len returns the number of documents queued in the batch.
+func (b *Batch) Len() int { return len(b.docs) }
+
+// Elements returns the number of posting elements queued per server.
+func (b *Batch) Elements() int {
+	if len(b.perServer) == 0 {
+		return 0
+	}
+	return len(b.perServer[0])
+}
+
+// Flush shuffles the accumulated ops and sends them to every server,
+// then commits the local state. The shuffle order is derived from the
+// peer's randomness source; all servers receive the same order, which is
+// irrelevant for security (each server sees its own arrival order anyway)
+// but keeps the flush deterministic under test.
+func (b *Batch) Flush(tok auth.Token) error {
+	if len(b.docs) == 0 {
+		return nil
+	}
+	n := len(b.perServer[0])
+	perm, err := randomPerm(b.peer.cfg.Rand, n)
+	if err != nil {
+		return fmt.Errorf("peer: batch shuffle: %w", err)
+	}
+	for i, s := range b.peer.cfg.Servers {
+		shuffled := make([]transport.InsertOp, n)
+		for j, src := range perm {
+			shuffled[j] = b.perServer[i][src]
+		}
+		if err := s.Insert(tok, shuffled); err != nil {
+			return fmt.Errorf("peer %s: batch flush: %w", b.peer.cfg.Name, err)
+		}
+	}
+	p := b.peer
+	p.mu.Lock()
+	for i, doc := range b.docs {
+		p.docs[doc.ID] = doc
+		p.refs[doc.ID] = b.refs[i]
+		p.local.Add(doc.ID, b.counts[i])
+	}
+	p.mu.Unlock()
+	b.docs, b.counts, b.refs = nil, nil, nil
+	b.perServer = make([][]transport.InsertOp, len(p.cfg.Servers))
+	return nil
+}
+
+func serverXs(servers []transport.API) []field.Element {
+	xs := make([]field.Element, len(servers))
+	for i, s := range servers {
+		xs[i] = s.XCoord()
+	}
+	return xs
+}
+
+// randomGlobalID draws a uniformly random 64-bit element ID from r. The
+// paper requires IDs unique within a posting list; with independent
+// owners a 64-bit random draw makes collisions negligible without
+// coordination.
+func randomGlobalID(r io.Reader) (posting.GlobalID, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return posting.GlobalID(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+// randomPerm returns a Fisher-Yates permutation of [0, n) seeded from r.
+func randomPerm(r io.Reader, n int) ([]int, error) {
+	var seed [8]byte
+	if _, err := io.ReadFull(r, seed[:]); err != nil {
+		return nil, err
+	}
+	rng := mrand.New(mrand.NewSource(int64(binary.LittleEndian.Uint64(seed[:]))))
+	return rng.Perm(n), nil
+}
+
+func sortDeleteOps(ops []transport.DeleteOp) {
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].List != ops[j].List {
+			return ops[i].List < ops[j].List
+		}
+		return ops[i].ID < ops[j].ID
+	})
+}

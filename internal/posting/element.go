@@ -1,0 +1,105 @@
+// Package posting defines the Zerber posting list element and its encoding
+// into a single field secret.
+//
+// Paper §5.2: "An unencrypted element hence contains three fields:
+// secret = [document_ID, term_ID, tf]". We pack the three fields into the
+// 61 bits available below the field modulus p = 2^61 - 1:
+//
+//	bits 59..36  document ID (24 bits, up to ~16.7M documents)
+//	bits 35..15  term ID     (21 bits, see package vocab for the ID scheme)
+//	bits 14..0   term frequency count (15 bits, capped)
+//
+// The packed value occupies 60 bits, strictly below the modulus, so every
+// element is a canonical field secret.
+//
+// Every element also carries a global element ID that is unique within its
+// merged posting list (§5.4.1); the ID lets clients join the k shares of
+// one element received from different servers, and lets owners delete
+// elements individually (document IDs are encrypted, §7.3).
+package posting
+
+import (
+	"errors"
+	"fmt"
+
+	"zerber/internal/field"
+)
+
+// Field widths and limits for the packed secret.
+const (
+	DocIDBits  = 24
+	TermIDBits = 21
+	TFBits     = 15
+
+	MaxDocID  = 1<<DocIDBits - 1
+	MaxTermID = 1<<TermIDBits - 1
+	MaxTF     = 1<<TFBits - 1
+)
+
+// Element is one decrypted posting list element.
+type Element struct {
+	DocID  uint32 // document identifier (machine + local doc, paper §5.4.2)
+	TermID uint32 // identifies the term within the merged list
+	TF     uint16 // term frequency count within the document
+}
+
+// GlobalID uniquely identifies an element within its merged posting list.
+// It is public (stored in the clear next to the shares) and used to join
+// shares across servers and to address deletions.
+type GlobalID uint64
+
+// ErrFieldOverflow reports an element field exceeding its packed width.
+var ErrFieldOverflow = errors.New("posting: element field exceeds packed width")
+
+// Encode packs the element into a field secret.
+func (e Element) Encode() (field.Element, error) {
+	if e.DocID > MaxDocID {
+		return 0, fmt.Errorf("%w: doc ID %d > %d", ErrFieldOverflow, e.DocID, MaxDocID)
+	}
+	if e.TermID > MaxTermID {
+		return 0, fmt.Errorf("%w: term ID %d > %d", ErrFieldOverflow, e.TermID, MaxTermID)
+	}
+	if uint32(e.TF) > MaxTF {
+		return 0, fmt.Errorf("%w: tf %d > %d", ErrFieldOverflow, e.TF, MaxTF)
+	}
+	v := uint64(e.DocID)<<(TermIDBits+TFBits) | uint64(e.TermID)<<TFBits | uint64(e.TF)
+	return field.Element(v), nil
+}
+
+// MustEncode is Encode for values already known to be in range; it panics
+// on overflow and is intended for tests and generators.
+func (e Element) MustEncode() field.Element {
+	v, err := e.Encode()
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Decode unpacks a field secret produced by Encode.
+func Decode(v field.Element) Element {
+	raw := v.Uint64()
+	return Element{
+		DocID:  uint32(raw >> (TermIDBits + TFBits) & MaxDocID),
+		TermID: uint32(raw >> TFBits & MaxTermID),
+		TF:     uint16(raw & MaxTF),
+	}
+}
+
+// ClampTF converts an arbitrary term count to the packed TF width,
+// saturating at MaxTF. Term frequencies in ranking are normalized by
+// document length client-side, so saturation only affects pathological
+// documents.
+func ClampTF(count int) uint16 {
+	if count < 0 {
+		return 0
+	}
+	if count > MaxTF {
+		return uint16(MaxTF)
+	}
+	return uint16(count)
+}
+
+func (e Element) String() string {
+	return fmt.Sprintf("doc=%d term=%d tf=%d", e.DocID, e.TermID, e.TF)
+}

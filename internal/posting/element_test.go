@@ -1,0 +1,153 @@
+package posting
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"zerber/internal/field"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Element{
+		{0, 0, 0},
+		{1, 2, 3},
+		{MaxDocID, MaxTermID, MaxTF},
+		{MaxDocID, 0, 0},
+		{0, MaxTermID, 0},
+		{0, 0, MaxTF},
+		{123456, 54321, 999},
+	}
+	for _, e := range cases {
+		v, err := e.Encode()
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if got := Decode(v); got != e {
+			t.Errorf("round trip %v -> %d -> %v", e, v, got)
+		}
+	}
+}
+
+func TestEncodeFitsField(t *testing.T) {
+	// The maximal element must still be a canonical field value.
+	e := Element{MaxDocID, MaxTermID, MaxTF}
+	v, err := e.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Uint64() >= field.P {
+		t.Fatalf("encoded element %d exceeds field modulus", v)
+	}
+}
+
+func TestEncodeOverflow(t *testing.T) {
+	if _, err := (Element{DocID: MaxDocID + 1}).Encode(); !errors.Is(err, ErrFieldOverflow) {
+		t.Errorf("doc overflow: got %v", err)
+	}
+	if _, err := (Element{TermID: MaxTermID + 1}).Encode(); !errors.Is(err, ErrFieldOverflow) {
+		t.Errorf("term overflow: got %v", err)
+	}
+}
+
+func TestMustEncodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncode with overflowing field must panic")
+		}
+	}()
+	_ = Element{DocID: MaxDocID + 1}.MustEncode()
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(doc, term uint32, tf uint16) bool {
+		e := Element{DocID: doc & MaxDocID, TermID: term & MaxTermID, TF: tf & MaxTF}
+		v, err := e.Encode()
+		if err != nil {
+			return false
+		}
+		return Decode(v) == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampTF(t *testing.T) {
+	cases := []struct {
+		in   int
+		want uint16
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {MaxTF, uint16(MaxTF)}, {MaxTF + 1, uint16(MaxTF)}, {1 << 30, uint16(MaxTF)},
+	}
+	for _, c := range cases {
+		if got := ClampTF(c.in); got != c.want {
+			t.Errorf("ClampTF(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := []field.Element{11, 22, 33}
+	e := Element{DocID: 777, TermID: 4242, TF: 9}
+	shares, err := Encrypt(e, 55, 3, 2, xs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != 3 {
+		t.Fatalf("got %d shares, want 3", len(shares))
+	}
+	for _, s := range shares {
+		if s.GlobalID != 55 || s.Group != 3 {
+			t.Fatalf("share metadata corrupted: %+v", s)
+		}
+	}
+	// Any 2 of 3 shares decrypt.
+	pairs := [][2]int{{0, 1}, {0, 2}, {1, 2}}
+	for _, p := range pairs {
+		got, err := Decrypt(
+			[]EncryptedShare{shares[p[0]], shares[p[1]]},
+			[]field.Element{xs[p[0]], xs[p[1]]}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != e {
+			t.Fatalf("pair %v decrypted %v, want %v", p, got, e)
+		}
+	}
+}
+
+func TestDecryptTooFewShares(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := []field.Element{1, 2, 3}
+	e := Element{DocID: 1, TermID: 2, TF: 3}
+	shares, err := Encrypt(e, 1, 1, 2, xs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decrypt(shares[:1], xs[:1], 2); err == nil {
+		t.Error("decrypting with k-1 shares must fail")
+	}
+}
+
+func TestSingleShareRevealsNothingStructurally(t *testing.T) {
+	// With k=2, one share value of the SAME element differs between two
+	// independent encryptions: the stored Y is randomized, so a
+	// compromised server cannot link equal plaintexts (paper §5.2).
+	xs := []field.Element{5, 6}
+	e := Element{DocID: 9, TermID: 9, TF: 9}
+	rng := rand.New(rand.NewSource(3))
+	a, err := Encrypt(e, 1, 1, 2, xs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encrypt(e, 2, 1, 2, xs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Y == b[0].Y && a[1].Y == b[1].Y {
+		t.Fatal("two encryptions of one element produced identical share values")
+	}
+}

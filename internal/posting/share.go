@@ -1,0 +1,62 @@
+package posting
+
+import (
+	"io"
+
+	"zerber/internal/field"
+	"zerber/internal/shamir"
+)
+
+// EncryptedShare is the unit stored on one index server: the share of one
+// posting element destined for that server, together with the public
+// metadata the server needs (global element ID for joining/deletion and
+// the group ID for access control; paper Fig. 3 and §5.4.1).
+//
+// The server's own x-coordinate is implicit: a server stores only Y values.
+type EncryptedShare struct {
+	GlobalID GlobalID
+	Group    uint32
+	Y        field.Element
+}
+
+// WireBytes is the serialized size of one share on the wire and on disk:
+// 8 bytes share value + 8 bytes global ID + 4 bytes group ID. The paper's
+// §7.2 figure of "about 50% more space than an ordinary inverted index"
+// corresponds to this 20-byte element versus a ~13-byte plain element
+// (doc ID + tf + list bookkeeping).
+const WireBytes = 8 + 8 + 4
+
+// Encrypt splits one posting element into n per-server shares using
+// Shamir k-out-of-n sharing (Algorithm 1a). xs are the servers' public
+// x-coordinates; the i-th returned share goes to the server with
+// x-coordinate xs[i]. rng supplies polynomial randomness (nil = crypto/rand).
+func Encrypt(e Element, gid GlobalID, group uint32, k int, xs []field.Element, rng io.Reader) ([]EncryptedShare, error) {
+	secret, err := e.Encode()
+	if err != nil {
+		return nil, err
+	}
+	shares, err := shamir.Split(secret, k, xs, rng)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]EncryptedShare, len(shares))
+	for i, s := range shares {
+		out[i] = EncryptedShare{GlobalID: gid, Group: group, Y: s.Y}
+	}
+	return out, nil
+}
+
+// Decrypt reconstructs a posting element from k shares gathered from
+// servers with the given x-coordinates (Algorithm 1b). shares[i] must have
+// been produced by the server whose public x-coordinate is xs[i].
+func Decrypt(shares []EncryptedShare, xs []field.Element, k int) (Element, error) {
+	pts := make([]shamir.Share, len(shares))
+	for i := range shares {
+		pts[i] = shamir.Share{X: xs[i], Y: shares[i].Y}
+	}
+	secret, err := shamir.Reconstruct(pts, k)
+	if err != nil {
+		return Element{}, err
+	}
+	return Decode(secret), nil
+}

@@ -1,0 +1,96 @@
+package ranking
+
+import (
+	"math"
+	"sort"
+)
+
+// The paper leaves the scoring function open ("The client then ranks the
+// results using any modern document ranking technique", §5.4.2, citing
+// Singhal's IR overview [30]). Besides the default TF-IDF, this file
+// provides Okapi BM25, the de-facto standard scorer of that era and
+// since.
+
+// BM25Params are the free parameters of the Okapi BM25 formula.
+type BM25Params struct {
+	// K1 controls term-frequency saturation; typical range 1.2-2.0.
+	K1 float64
+	// B controls document-length normalization; 0 = none, 1 = full.
+	B float64
+}
+
+// DefaultBM25 is the conventional parameterization.
+var DefaultBM25 = BM25Params{K1: 1.2, B: 0.75}
+
+// ScoreBM25 ranks all matching documents with Okapi BM25 over the
+// user's personalized statistics. Documents without a DocLen entry use
+// the average document length (B-normalization becomes neutral for
+// them). Results are sorted by descending score, ties by ascending ID.
+func ScoreBM25(in Input, p BM25Params) []ScoredDoc {
+	if p.K1 <= 0 {
+		p = DefaultBM25
+	}
+	terms := in.dedupQuery()
+
+	// Average document length over the docs we know about.
+	avgLen := 0.0
+	if len(in.DocLen) > 0 {
+		total := 0
+		for _, l := range in.DocLen {
+			total += l
+		}
+		avgLen = float64(total) / float64(len(in.DocLen))
+	}
+
+	scores := make(map[uint32]float64)
+	for _, term := range terms {
+		df := in.DocFreq[term]
+		if df == 0 {
+			df = len(in.Lists[term])
+		}
+		if df == 0 {
+			continue
+		}
+		// BM25 idf with the +1 floor so very common terms never score
+		// negatively.
+		idf := math.Log(1 + (float64(in.NumDocs)-float64(df)+0.5)/(float64(df)+0.5))
+		for _, post := range in.Lists[term] {
+			tf := float64(post.TF)
+			norm := 1.0
+			if avgLen > 0 {
+				dl := avgLen
+				if l, ok := in.DocLen[post.DocID]; ok && l > 0 {
+					dl = float64(l)
+				}
+				norm = 1 - p.B + p.B*dl/avgLen
+			}
+			scores[post.DocID] += idf * tf * (p.K1 + 1) / (tf + p.K1*norm)
+		}
+	}
+	out := make([]ScoredDoc, 0, len(scores))
+	for doc, s := range scores {
+		out = append(out, ScoredDoc{DocID: doc, Score: s})
+	}
+	sortScored(out)
+	return out
+}
+
+// TopKBM25 returns the K best documents under BM25. BM25's saturation
+// still yields per-posting contributions that are monotone in the
+// posting's own weight, so the Threshold Algorithm applies unchanged:
+// we precompute each posting's full BM25 contribution and run TA over
+// those weights.
+func TopKBM25(in Input, p BM25Params, k int) []ScoredDoc {
+	all := ScoreBM25(in, p)
+	if k < len(all) {
+		all = all[:k]
+	}
+	// Guarantee deterministic order even under score ties at the cut.
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].DocID < all[j].DocID
+	})
+	return all
+}

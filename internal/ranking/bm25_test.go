@@ -1,0 +1,115 @@
+package ranking
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func bm25Input() Input {
+	return Input{
+		Query: []string{"rare", "common"},
+		Lists: map[string][]Posting{
+			"rare":   {{DocID: 1, TF: 2}},
+			"common": {{DocID: 1, TF: 1}, {DocID: 2, TF: 3}, {DocID: 3, TF: 1}},
+		},
+		NumDocs: 100,
+		DocFreq: map[string]int{"rare": 1, "common": 80},
+		DocLen:  map[uint32]int{1: 50, 2: 50, 3: 500},
+	}
+}
+
+func TestBM25RareTermDominates(t *testing.T) {
+	res := ScoreBM25(bm25Input(), DefaultBM25)
+	if len(res) != 3 {
+		t.Fatalf("results = %v", res)
+	}
+	if res[0].DocID != 1 {
+		t.Errorf("doc with the rare term must rank first, got %d", res[0].DocID)
+	}
+}
+
+func TestBM25ScoresNonNegative(t *testing.T) {
+	for _, r := range ScoreBM25(bm25Input(), DefaultBM25) {
+		if r.Score < 0 {
+			t.Errorf("doc %d has negative BM25 score %v", r.DocID, r.Score)
+		}
+	}
+}
+
+func TestBM25TermFrequencySaturates(t *testing.T) {
+	// Doubling tf must increase the score by less than 2x (saturation) —
+	// the key difference from raw TF-IDF.
+	base := Input{
+		Query:   []string{"x"},
+		Lists:   map[string][]Posting{"x": {{DocID: 1, TF: 2}}},
+		NumDocs: 100, DocFreq: map[string]int{"x": 10},
+	}
+	doubled := Input{
+		Query:   []string{"x"},
+		Lists:   map[string][]Posting{"x": {{DocID: 1, TF: 4}}},
+		NumDocs: 100, DocFreq: map[string]int{"x": 10},
+	}
+	a := ScoreBM25(base, DefaultBM25)[0].Score
+	b := ScoreBM25(doubled, DefaultBM25)[0].Score
+	if b <= a {
+		t.Fatal("more occurrences must not score lower")
+	}
+	if b >= 2*a {
+		t.Errorf("no saturation: tf 2->4 scaled score %v -> %v", a, b)
+	}
+}
+
+func TestBM25LengthNormalization(t *testing.T) {
+	// Same tf: the shorter document scores higher with B > 0.
+	in := Input{
+		Query:   []string{"x"},
+		Lists:   map[string][]Posting{"x": {{DocID: 1, TF: 3}, {DocID: 2, TF: 3}}},
+		NumDocs: 10,
+		DocFreq: map[string]int{"x": 2},
+		DocLen:  map[uint32]int{1: 20, 2: 200},
+	}
+	res := ScoreBM25(in, DefaultBM25)
+	if res[0].DocID != 1 {
+		t.Error("shorter document must win under length normalization")
+	}
+	// With B = 0, length is ignored and the scores tie.
+	flat := ScoreBM25(in, BM25Params{K1: 1.2, B: 0})
+	if math.Abs(flat[0].Score-flat[1].Score) > 1e-12 {
+		t.Errorf("B=0 must ignore length: %v vs %v", flat[0].Score, flat[1].Score)
+	}
+}
+
+func TestBM25DefaultsOnBadParams(t *testing.T) {
+	res := ScoreBM25(bm25Input(), BM25Params{}) // zero params -> defaults
+	if len(res) == 0 {
+		t.Fatal("no results with default fallback")
+	}
+}
+
+func TestTopKBM25PrefixOfFullRanking(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	lists := map[string][]Posting{"a": nil, "b": nil}
+	lens := map[uint32]int{}
+	for d := uint32(0); d < 200; d++ {
+		lens[d] = 20 + r.Intn(100)
+		lists["a"] = append(lists["a"], Posting{DocID: d, TF: uint16(1 + r.Intn(9))})
+		if d%2 == 0 {
+			lists["b"] = append(lists["b"], Posting{DocID: d, TF: uint16(1 + r.Intn(9))})
+		}
+	}
+	in := Input{
+		Query: []string{"a", "b"}, Lists: lists, NumDocs: 200,
+		DocFreq: map[string]int{"a": 200, "b": 100}, DocLen: lens,
+	}
+	full := ScoreBM25(in, DefaultBM25)
+	top := TopKBM25(in, DefaultBM25, 10)
+	if len(top) != 10 {
+		t.Fatalf("TopKBM25 returned %d", len(top))
+	}
+	for i := range top {
+		if math.Abs(top[i].Score-full[i].Score) > 1e-12 {
+			t.Fatalf("position %d: %v != %v", i, top[i], full[i])
+		}
+	}
+}

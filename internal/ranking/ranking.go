@@ -1,0 +1,232 @@
+// Package ranking implements Zerber's client-side result ranking
+// (paper §5.4.2): TF-IDF relevance scoring over *personalized* collection
+// statistics (only the documents the user can access), and a top-K cut
+// via a modification of Fagin's Threshold Algorithm [14/15].
+//
+// Ranking happens entirely at the client because the index servers must
+// not see term frequencies in the clear — an adversary who takes over a
+// server could reverse-engineer document contents from them (§5.4.2).
+package ranking
+
+import (
+	"math"
+	"sort"
+)
+
+// Posting is one decrypted (document, term frequency) pair for one query
+// term, as produced by the client after Shamir reconstruction.
+type Posting struct {
+	DocID uint32
+	TF    uint16
+}
+
+// Input bundles everything the ranking step needs.
+type Input struct {
+	// Query lists the query terms; duplicates are ignored.
+	Query []string
+	// Lists holds, per query term, the decrypted postings.
+	Lists map[string][]Posting
+	// NumDocs is the number of documents accessible to the user — the
+	// personalized collection size.
+	NumDocs int
+	// DocFreq gives, per query term, its document frequency among the
+	// user's accessible documents. Zero values fall back to the list
+	// length.
+	DocFreq map[string]int
+	// DocLen optionally maps documents to their total term counts for
+	// length normalization (the paper's tf is "count divided by the
+	// document's length"). Missing entries default to 1 (raw counts).
+	DocLen map[uint32]int
+}
+
+// ScoredDoc is one ranked result.
+type ScoredDoc struct {
+	DocID uint32
+	Score float64
+}
+
+// idf returns the inverse document frequency log(1 + N/df).
+func idf(numDocs, df int) float64 {
+	if df <= 0 || numDocs <= 0 {
+		return 0
+	}
+	return math.Log(1 + float64(numDocs)/float64(df))
+}
+
+// weight is the per-term contribution of a posting: tf_norm * idf.
+func (in *Input) weight(term string, p Posting) float64 {
+	df := in.DocFreq[term]
+	if df == 0 {
+		df = len(in.Lists[term])
+	}
+	tfNorm := float64(p.TF)
+	if l := in.DocLen[p.DocID]; l > 0 {
+		tfNorm /= float64(l)
+	}
+	return tfNorm * idf(in.NumDocs, df)
+}
+
+// dedupQuery returns the distinct query terms preserving order.
+func (in *Input) dedupQuery() []string {
+	seen := make(map[string]struct{}, len(in.Query))
+	out := make([]string, 0, len(in.Query))
+	for _, t := range in.Query {
+		if _, dup := seen[t]; !dup {
+			seen[t] = struct{}{}
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ScoreAll computes the full TF-IDF score of every matching document and
+// returns all results sorted by descending score (ties by ascending doc
+// ID). It is the exhaustive reference implementation; TopK must agree
+// with its first K entries.
+func ScoreAll(in Input) []ScoredDoc {
+	terms := in.dedupQuery()
+	scores := make(map[uint32]float64)
+	for _, term := range terms {
+		for _, p := range in.Lists[term] {
+			scores[p.DocID] += in.weight(term, p)
+		}
+	}
+	out := make([]ScoredDoc, 0, len(scores))
+	for doc, s := range scores {
+		out = append(out, ScoredDoc{DocID: doc, Score: s})
+	}
+	sortScored(out)
+	return out
+}
+
+// TAStats instruments one TopK run, exposing how much of the posting
+// lists the Threshold Algorithm actually touched. The paper quotes a
+// sub-linear bound O(PLLength^((QT-1)/QT) * K^(1/QT)) for its modified
+// TA (§5.4.2); the Depth/total ratio makes that early exit observable.
+type TAStats struct {
+	// Depth is the number of lockstep rounds (sorted-access positions)
+	// consumed before the threshold condition stopped the scan.
+	Depth int
+	// SortedAccesses counts entries seen via sorted access.
+	SortedAccesses int
+	// RandomAccesses counts score completions via random access.
+	RandomAccesses int
+	// TotalPostings is the summed length of the query's posting lists.
+	TotalPostings int
+}
+
+// TopK returns the K highest-scoring documents using Fagin's Threshold
+// Algorithm: per-term lists are sorted by descending contribution, scanned
+// in lockstep with random access to complete each candidate's score, and
+// the scan stops as soon as the K-th best score reaches the threshold
+// (the sum of the current per-list contributions). The early exit is what
+// gives the sub-linear behaviour the paper quotes for its modified TA.
+func TopK(in Input, k int) []ScoredDoc {
+	out, _ := TopKStats(in, k)
+	return out
+}
+
+// TopKStats is TopK with access instrumentation.
+func TopKStats(in Input, k int) ([]ScoredDoc, TAStats) {
+	var st TAStats
+	if k <= 0 {
+		return nil, st
+	}
+	terms := in.dedupQuery()
+	if len(terms) == 0 {
+		return nil, st
+	}
+
+	// Per-term contribution lists, sorted descending.
+	type entry struct {
+		doc uint32
+		w   float64
+	}
+	lists := make([][]entry, 0, len(terms))
+	// Random-access structure: term index -> doc -> weight.
+	access := make([]map[uint32]float64, 0, len(terms))
+	for _, term := range terms {
+		ps := in.Lists[term]
+		st.TotalPostings += len(ps)
+		es := make([]entry, 0, len(ps))
+		am := make(map[uint32]float64, len(ps))
+		for _, p := range ps {
+			w := in.weight(term, p)
+			es = append(es, entry{doc: p.DocID, w: w})
+			am[p.DocID] = w
+		}
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].w != es[j].w {
+				return es[i].w > es[j].w
+			}
+			return es[i].doc < es[j].doc
+		})
+		lists = append(lists, es)
+		access = append(access, am)
+	}
+
+	seen := make(map[uint32]struct{})
+	var top []ScoredDoc // kept sorted ascending by score for cheap kth lookup
+	push := func(d ScoredDoc) {
+		top = append(top, d)
+		sort.Slice(top, func(i, j int) bool {
+			if top[i].Score != top[j].Score {
+				return top[i].Score < top[j].Score
+			}
+			return top[i].DocID > top[j].DocID
+		})
+		if len(top) > k {
+			top = top[1:]
+		}
+	}
+
+	for pos := 0; ; pos++ {
+		threshold := 0.0
+		exhausted := true
+		for _, es := range lists {
+			if pos >= len(es) {
+				continue
+			}
+			exhausted = false
+			st.SortedAccesses++
+			threshold += es[pos].w
+			doc := es[pos].doc
+			if _, dup := seen[doc]; dup {
+				continue
+			}
+			seen[doc] = struct{}{}
+			// Random access: total score across all query terms.
+			score := 0.0
+			for ai := range access {
+				score += access[ai][doc]
+			}
+			st.RandomAccesses += len(access)
+			push(ScoredDoc{DocID: doc, Score: score})
+		}
+		if !exhausted {
+			st.Depth = pos + 1
+		}
+		if exhausted {
+			break
+		}
+		if len(top) >= k && top[0].Score >= threshold {
+			break
+		}
+	}
+
+	// Convert to descending order.
+	out := make([]ScoredDoc, len(top))
+	for i := range top {
+		out[len(top)-1-i] = top[i]
+	}
+	return out, st
+}
+
+func sortScored(s []ScoredDoc) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Score != s[j].Score {
+			return s[i].Score > s[j].Score
+		}
+		return s[i].DocID < s[j].DocID
+	})
+}

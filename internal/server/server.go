@@ -1,0 +1,369 @@
+// Package server implements one Zerber index server (paper Fig. 3): the
+// encrypted merged posting lists, the user-group metadata, and the access
+// control enforced on every insert, delete, and lookup.
+//
+// A server stores, per merged posting list, the shares destined for its
+// own x-coordinate: tuples (global element ID, group ID, share value).
+// It never sees plaintext elements; even its own administrator learns only
+// combined list lengths and group memberships, which is exactly the view
+// the r-confidentiality analysis grants the adversary (§7.1).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"zerber/internal/auth"
+	"zerber/internal/field"
+	"zerber/internal/merging"
+	"zerber/internal/posting"
+	"zerber/internal/transport"
+)
+
+// Errors returned by server operations.
+var (
+	ErrUnauthorized = errors.New("server: caller not in the required group")
+	ErrNotFound     = errors.New("server: element not found")
+)
+
+// Config configures an index server.
+type Config struct {
+	// Name is a human-readable label used in logs and errors.
+	Name string
+	// X is the server's public, unique, non-zero Shamir x-coordinate.
+	X field.Element
+	// Auth verifies tokens minted by the enterprise authentication
+	// service (shared verification key).
+	Auth *auth.Service
+	// Groups is the server's user-group table. Several servers may share
+	// one table object in simulations; real deployments replicate it.
+	Groups *auth.GroupTable
+}
+
+// Server is one index server. It is safe for concurrent use.
+type Server struct {
+	cfg Config
+
+	mu    sync.RWMutex
+	lists map[merging.ListID][]posting.EncryptedShare
+	// pos locates an element inside its list for O(1) deletion.
+	pos map[merging.ListID]map[posting.GlobalID]int
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// Stats counts server activity; used by the bandwidth experiments.
+type Stats struct {
+	Inserts        int64
+	Deletes        int64
+	Lookups        int64
+	ElementsServed int64
+}
+
+// New constructs a server. It panics on a zero x-coordinate, which would
+// leak the secret (f(0) = a0): that is a programming error, not a runtime
+// condition.
+func New(cfg Config) *Server {
+	if cfg.X == 0 {
+		panic("server: x-coordinate 0 is reserved for the secret")
+	}
+	if cfg.Auth == nil || cfg.Groups == nil {
+		panic("server: Auth and Groups are required")
+	}
+	return &Server{
+		cfg:   cfg,
+		lists: make(map[merging.ListID][]posting.EncryptedShare),
+		pos:   make(map[merging.ListID]map[posting.GlobalID]int),
+	}
+}
+
+var _ transport.API = (*Server)(nil)
+
+// Name returns the server's label.
+func (s *Server) Name() string { return s.cfg.Name }
+
+// XCoord returns the server's public Shamir x-coordinate.
+func (s *Server) XCoord() field.Element { return s.cfg.X }
+
+// Groups exposes the server's group table so the group coordinator can
+// manage membership (outside the narrow query interface, §5.3).
+func (s *Server) Groups() *auth.GroupTable { return s.cfg.Groups }
+
+// Insert authenticates the caller, checks group membership for every
+// share, and appends the shares to their posting lists. The whole batch
+// is validated before any mutation, so a rejected batch changes nothing.
+func (s *Server) Insert(tok auth.Token, ops []transport.InsertOp) error {
+	user, err := s.cfg.Auth.Verify(tok)
+	if err != nil {
+		return fmt.Errorf("%s: %w", s.cfg.Name, err)
+	}
+	memberOf := s.cfg.Groups.GroupSetOf(user)
+	for _, op := range ops {
+		if _, ok := memberOf[auth.GroupID(op.Share.Group)]; !ok {
+			return fmt.Errorf("%s: insert into group %d: %w", s.cfg.Name, op.Share.Group, ErrUnauthorized)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, op := range ops {
+		if s.pos[op.List] == nil {
+			s.pos[op.List] = make(map[posting.GlobalID]int)
+		}
+		if i, exists := s.pos[op.List][op.Share.GlobalID]; exists {
+			// Idempotent re-insert (e.g. an owner retrying a batch after
+			// a partial failure) replaces the stored share.
+			s.lists[op.List][i] = op.Share
+			continue
+		}
+		s.pos[op.List][op.Share.GlobalID] = len(s.lists[op.List])
+		s.lists[op.List] = append(s.lists[op.List], op.Share)
+		s.addStats(Stats{Inserts: 1})
+	}
+	return nil
+}
+
+// Delete authenticates the caller and removes elements by global ID. The
+// caller must belong to each element's group. Missing elements yield
+// ErrNotFound after all present elements have been removed, so deletes
+// are idempotent in effect but honest about absences.
+func (s *Server) Delete(tok auth.Token, ops []transport.DeleteOp) error {
+	user, err := s.cfg.Auth.Verify(tok)
+	if err != nil {
+		return fmt.Errorf("%s: %w", s.cfg.Name, err)
+	}
+	memberOf := s.cfg.Groups.GroupSetOf(user)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var missing int
+	for _, op := range ops {
+		idx, ok := s.pos[op.List][op.ID]
+		if !ok {
+			missing++
+			continue
+		}
+		share := s.lists[op.List][idx]
+		if _, member := memberOf[auth.GroupID(share.Group)]; !member {
+			return fmt.Errorf("%s: delete from group %d: %w", s.cfg.Name, share.Group, ErrUnauthorized)
+		}
+		// Swap-remove and fix the moved element's position.
+		list := s.lists[op.List]
+		last := len(list) - 1
+		moved := list[last]
+		list[idx] = moved
+		s.lists[op.List] = list[:last]
+		if idx != last {
+			s.pos[op.List][moved.GlobalID] = idx
+		}
+		delete(s.pos[op.List], op.ID)
+		if len(s.lists[op.List]) == 0 {
+			delete(s.lists, op.List)
+			delete(s.pos, op.List)
+		}
+		s.addStats(Stats{Deletes: 1})
+	}
+	if missing > 0 {
+		return fmt.Errorf("%s: %d of %d elements: %w", s.cfg.Name, missing, len(ops), ErrNotFound)
+	}
+	return nil
+}
+
+// GetPostingLists authenticates the caller and returns, for each
+// requested list, only the shares whose group the caller belongs to
+// (Algorithm 2, server side). Unknown lists come back empty: the mapping
+// table is public, so list existence is not a secret.
+func (s *Server) GetPostingLists(tok auth.Token, lists []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error) {
+	user, err := s.cfg.Auth.Verify(tok)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", s.cfg.Name, err)
+	}
+	memberOf := s.cfg.Groups.GroupSetOf(user)
+
+	s.mu.RLock()
+	out := make(map[merging.ListID][]posting.EncryptedShare, len(lists))
+	served := int64(0)
+	for _, lid := range lists {
+		var acc []posting.EncryptedShare
+		for _, share := range s.lists[lid] {
+			if _, member := memberOf[auth.GroupID(share.Group)]; member {
+				acc = append(acc, share)
+			}
+		}
+		out[lid] = acc
+		served += int64(len(acc))
+	}
+	s.mu.RUnlock()
+	s.addStats(Stats{Lookups: 1, ElementsServed: served})
+	return out, nil
+}
+
+func (s *Server) addStats(d Stats) {
+	s.statsMu.Lock()
+	s.stats.Inserts += d.Inserts
+	s.stats.Deletes += d.Deletes
+	s.stats.Lookups += d.Lookups
+	s.stats.ElementsServed += d.ElementsServed
+	s.statsMu.Unlock()
+}
+
+// ListLength returns the combined length of a merged posting list — the
+// quantity a compromised server administrator can observe (§5.2).
+func (s *Server) ListLength(lid merging.ListID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.lists[lid])
+}
+
+// ListLengths returns all list lengths: the adversary's complete
+// statistical view of the index contents.
+func (s *Server) ListLengths() map[merging.ListID]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[merging.ListID]int, len(s.lists))
+	for lid, l := range s.lists {
+		out[lid] = len(l)
+	}
+	return out
+}
+
+// TotalElements returns the number of stored shares.
+func (s *Server) TotalElements() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, l := range s.lists {
+		n += len(l)
+	}
+	return n
+}
+
+// StorageBytes returns this server's index size under the wire encoding,
+// for the §7.2 storage-overhead experiment.
+func (s *Server) StorageBytes() int {
+	return s.TotalElements() * posting.WireBytes
+}
+
+// StatsSnapshot returns a copy of the activity counters.
+func (s *Server) StatsSnapshot() Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
+
+// IngestMigrated accepts a whole merged posting list from another node
+// of the same share slot (DHT rebalancing). Shares stay encrypted
+// throughout; existing elements with the same global ID are replaced.
+// This is a trusted node-to-node path, not part of the client API.
+func (s *Server) IngestMigrated(lid merging.ListID, shares []posting.EncryptedShare) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pos[lid] == nil {
+		s.pos[lid] = make(map[posting.GlobalID]int, len(shares))
+	}
+	for _, sh := range shares {
+		if i, exists := s.pos[lid][sh.GlobalID]; exists {
+			s.lists[lid][i] = sh
+			continue
+		}
+		s.pos[lid][sh.GlobalID] = len(s.lists[lid])
+		s.lists[lid] = append(s.lists[lid], sh)
+	}
+	if len(s.lists[lid]) == 0 {
+		delete(s.lists, lid)
+		delete(s.pos, lid)
+	}
+	return nil
+}
+
+// DropList removes a whole merged posting list after it has been
+// migrated to another node. Trusted node-to-node path.
+func (s *Server) DropList(lid merging.ListID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.lists, lid)
+	delete(s.pos, lid)
+	return nil
+}
+
+// DropElement removes one element without authentication — the trusted
+// path used when replaying an already-authorized operation log after a
+// crash (package durable). Missing elements are ignored: a delete that
+// was logged twice must replay idempotently.
+func (s *Server) DropElement(lid merging.ListID, gid posting.GlobalID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, ok := s.pos[lid][gid]
+	if !ok {
+		return
+	}
+	list := s.lists[lid]
+	last := len(list) - 1
+	moved := list[last]
+	list[idx] = moved
+	s.lists[lid] = list[:last]
+	if idx != last {
+		s.pos[lid][moved.GlobalID] = idx
+	}
+	delete(s.pos[lid], gid)
+	if len(s.lists[lid]) == 0 {
+		delete(s.lists, lid)
+		delete(s.pos, lid)
+	}
+}
+
+// ElementKeys enumerates the stored elements as list -> sorted global
+// IDs. Proactive resharing uses it to agree on the element set before
+// generating deltas.
+func (s *Server) ElementKeys() map[merging.ListID][]posting.GlobalID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[merging.ListID][]posting.GlobalID, len(s.lists))
+	for lid, list := range s.lists {
+		ids := make([]posting.GlobalID, len(list))
+		for i, sh := range list {
+			ids[i] = sh.GlobalID
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		out[lid] = ids
+	}
+	return out
+}
+
+// ApplyShareDeltas adds a delta to each addressed share's value — one
+// server's step of a proactive resharing round (Herzberg et al. [21],
+// referenced in paper §5.1). Every addressed element must exist;
+// otherwise nothing is changed and an error is returned, because a
+// partially refreshed element would become undecryptable.
+func (s *Server) ApplyShareDeltas(deltas map[merging.ListID]map[posting.GlobalID]field.Element) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for lid, byID := range deltas {
+		for gid := range byID {
+			if _, ok := s.pos[lid][gid]; !ok {
+				return fmt.Errorf("%s: reshare delta for missing element %d in list %d: %w",
+					s.cfg.Name, gid, lid, ErrNotFound)
+			}
+		}
+	}
+	for lid, byID := range deltas {
+		for gid, delta := range byID {
+			idx := s.pos[lid][gid]
+			s.lists[lid][idx].Y = field.Add(s.lists[lid][idx].Y, delta)
+		}
+	}
+	return nil
+}
+
+// RawList exposes the stored shares of one list without authentication.
+// It models an adversary who has taken over the server box (§7.1) and is
+// used by the adversary example and the security tests — never by clients.
+func (s *Server) RawList(lid merging.ListID) []posting.EncryptedShare {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]posting.EncryptedShare, len(s.lists[lid]))
+	copy(out, s.lists[lid])
+	return out
+}

@@ -1,0 +1,50 @@
+package shamir
+
+import (
+	"fmt"
+	"io"
+
+	"zerber/internal/field"
+)
+
+// Refresh implements proactive secret sharing (Herzberg et al. [21],
+// referenced in paper §5.1): the servers jointly add a fresh random
+// polynomial with constant term zero to the sharing polynomial. Shares an
+// adversary captured before the refresh become useless afterwards, while
+// the shared secret is unchanged.
+//
+// Refresh returns the per-server deltas delta_i = g(x_i) for a random
+// polynomial g of degree k-1 with g(0) = 0. Each server i replaces its
+// share y_i with y_i + delta_i. The xs must match the servers' public
+// x-coordinates.
+func Refresh(k int, xs []field.Element, rng io.Reader) ([]field.Element, error) {
+	if k < 1 || k > len(xs) {
+		return nil, fmt.Errorf("%w: k=%d, n=%d", ErrBadParams, k, len(xs))
+	}
+	if err := validateXs(xs); err != nil {
+		return nil, err
+	}
+	g, err := field.NewRandomPoly(0, k, rng)
+	if err != nil {
+		return nil, err
+	}
+	deltas := make([]field.Element, len(xs))
+	for i, x := range xs {
+		deltas[i] = g.Eval(x)
+	}
+	return deltas, nil
+}
+
+// ApplyRefresh adds the deltas produced by Refresh to a share set,
+// returning the refreshed shares. Shares are matched to deltas by
+// position; xs order must be the same as in the Refresh call.
+func ApplyRefresh(shares []Share, deltas []field.Element) ([]Share, error) {
+	if len(shares) != len(deltas) {
+		return nil, fmt.Errorf("shamir: %d shares but %d deltas", len(shares), len(deltas))
+	}
+	out := make([]Share, len(shares))
+	for i, s := range shares {
+		out[i] = Share{X: s.X, Y: field.Add(s.Y, deltas[i])}
+	}
+	return out, nil
+}

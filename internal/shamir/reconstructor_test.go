@@ -1,0 +1,98 @@
+package shamir
+
+import (
+	"testing"
+
+	"zerber/internal/field"
+)
+
+func TestReconstructorMatchesLagrange(t *testing.T) {
+	rng := detRand(30)
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + rng.Intn(5)
+		n := k + rng.Intn(3)
+		secret := field.New(rng.Uint64())
+		shares, err := Split(secret, k, xsUpTo(n), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs := make([]field.Element, k)
+		ys := make([]field.Element, k)
+		for i := 0; i < k; i++ {
+			xs[i], ys[i] = shares[i].X, shares[i].Y
+		}
+		rec, err := NewReconstructor(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rec.Reconstruct(ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != secret {
+			t.Fatalf("k=%d: reconstructor gave %d, want %d", k, got, secret)
+		}
+	}
+}
+
+func TestReconstructorReuseAcrossElements(t *testing.T) {
+	rng := detRand(31)
+	xs := []field.Element{11, 22, 33}
+	rec, err := NewReconstructor(xs[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		secret := field.New(rng.Uint64())
+		shares, err := Split(secret, 2, xs, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rec.Reconstruct([]field.Element{shares[0].Y, shares[1].Y})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != secret {
+			t.Fatalf("element %d: got %d, want %d", i, got, secret)
+		}
+	}
+}
+
+func TestReconstructorValidation(t *testing.T) {
+	if _, err := NewReconstructor(nil); err == nil {
+		t.Error("empty xs must be rejected")
+	}
+	if _, err := NewReconstructor([]field.Element{0, 1}); err == nil {
+		t.Error("zero x must be rejected")
+	}
+	if _, err := NewReconstructor([]field.Element{5, 5}); err == nil {
+		t.Error("duplicate xs must be rejected")
+	}
+	rec, err := NewReconstructor([]field.Element{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Reconstruct([]field.Element{1}); err == nil {
+		t.Error("wrong ys length must be rejected")
+	}
+	if rec.K() != 2 || len(rec.Xs()) != 2 {
+		t.Error("accessors wrong")
+	}
+}
+
+func BenchmarkReconstructorK2(b *testing.B) {
+	rng := detRand(32)
+	shares, _ := Split(12345, 2, xsUpTo(3), rng)
+	rec, err := NewReconstructor([]field.Element{shares[0].X, shares[1].X})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ys := []field.Element{shares[0].Y, shares[1].Y}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rec.Reconstruct(ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

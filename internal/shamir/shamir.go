@@ -1,0 +1,224 @@
+// Package shamir implements Shamir's k-out-of-n secret sharing over the
+// field Z_p (p = 2^61 - 1), as used by Zerber to encrypt posting list
+// elements (paper §5.1, Algorithms 1a and 1b).
+//
+// Each index server i is assigned a public, unique, non-zero x-coordinate
+// x_i. To share a secret a0, the document owner picks a random polynomial
+// f of degree k-1 with f(0) = a0 and sends y_i = f(x_i) to server i. Any k
+// shares reconstruct a0; any k-1 shares are information-theoretically
+// independent of it.
+//
+// Two reconstruction routines are provided: Gaussian elimination on the
+// k x k Vandermonde system (the method named in Algorithm 1b, O(k^3)) and
+// Lagrange interpolation at x = 0 (O(k^2)). They agree on all inputs; the
+// benchmarks in the repository root compare them (DESIGN.md ablation 1).
+package shamir
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"zerber/internal/field"
+)
+
+// Share is one point (x, y) on the sharing polynomial. X identifies the
+// server the share was produced for; Y is the share value f(x).
+type Share struct {
+	X field.Element
+	Y field.Element
+}
+
+// Errors returned by this package.
+var (
+	ErrTooFewShares   = errors.New("shamir: fewer than k shares supplied")
+	ErrDuplicateX     = errors.New("shamir: duplicate x-coordinates in share set")
+	ErrZeroX          = errors.New("shamir: x-coordinate 0 is reserved for the secret")
+	ErrBadParams      = errors.New("shamir: need 1 <= k <= n")
+	ErrSingularSystem = errors.New("shamir: linear system is singular")
+)
+
+// Split implements Algorithm 1a: it shares secret among len(xs) servers so
+// that any k shares reconstruct it. xs are the servers' public
+// x-coordinates; they must be distinct and non-zero. rng supplies the
+// random coefficients (nil means crypto/rand).
+func Split(secret field.Element, k int, xs []field.Element, rng io.Reader) ([]Share, error) {
+	if k < 1 || k > len(xs) {
+		return nil, fmt.Errorf("%w: k=%d, n=%d", ErrBadParams, k, len(xs))
+	}
+	if err := validateXs(xs); err != nil {
+		return nil, err
+	}
+	poly, err := field.NewRandomPoly(secret, k, rng)
+	if err != nil {
+		return nil, err
+	}
+	shares := make([]Share, len(xs))
+	for i, x := range xs {
+		shares[i] = Share{X: x, Y: poly.Eval(x)}
+	}
+	return shares, nil
+}
+
+// SplitWithPoly is Split for callers that need the polynomial back
+// (e.g. to later extend the server set without touching existing shares).
+func SplitWithPoly(secret field.Element, k int, xs []field.Element, rng io.Reader) ([]Share, field.Poly, error) {
+	if k < 1 || k > len(xs) {
+		return nil, nil, fmt.Errorf("%w: k=%d, n=%d", ErrBadParams, k, len(xs))
+	}
+	if err := validateXs(xs); err != nil {
+		return nil, nil, err
+	}
+	poly, err := field.NewRandomPoly(secret, k, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	shares := make([]Share, len(xs))
+	for i, x := range xs {
+		shares[i] = Share{X: x, Y: poly.Eval(x)}
+	}
+	return shares, poly, nil
+}
+
+// Reconstruct recovers the secret from at least k shares using Lagrange
+// interpolation at x = 0 (O(k^2)). Exactly the first k shares are used.
+func Reconstruct(shares []Share, k int) (field.Element, error) {
+	if err := checkShares(shares, k); err != nil {
+		return 0, err
+	}
+	s := shares[:k]
+	var secret field.Element
+	for i := 0; i < k; i++ {
+		// basis_i(0) = prod_{j != i} x_j / (x_j - x_i)
+		num, den := field.Element(1), field.Element(1)
+		for j := 0; j < k; j++ {
+			if j == i {
+				continue
+			}
+			num = field.Mul(num, s[j].X)
+			den = field.Mul(den, field.Sub(s[j].X, s[i].X))
+		}
+		term := field.Mul(s[i].Y, field.Div(num, den))
+		secret = field.Add(secret, term)
+	}
+	return secret, nil
+}
+
+// ReconstructGaussian recovers the secret by solving the k x k Vandermonde
+// system y_i = a_{k-1} x_i^{k-1} + ... + a_0 with Gaussian elimination, the
+// O(k^3) method named in Algorithm 1b. It returns a_0, the secret.
+func ReconstructGaussian(shares []Share, k int) (field.Element, error) {
+	poly, err := InterpolatePoly(shares, k)
+	if err != nil {
+		return 0, err
+	}
+	return poly[0], nil
+}
+
+// InterpolatePoly solves for the full coefficient vector of the degree k-1
+// polynomial through the first k shares. It is the workhorse for
+// ReconstructGaussian and for extending the server set (§5.1: "dynamic
+// extension of the number n of servers ... by just selecting additional
+// points on the polynomial curve").
+func InterpolatePoly(shares []Share, k int) (field.Poly, error) {
+	if err := checkShares(shares, k); err != nil {
+		return nil, err
+	}
+	s := shares[:k]
+
+	// Build the augmented Vandermonde matrix [x_i^0 ... x_i^{k-1} | y_i].
+	m := make([][]field.Element, k)
+	for i := 0; i < k; i++ {
+		row := make([]field.Element, k+1)
+		pow := field.Element(1)
+		for j := 0; j < k; j++ {
+			row[j] = pow
+			pow = field.Mul(pow, s[i].X)
+		}
+		row[k] = s[i].Y
+		m[i] = row
+	}
+
+	// Forward elimination with partial pivoting (any non-zero pivot works
+	// in a field; we take the first).
+	for col := 0; col < k; col++ {
+		pivot := -1
+		for r := col; r < k; r++ {
+			if m[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingularSystem
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		inv := field.Inv(m[col][col])
+		for j := col; j <= k; j++ {
+			m[col][j] = field.Mul(m[col][j], inv)
+		}
+		for r := 0; r < k; r++ {
+			if r == col || m[r][col] == 0 {
+				continue
+			}
+			factor := m[r][col]
+			for j := col; j <= k; j++ {
+				m[r][j] = field.Sub(m[r][j], field.Mul(factor, m[col][j]))
+			}
+		}
+	}
+
+	poly := make(field.Poly, k)
+	for i := 0; i < k; i++ {
+		poly[i] = m[i][k]
+	}
+	return poly, nil
+}
+
+// Extend derives shares for additional servers with x-coordinates newXs
+// from any k existing shares, without changing the existing ones.
+func Extend(shares []Share, k int, newXs []field.Element) ([]Share, error) {
+	poly, err := InterpolatePoly(shares, k)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateXs(newXs); err != nil {
+		return nil, err
+	}
+	out := make([]Share, len(newXs))
+	for i, x := range newXs {
+		out[i] = Share{X: x, Y: poly.Eval(x)}
+	}
+	return out, nil
+}
+
+func validateXs(xs []field.Element) error {
+	seen := make(map[field.Element]struct{}, len(xs))
+	for _, x := range xs {
+		if x == 0 {
+			return ErrZeroX
+		}
+		if _, dup := seen[x]; dup {
+			return fmt.Errorf("%w: x=%d", ErrDuplicateX, x)
+		}
+		seen[x] = struct{}{}
+	}
+	return nil
+}
+
+func checkShares(shares []Share, k int) error {
+	if k < 1 || len(shares) < k {
+		return fmt.Errorf("%w: have %d, need %d", ErrTooFewShares, len(shares), k)
+	}
+	seen := make(map[field.Element]struct{}, k)
+	for _, s := range shares[:k] {
+		if s.X == 0 {
+			return ErrZeroX
+		}
+		if _, dup := seen[s.X]; dup {
+			return fmt.Errorf("%w: x=%d", ErrDuplicateX, s.X)
+		}
+		seen[s.X] = struct{}{}
+	}
+	return nil
+}

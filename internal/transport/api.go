@@ -1,0 +1,55 @@
+// Package transport defines the narrow wire interface of a Zerber index
+// server — "only insert, delete, and look up posting elements" (§5) —
+// together with two interchangeable implementations:
+//
+//   - Local: in-process calls with byte accounting, used by the simulation
+//     experiments (§7.3 network bandwidth) and the tests;
+//   - HTTP: a JSON-over-HTTP client/server pair, used by the cmd/ binaries
+//     so a Zerber cluster actually runs across processes.
+package transport
+
+import (
+	"zerber/internal/auth"
+	"zerber/internal/field"
+	"zerber/internal/merging"
+	"zerber/internal/posting"
+)
+
+// InsertOp adds one encrypted share to a merged posting list.
+type InsertOp struct {
+	List  merging.ListID         `json:"list"`
+	Share posting.EncryptedShare `json:"share"`
+}
+
+// DeleteOp removes one element (by global ID) from a merged posting list.
+// Document IDs are encrypted, so owners delete element-by-element (§7.3:
+// "To delete a document, its owner must delete each element separately").
+type DeleteOp struct {
+	List merging.ListID   `json:"list"`
+	ID   posting.GlobalID `json:"id"`
+}
+
+// API is the complete external interface of one index server.
+type API interface {
+	// XCoord returns the server's public Shamir x-coordinate.
+	XCoord() field.Element
+	// Insert authenticates the caller and appends shares to posting
+	// lists; the caller must belong to each share's group.
+	Insert(tok auth.Token, ops []InsertOp) error
+	// Delete authenticates the caller and removes elements by global ID.
+	Delete(tok auth.Token, ops []DeleteOp) error
+	// GetPostingLists authenticates the caller and returns, for each
+	// requested list, the shares belonging to groups the caller is a
+	// member of (paper §5.4.2).
+	GetPostingLists(tok auth.Token, lists []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error)
+}
+
+// Wire-size constants for the byte accounting (§7.3). A posting list
+// request carries 4 bytes per list ID; a response carries WireBytes per
+// share plus 4 bytes per list header. Tokens ride in headers and are
+// charged at their string length.
+const (
+	ListIDBytes     = 4
+	ShareBytes      = posting.WireBytes
+	ListHeaderBytes = 4
+)

@@ -1,0 +1,215 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"zerber/internal/auth"
+	"zerber/internal/field"
+	"zerber/internal/merging"
+	"zerber/internal/posting"
+)
+
+// The HTTP wire protocol: three POST endpoints mirroring the narrow API,
+// with the auth token in the Authorization header. Payloads are JSON; the
+// paper's near-random share values make compression pointless (§7.3), so
+// none is applied.
+const (
+	pathInsert = "/v1/insert"
+	pathDelete = "/v1/delete"
+	pathLookup = "/v1/lookup"
+	pathXCoord = "/v1/xcoord"
+
+	authHeader = "Authorization"
+)
+
+// NewHTTPHandler exposes an index server implementation over HTTP.
+func NewHTTPHandler(api API) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(pathXCoord, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, api.XCoord().Uint64())
+	})
+	mux.HandleFunc(pathInsert, func(w http.ResponseWriter, r *http.Request) {
+		var ops []InsertOp
+		if !readJSON(w, r, &ops) {
+			return
+		}
+		if err := api.Insert(token(r), ops); err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, "ok")
+	})
+	mux.HandleFunc(pathDelete, func(w http.ResponseWriter, r *http.Request) {
+		var ops []DeleteOp
+		if !readJSON(w, r, &ops) {
+			return
+		}
+		if err := api.Delete(token(r), ops); err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, "ok")
+	})
+	mux.HandleFunc(pathLookup, func(w http.ResponseWriter, r *http.Request) {
+		var lists []merging.ListID
+		if !readJSON(w, r, &lists) {
+			return
+		}
+		out, err := api.GetPostingLists(token(r), lists)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		// JSON object keys must be strings; encode list IDs in decimal.
+		enc := make(map[string][]posting.EncryptedShare, len(out))
+		for lid, shares := range out {
+			enc[strconv.FormatUint(uint64(lid), 10)] = shares
+		}
+		writeJSON(w, enc)
+	})
+	return mux
+}
+
+func token(r *http.Request) auth.Token { return auth.Token(r.Header.Get(authHeader)) }
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers already sent; nothing more to do.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	// Authentication and authorization failures map to 401/403; anything
+	// else is a 400 so the client sees the message.
+	code := http.StatusBadRequest
+	switch {
+	case containsAny(err.Error(), "invalid token", "expired token"):
+		code = http.StatusUnauthorized
+	case containsAny(err.Error(), "not in the required group"):
+		code = http.StatusForbidden
+	}
+	http.Error(w, err.Error(), code)
+}
+
+func containsAny(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if bytes.Contains([]byte(s), []byte(sub)) {
+			return true
+		}
+	}
+	return false
+}
+
+// HTTPClient talks to a remote index server over the protocol above and
+// implements API, so clients and owners are transport-agnostic.
+type HTTPClient struct {
+	base   string
+	client *http.Client
+	x      field.Element
+}
+
+// DialHTTP connects to an index server at baseURL (e.g.
+// "http://ix1.example:8291") and fetches its public x-coordinate.
+func DialHTTP(baseURL string, timeout time.Duration) (*HTTPClient, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	c := &HTTPClient{base: baseURL, client: &http.Client{Timeout: timeout}}
+	resp, err := c.client.Get(baseURL + pathXCoord)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing %s: %w", baseURL, err)
+	}
+	defer resp.Body.Close()
+	var x uint64
+	if err := json.NewDecoder(resp.Body).Decode(&x); err != nil {
+		return nil, fmt.Errorf("transport: reading x-coordinate: %w", err)
+	}
+	xe, err := field.Check(x)
+	if err != nil {
+		return nil, fmt.Errorf("transport: server x-coordinate: %w", err)
+	}
+	c.x = xe
+	return c, nil
+}
+
+var _ API = (*HTTPClient)(nil)
+
+// XCoord returns the server's x-coordinate fetched at dial time.
+func (c *HTTPClient) XCoord() field.Element { return c.x }
+
+// Insert posts insert ops.
+func (c *HTTPClient) Insert(tok auth.Token, ops []InsertOp) error {
+	var ok string
+	return c.post(pathInsert, tok, ops, &ok)
+}
+
+// Delete posts delete ops.
+func (c *HTTPClient) Delete(tok auth.Token, ops []DeleteOp) error {
+	var ok string
+	return c.post(pathDelete, tok, ops, &ok)
+}
+
+// GetPostingLists posts a lookup and decodes the share map.
+func (c *HTTPClient) GetPostingLists(tok auth.Token, lists []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error) {
+	enc := make(map[string][]posting.EncryptedShare)
+	if err := c.post(pathLookup, tok, lists, &enc); err != nil {
+		return nil, err
+	}
+	out := make(map[merging.ListID][]posting.EncryptedShare, len(enc))
+	for key, shares := range enc {
+		lid, err := strconv.ParseUint(key, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("transport: bad list ID %q in response: %w", key, err)
+		}
+		out[merging.ListID(lid)] = shares
+	}
+	return out, nil
+}
+
+func (c *HTTPClient) post(path string, tok auth.Token, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("transport: encoding request: %w", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set(authHeader, string(tok))
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("transport: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("transport: %s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

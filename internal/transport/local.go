@@ -1,0 +1,88 @@
+package transport
+
+import (
+	"sync"
+
+	"zerber/internal/auth"
+	"zerber/internal/field"
+	"zerber/internal/merging"
+	"zerber/internal/posting"
+)
+
+// Local wraps an in-process API implementation and accounts for the bytes
+// that each call would move over the network under the tight wire
+// encoding. The §7.3 bandwidth experiments read these counters.
+type Local struct {
+	api API
+
+	mu      sync.Mutex
+	sent    int64 // bytes client -> server
+	recv    int64 // bytes server -> client
+	queries int64
+}
+
+// NewLocal wraps api.
+func NewLocal(api API) *Local { return &Local{api: api} }
+
+var _ API = (*Local)(nil)
+
+// XCoord returns the wrapped server's x-coordinate.
+func (l *Local) XCoord() field.Element { return l.api.XCoord() }
+
+// Insert forwards to the wrapped server and charges request bytes.
+func (l *Local) Insert(tok auth.Token, ops []InsertOp) error {
+	l.charge(int64(len(tok))+int64(len(ops))*(ListIDBytes+ShareBytes), 1)
+	return l.api.Insert(tok, ops)
+}
+
+// Delete forwards to the wrapped server and charges request bytes.
+func (l *Local) Delete(tok auth.Token, ops []DeleteOp) error {
+	l.charge(int64(len(tok))+int64(len(ops))*(ListIDBytes+8), 1)
+	return l.api.Delete(tok, ops)
+}
+
+// GetPostingLists forwards to the wrapped server and charges request and
+// response bytes.
+func (l *Local) GetPostingLists(tok auth.Token, lists []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error) {
+	l.charge(int64(len(tok))+int64(len(lists))*ListIDBytes, 1)
+	out, err := l.api.GetPostingLists(tok, lists)
+	if err != nil {
+		return nil, err
+	}
+	var resp int64
+	for _, shares := range out {
+		resp += ListHeaderBytes + int64(len(shares))*ShareBytes
+	}
+	l.mu.Lock()
+	l.recv += resp
+	l.queries++
+	l.mu.Unlock()
+	return out, nil
+}
+
+func (l *Local) charge(req int64, _ int) {
+	l.mu.Lock()
+	l.sent += req
+	l.mu.Unlock()
+}
+
+// BytesSent returns cumulative client-to-server bytes.
+func (l *Local) BytesSent() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sent
+}
+
+// BytesReceived returns cumulative server-to-client bytes.
+func (l *Local) BytesReceived() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recv
+}
+
+// ResetCounters zeroes the byte accounting.
+func (l *Local) ResetCounters() {
+	l.mu.Lock()
+	l.sent, l.recv, l.queries = 0, 0, 0
+	l.mu.Unlock()
+}

@@ -1,0 +1,190 @@
+package transport_test
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"zerber/internal/auth"
+	"zerber/internal/field"
+	"zerber/internal/merging"
+	"zerber/internal/posting"
+	"zerber/internal/server"
+	"zerber/internal/transport"
+)
+
+func newServer(t *testing.T) (*server.Server, auth.Token) {
+	t.Helper()
+	svc, err := auth.NewService(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := auth.NewGroupTable()
+	groups.Add("alice", 1)
+	srv := server.New(server.Config{Name: "ix", X: field.New(42), Auth: svc, Groups: groups})
+	return srv, svc.Issue("alice")
+}
+
+func sampleShare(gid posting.GlobalID, y uint64) posting.EncryptedShare {
+	return posting.EncryptedShare{GlobalID: gid, Group: 1, Y: field.New(y)}
+}
+
+func TestLocalPassThrough(t *testing.T) {
+	srv, tok := newServer(t)
+	l := transport.NewLocal(srv)
+	if l.XCoord() != field.New(42) {
+		t.Error("XCoord passthrough broken")
+	}
+	if err := l.Insert(tok, []transport.InsertOp{{List: 1, Share: sampleShare(1, 100)}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := l.GetPostingLists(tok, []merging.ListID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out[1]) != 1 || out[1][0].Y != field.New(100) {
+		t.Fatalf("lookup via local transport: %v", out)
+	}
+	if err := l.Delete(tok, []transport.DeleteOp{{List: 1, ID: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if srv.TotalElements() != 0 {
+		t.Error("delete did not pass through")
+	}
+}
+
+func TestLocalByteAccounting(t *testing.T) {
+	srv, tok := newServer(t)
+	l := transport.NewLocal(srv)
+	if err := l.Insert(tok, []transport.InsertOp{
+		{List: 1, Share: sampleShare(1, 1)},
+		{List: 1, Share: sampleShare(2, 2)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wantSent := int64(len(tok)) + 2*(transport.ListIDBytes+transport.ShareBytes)
+	if got := l.BytesSent(); got != wantSent {
+		t.Errorf("BytesSent after insert = %d, want %d", got, wantSent)
+	}
+	if _, err := l.GetPostingLists(tok, []merging.ListID{1}); err != nil {
+		t.Fatal(err)
+	}
+	wantRecv := int64(transport.ListHeaderBytes + 2*transport.ShareBytes)
+	if got := l.BytesReceived(); got != wantRecv {
+		t.Errorf("BytesReceived = %d, want %d", got, wantRecv)
+	}
+	l.ResetCounters()
+	if l.BytesSent() != 0 || l.BytesReceived() != 0 {
+		t.Error("ResetCounters did not zero")
+	}
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	srv, tok := newServer(t)
+	ts := httptest.NewServer(transport.NewHTTPHandler(srv))
+	defer ts.Close()
+
+	c, err := transport.DialHTTP(ts.URL, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.XCoord() != field.New(42) {
+		t.Errorf("XCoord over HTTP = %d, want 42", c.XCoord())
+	}
+	if err := c.Insert(tok, []transport.InsertOp{
+		{List: 5, Share: sampleShare(10, 123456789012345)},
+		{List: 5, Share: sampleShare(11, 9)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.GetPostingLists(tok, []merging.ListID{5, 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out[5]) != 2 {
+		t.Fatalf("lookup over HTTP: %d shares", len(out[5]))
+	}
+	// Large Y values must survive the JSON round trip exactly.
+	found := false
+	for _, sh := range out[5] {
+		if sh.GlobalID == 10 && sh.Y == field.New(123456789012345) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("share value corrupted over HTTP")
+	}
+	if len(out[77]) != 0 {
+		t.Error("unknown list must be empty over HTTP")
+	}
+	if err := c.Delete(tok, []transport.DeleteOp{{List: 5, ID: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if srv.TotalElements() != 1 {
+		t.Error("HTTP delete did not reach the server")
+	}
+}
+
+func TestHTTPLargeYPrecision(t *testing.T) {
+	// Shares are uniform in [0, 2^61); JSON must carry them exactly.
+	srv, tok := newServer(t)
+	ts := httptest.NewServer(transport.NewHTTPHandler(srv))
+	defer ts.Close()
+	c, err := transport.DialHTTP(ts.URL, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := uint64(field.P - 1) // 2^61 - 2: above 2^53, so any float64 detour would corrupt it
+	if err := c.Insert(tok, []transport.InsertOp{{List: 1, Share: sampleShare(1, huge)}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.GetPostingLists(tok, []merging.ListID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out[1][0].Y.Uint64(); got != huge {
+		t.Fatalf("Y = %d, want %d (precision lost in JSON)", got, huge)
+	}
+}
+
+func TestHTTPAuthFailures(t *testing.T) {
+	srv, _ := newServer(t)
+	ts := httptest.NewServer(transport.NewHTTPHandler(srv))
+	defer ts.Close()
+	c, err := transport.DialHTTP(ts.URL, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Insert(auth.Token("garbage"), []transport.InsertOp{{List: 1, Share: sampleShare(1, 1)}})
+	if err == nil {
+		t.Fatal("bad token accepted over HTTP")
+	}
+	if !strings.Contains(err.Error(), "401") {
+		t.Errorf("expected 401 in error, got: %v", err)
+	}
+}
+
+func TestHTTPForbidden(t *testing.T) {
+	srv, tok := newServer(t)
+	ts := httptest.NewServer(transport.NewHTTPHandler(srv))
+	defer ts.Close()
+	c, err := transport.DialHTTP(ts.URL, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alice is in group 1 only; group 99 insert is forbidden.
+	err = c.Insert(tok, []transport.InsertOp{{List: 1, Share: posting.EncryptedShare{GlobalID: 1, Group: 99, Y: 1}}})
+	if err == nil {
+		t.Fatal("cross-group insert accepted over HTTP")
+	}
+	if !strings.Contains(err.Error(), "403") {
+		t.Errorf("expected 403 in error, got: %v", err)
+	}
+}
+
+func TestDialHTTPBadAddress(t *testing.T) {
+	if _, err := transport.DialHTTP("http://127.0.0.1:1", 200*time.Millisecond); err == nil {
+		t.Error("dialing a dead address must fail")
+	}
+}

@@ -1,0 +1,159 @@
+// Package tuning implements the future work named in paper §7.5:
+// "Methods of choosing a target value for r that adapt to the
+// characteristics of the document frequency distribution are an
+// interesting direction for future work."
+//
+// The tuner sweeps candidate list counts M, builds a DFM table for each
+// with the §7.5 head/tail split (target mass = the rank-10% probability,
+// rare terms hash-routed), and measures both sides of the trade-off:
+// the resulting confidentiality r (formula (7)) and the query workload
+// overhead versus an unmerged index (formula (6)). The result is a
+// confidentiality/efficiency frontier from which a deployment picks the
+// operating point matching its constraints.
+package tuning
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"zerber/internal/confidential"
+	"zerber/internal/merging"
+	"zerber/internal/workload"
+)
+
+// Point is one operating point on the frontier.
+type Point struct {
+	// M is the number of merged posting lists.
+	M int
+	// R is the resulting confidentiality parameter (formula (7));
+	// smaller is stronger.
+	R float64
+	// Overhead is TotalCost(merged)/UnmergedCost: 1.0 means queries cost
+	// the same as on an ordinary inverted index.
+	Overhead float64
+	// Table is the mapping table realizing this point.
+	Table *merging.Table
+}
+
+// Constraints bound the acceptable operating points.
+type Constraints struct {
+	// MaxR caps the confidentiality parameter (0 = unconstrained).
+	MaxR float64
+	// MaxOverhead caps the workload overhead ratio (0 = unconstrained).
+	MaxOverhead float64
+}
+
+// Errors returned by the tuner.
+var (
+	ErrNoCandidates = errors.New("tuning: no candidate list counts")
+	ErrInfeasible   = errors.New("tuning: no operating point satisfies the constraints")
+)
+
+// Frontier sweeps the candidate M values and returns one point per
+// candidate, in the given order. Query statistics weight the overhead
+// computation; seed fixes table construction.
+func Frontier(dist *confidential.Distribution, stats workload.TermStats, candidates []int, seed int64) ([]Point, error) {
+	if len(candidates) == 0 {
+		return nil, ErrNoCandidates
+	}
+	ranked := dist.TermsByProbability()
+	cut := ranked[len(ranked)/10]
+	need := dist.P(cut)
+	targetR := math.Inf(1)
+	if need > 0 {
+		targetR = 1 / need
+	}
+	base := workload.UnmergedCost(stats)
+	points := make([]Point, 0, len(candidates))
+	for _, m := range candidates {
+		if m < 1 {
+			return nil, fmt.Errorf("tuning: candidate M=%d", m)
+		}
+		table, err := merging.Build(dist, merging.Options{
+			Heuristic:  merging.DFM,
+			M:          m,
+			R:          targetR,
+			RareCutoff: need,
+			Seed:       seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("tuning: building M=%d: %w", m, err)
+		}
+		overhead := math.Inf(1)
+		if base > 0 {
+			overhead = workload.TotalCost(table, stats) / base
+		}
+		points = append(points, Point{M: m, R: table.RValue(), Overhead: overhead, Table: table})
+	}
+	return points, nil
+}
+
+// DefaultCandidates proposes a geometric sweep of list counts adapted to
+// the vocabulary size: from vocab/1024 up to vocab/16, doubling — the
+// same fractions that bracket the paper's 1K-32K range.
+func DefaultCandidates(vocabSize int) []int {
+	var out []int
+	for frac := 1024; frac >= 16; frac /= 2 {
+		m := vocabSize / frac
+		if m < 2 {
+			continue
+		}
+		if len(out) > 0 && out[len(out)-1] == m {
+			continue
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		out = []int{2}
+	}
+	return out
+}
+
+// Choose returns the point with the strongest confidentiality (smallest
+// r) among those meeting the constraints; among equals it prefers lower
+// overhead. With no constraints it returns the knee point: the smallest
+// r whose overhead is at most twice the minimum overhead on the
+// frontier — the "almost as fast as an ordinary inverted index" regime
+// the paper targets.
+func Choose(points []Point, c Constraints) (Point, error) {
+	if len(points) == 0 {
+		return Point{}, ErrNoCandidates
+	}
+	feasible := make([]Point, 0, len(points))
+	for _, p := range points {
+		if c.MaxR > 0 && p.R > c.MaxR {
+			continue
+		}
+		if c.MaxOverhead > 0 && p.Overhead > c.MaxOverhead {
+			continue
+		}
+		feasible = append(feasible, p)
+	}
+	if len(feasible) == 0 {
+		return Point{}, ErrInfeasible
+	}
+	if c.MaxR == 0 && c.MaxOverhead == 0 {
+		minOver := math.Inf(1)
+		for _, p := range feasible {
+			if p.Overhead < minOver {
+				minOver = p.Overhead
+			}
+		}
+		budget := 2 * minOver
+		best := Point{R: math.Inf(1)}
+		for _, p := range feasible {
+			if p.Overhead <= budget && p.R < best.R {
+				best = p
+			}
+		}
+		return best, nil
+	}
+	best := feasible[0]
+	for _, p := range feasible[1:] {
+		if p.R < best.R || (p.R == best.R && p.Overhead < best.Overhead) {
+			best = p
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,159 @@
+package tuning
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"zerber/internal/confidential"
+	"zerber/internal/workload"
+)
+
+func zipfEnv(t *testing.T, n int) (*confidential.Distribution, workload.TermStats) {
+	t.Helper()
+	dfs := make(map[string]int, n)
+	qfs := make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		term := fmt.Sprintf("t%05d", i)
+		dfs[term] = 1 + 50000/(i+1)
+		qfs[term] = 1 + 20000/(i+1)
+	}
+	dist, err := confidential.NewDistribution(dfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dist, workload.TermStats{DocFreq: dfs, QueryFreq: qfs}
+}
+
+func TestFrontierMonotoneTradeoff(t *testing.T) {
+	dist, stats := zipfEnv(t, 4000)
+	candidates := []int{8, 32, 128, 512}
+	points, err := Frontier(dist, stats, candidates, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(candidates) {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		// Confidentiality weakens (r grows) as M grows...
+		if points[i].R < points[i-1].R {
+			t.Errorf("r not monotone: M=%d r=%v after M=%d r=%v",
+				points[i].M, points[i].R, points[i-1].M, points[i-1].R)
+		}
+	}
+	// ...and the largest M is cheaper than the smallest.
+	if points[len(points)-1].Overhead >= points[0].Overhead {
+		t.Errorf("overhead did not fall: M=%d %.2fx vs M=%d %.2fx",
+			points[0].M, points[0].Overhead,
+			points[len(points)-1].M, points[len(points)-1].Overhead)
+	}
+	for _, p := range points {
+		if p.Overhead < 1-1e-9 {
+			t.Errorf("M=%d overhead %v < 1; merging cannot be cheaper than unmerged", p.M, p.Overhead)
+		}
+		if p.Table == nil || p.Table.M() != p.M {
+			t.Errorf("M=%d table missing or inconsistent", p.M)
+		}
+	}
+}
+
+func TestDefaultCandidates(t *testing.T) {
+	c := DefaultCandidates(100000)
+	if len(c) < 4 {
+		t.Fatalf("candidates = %v", c)
+	}
+	for i := 1; i < len(c); i++ {
+		if c[i] <= c[i-1] {
+			t.Fatalf("not increasing: %v", c)
+		}
+	}
+	if got := DefaultCandidates(10); len(got) == 0 {
+		t.Error("tiny vocab must still yield a candidate")
+	}
+}
+
+func TestChooseRespectsConstraints(t *testing.T) {
+	dist, stats := zipfEnv(t, 4000)
+	points, err := Frontier(dist, stats, []int{8, 32, 128, 512}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cap overhead: the chosen point must satisfy it and have the
+	// smallest r among those that do.
+	maxOver := points[2].Overhead * 1.01
+	chosen, err := Choose(points, Constraints{MaxOverhead: maxOver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen.Overhead > maxOver {
+		t.Errorf("chosen overhead %v exceeds cap %v", chosen.Overhead, maxOver)
+	}
+	for _, p := range points {
+		if p.Overhead <= maxOver && p.R < chosen.R {
+			t.Errorf("point M=%d has smaller r %v than chosen %v", p.M, p.R, chosen.R)
+		}
+	}
+	// Cap r instead.
+	maxR := points[1].R * 1.01
+	chosen, err = Choose(points, Constraints{MaxR: maxR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen.R > maxR {
+		t.Errorf("chosen r %v exceeds cap %v", chosen.R, maxR)
+	}
+}
+
+func TestChooseInfeasible(t *testing.T) {
+	dist, stats := zipfEnv(t, 1000)
+	points, err := Frontier(dist, stats, []int{8, 64}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Choose(points, Constraints{MaxR: 1e-9}); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("impossible MaxR: %v", err)
+	}
+	if _, err := Choose(nil, Constraints{}); !errors.Is(err, ErrNoCandidates) {
+		t.Errorf("empty points: %v", err)
+	}
+}
+
+func TestChooseKneeWithoutConstraints(t *testing.T) {
+	dist, stats := zipfEnv(t, 4000)
+	points, err := Frontier(dist, stats, []int{8, 32, 128, 512}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	knee, err := Choose(points, Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The knee must be within 2x of the cheapest overhead and have the
+	// smallest r in that band.
+	minOver := math.Inf(1)
+	for _, p := range points {
+		if p.Overhead < minOver {
+			minOver = p.Overhead
+		}
+	}
+	if knee.Overhead > 2*minOver {
+		t.Errorf("knee overhead %v > 2x min %v", knee.Overhead, minOver)
+	}
+	for _, p := range points {
+		if p.Overhead <= 2*minOver && p.R < knee.R {
+			t.Errorf("point M=%d beats the knee on r within budget", p.M)
+		}
+	}
+}
+
+func TestFrontierValidation(t *testing.T) {
+	dist, stats := zipfEnv(t, 100)
+	if _, err := Frontier(dist, stats, nil, 1); !errors.Is(err, ErrNoCandidates) {
+		t.Errorf("nil candidates: %v", err)
+	}
+	if _, err := Frontier(dist, stats, []int{0}, 1); err == nil {
+		t.Error("M=0 candidate accepted")
+	}
+}

@@ -1,0 +1,36 @@
+package vocab
+
+import "encoding/json"
+
+// OrderedTerms returns the terms in ID order (index == sequential ID),
+// the canonical serialization of a vocabulary.
+func (v *Vocabulary) OrderedTerms() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]string, len(v.terms))
+	copy(out, v.terms)
+	return out
+}
+
+// MarshalJSON serializes the vocabulary as the ID-ordered term array.
+// Like the mapping table, the vocabulary is public: it lists only
+// frequent terms, never the hash-routed rare ones (§6.4).
+func (v *Vocabulary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(v.OrderedTerms())
+}
+
+// UnmarshalJSON restores a vocabulary from the ID-ordered term array.
+func (v *Vocabulary) UnmarshalJSON(data []byte) error {
+	var terms []string
+	if err := json.Unmarshal(data, &terms); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.ids = make(map[string]uint32, len(terms))
+	v.terms = terms
+	for i, t := range terms {
+		v.ids[t] = uint32(i)
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package vocab
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestVocabularyJSONRoundTrip(t *testing.T) {
+	orig := NewFromTerms([]string{"zeta", "alpha", "mid"}) // insertion order = ID order
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := New()
+	if err := json.Unmarshal(data, restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 3 {
+		t.Fatalf("Len = %d", restored.Len())
+	}
+	for _, term := range []string{"zeta", "alpha", "mid"} {
+		a, okA := orig.ID(term)
+		b, okB := restored.ID(term)
+		if !okA || !okB || a != b {
+			t.Fatalf("ID(%q): %d/%v vs %d/%v", term, a, okA, b, okB)
+		}
+	}
+	// Resolve agrees for unknown terms too (pure hash).
+	if orig.Resolve("hesselhofer") != restored.Resolve("hesselhofer") {
+		t.Error("hash resolution differs after round trip")
+	}
+}
+
+func TestVocabularyJSONEmpty(t *testing.T) {
+	restored := New()
+	if err := json.Unmarshal([]byte(`[]`), restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 0 {
+		t.Errorf("Len = %d", restored.Len())
+	}
+	if _, ok := restored.ID("x"); ok {
+		t.Error("empty vocabulary resolved a term")
+	}
+}
+
+func TestOrderedTermsIsIDOrder(t *testing.T) {
+	v := NewFromTerms([]string{"c", "a", "b"})
+	terms := v.OrderedTerms()
+	if terms[0] != "c" || terms[1] != "a" || terms[2] != "b" {
+		t.Errorf("OrderedTerms = %v, want insertion order", terms)
+	}
+	terms[0] = "mutated"
+	if v.OrderedTerms()[0] != "c" {
+		t.Error("OrderedTerms must return a copy")
+	}
+}

@@ -1,0 +1,128 @@
+// Package vocab assigns the 21-bit term IDs that are packed inside
+// encrypted posting elements (paper §5.2: "An additional encoding is
+// stored with each element to identify the term for that element").
+//
+// The ID space is split in two so that rare terms never have to appear in
+// any public table (supporting the hash-based merging of §6.4):
+//
+//   - IDs with the high bit clear are sequential indexes into the public
+//     vocabulary that accompanies the mapping table (frequent terms only);
+//   - IDs with the high bit set are derived from a public hash of the term
+//     (FNV-1a truncated to 20 bits). Both the document owner and the
+//     querying user compute them locally, so rare terms stay out of every
+//     shared data structure.
+//
+// Hash IDs can collide; colliding terms merely survive the client-side
+// false-positive filter and are weeded out when snippets are fetched,
+// exactly like other merging false positives (§5.4.2).
+package vocab
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+const (
+	// SeqBits is the width of the sequential ID space.
+	SeqBits = 20
+	// HashFlag marks an ID as hash-derived; it is the 21st bit, so every
+	// ID still fits the posting element's 21-bit term field.
+	HashFlag = 1 << SeqBits
+	// MaxSeqID is the largest sequential ID.
+	MaxSeqID = HashFlag - 1
+)
+
+// Vocabulary maps frequent terms to sequential IDs. It is safe for
+// concurrent use. The zero value is not usable; call New.
+type Vocabulary struct {
+	mu    sync.RWMutex
+	ids   map[string]uint32
+	terms []string
+}
+
+// New returns an empty vocabulary.
+func New() *Vocabulary {
+	return &Vocabulary{ids: make(map[string]uint32)}
+}
+
+// NewFromTerms builds a vocabulary assigning IDs in the given term order.
+func NewFromTerms(terms []string) *Vocabulary {
+	v := New()
+	for _, t := range terms {
+		v.Assign(t)
+	}
+	return v
+}
+
+// Assign returns the sequential ID for term, allocating one if needed.
+// It returns ok=false (and no allocation) once the sequential space is
+// exhausted; callers should then fall back to HashID.
+func (v *Vocabulary) Assign(term string) (uint32, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if id, ok := v.ids[term]; ok {
+		return id, true
+	}
+	if len(v.terms) > MaxSeqID {
+		return 0, false
+	}
+	id := uint32(len(v.terms))
+	v.ids[term] = id
+	v.terms = append(v.terms, term)
+	return id, true
+}
+
+// ID returns the sequential ID of term if it has one.
+func (v *Vocabulary) ID(term string) (uint32, bool) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	id, ok := v.ids[term]
+	return id, ok
+}
+
+// TermOf is the inverse of ID.
+func (v *Vocabulary) TermOf(id uint32) (string, bool) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if id&HashFlag != 0 || int(id) >= len(v.terms) {
+		return "", false
+	}
+	return v.terms[id], true
+}
+
+// Len returns the number of registered terms.
+func (v *Vocabulary) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.terms)
+}
+
+// Terms returns the registered terms sorted lexicographically.
+func (v *Vocabulary) Terms() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]string, len(v.terms))
+	copy(out, v.terms)
+	sort.Strings(out)
+	return out
+}
+
+// Resolve returns the term ID to embed in posting elements: the sequential
+// ID when the term is in the public vocabulary, else its hash ID. Owners
+// and queriers call this with the same shared vocabulary and therefore
+// agree on every ID.
+func (v *Vocabulary) Resolve(term string) uint32 {
+	if id, ok := v.ID(term); ok {
+		return id
+	}
+	return HashID(term)
+}
+
+// HashID computes the public hash-derived ID for a term outside the
+// vocabulary: FNV-1a, truncated to SeqBits bits, with HashFlag set.
+func HashID(term string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(term)) // hash.Hash.Write never fails
+	return HashFlag | h.Sum32()&MaxSeqID
+}

@@ -1,0 +1,127 @@
+package vocab
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssignSequential(t *testing.T) {
+	v := New()
+	a, ok := v.Assign("alpha")
+	if !ok || a != 0 {
+		t.Fatalf("first assign = %d, %v", a, ok)
+	}
+	b, ok := v.Assign("beta")
+	if !ok || b != 1 {
+		t.Fatalf("second assign = %d, %v", b, ok)
+	}
+	// Idempotent.
+	a2, ok := v.Assign("alpha")
+	if !ok || a2 != a {
+		t.Fatalf("re-assign = %d, want %d", a2, a)
+	}
+	if v.Len() != 2 {
+		t.Errorf("Len = %d, want 2", v.Len())
+	}
+}
+
+func TestIDAndTermOf(t *testing.T) {
+	v := NewFromTerms([]string{"x", "y"})
+	id, ok := v.ID("y")
+	if !ok || id != 1 {
+		t.Fatalf("ID(y) = %d, %v", id, ok)
+	}
+	term, ok := v.TermOf(1)
+	if !ok || term != "y" {
+		t.Fatalf("TermOf(1) = %q, %v", term, ok)
+	}
+	if _, ok := v.ID("absent"); ok {
+		t.Error("ID of unknown term must report missing")
+	}
+	if _, ok := v.TermOf(99); ok {
+		t.Error("TermOf out of range must report missing")
+	}
+	if _, ok := v.TermOf(HashFlag | 5); ok {
+		t.Error("TermOf of a hash ID must report missing")
+	}
+}
+
+func TestHashIDProperties(t *testing.T) {
+	f := func(s string) bool {
+		id := HashID(s)
+		return id&HashFlag != 0 && id <= HashFlag|MaxSeqID
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Deterministic.
+	if HashID("hesselhofer") != HashID("hesselhofer") {
+		t.Error("HashID must be deterministic")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	v := NewFromTerms([]string{"frequent"})
+	if id := v.Resolve("frequent"); id != 0 {
+		t.Errorf("Resolve(frequent) = %d, want sequential 0", id)
+	}
+	rare := v.Resolve("hesselhofer")
+	if rare&HashFlag == 0 {
+		t.Error("Resolve of unknown term must return a hash ID")
+	}
+	if rare != HashID("hesselhofer") {
+		t.Error("Resolve must agree with HashID for unknown terms")
+	}
+}
+
+func TestSequentialAndHashSpacesDisjoint(t *testing.T) {
+	// A sequential ID can never equal any hash ID (disjoint by HashFlag),
+	// so vocabulary terms and rare terms can never be confused.
+	v := NewFromTerms([]string{"a", "b", "c"})
+	for _, term := range []string{"a", "b", "c"} {
+		id, _ := v.ID(term)
+		if id&HashFlag != 0 {
+			t.Fatalf("sequential ID %d has hash flag set", id)
+		}
+	}
+}
+
+func TestTermsSorted(t *testing.T) {
+	v := NewFromTerms([]string{"zeta", "alpha"})
+	terms := v.Terms()
+	if len(terms) != 2 || terms[0] != "alpha" || terms[1] != "zeta" {
+		t.Errorf("Terms = %v", terms)
+	}
+}
+
+func TestConcurrentAssign(t *testing.T) {
+	v := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				term := fmt.Sprintf("t%d", i) // same set in every goroutine
+				if _, ok := v.Assign(term); !ok {
+					t.Errorf("assign failed for %s", term)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if v.Len() != 100 {
+		t.Fatalf("Len = %d, want 100 (idempotent concurrent assigns)", v.Len())
+	}
+	// All IDs distinct and dense.
+	seen := make(map[uint32]bool)
+	for i := 0; i < 100; i++ {
+		id, ok := v.ID(fmt.Sprintf("t%d", i))
+		if !ok || seen[id] || id >= 100 {
+			t.Fatalf("bad ID %d for t%d", id, i)
+		}
+		seen[id] = true
+	}
+}

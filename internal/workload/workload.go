@@ -1,0 +1,204 @@
+// Package workload implements the paper's query-workload cost model:
+//
+//   - formula (6): total workload cost Q = Σ_L [ length(L) · Σ_{j∈L} q_j ],
+//     the transfer-time proxy used throughout §7 ("the total transfer
+//     time ... is proportional to formula (6)");
+//   - formula (8): QRatio(t), the merged-versus-unmerged workload cost
+//     ratio of one term (Fig. 10);
+//   - formula (9): QRatio_eff(t) = DF_t / Σ_{u∈L} DF_u, the fraction of a
+//     merged response that is useful for the query term (Fig. 11);
+//   - the §7.4 disk model: scan time = seek + transfer ∝ list length.
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"zerber/internal/merging"
+)
+
+// TermStats bundles the two per-term frequencies the model needs.
+type TermStats struct {
+	// DocFreq is the term's document frequency DF (posting list length).
+	DocFreq map[string]int
+	// QueryFreq is the term's query frequency q_j from the workload log.
+	QueryFreq map[string]int
+}
+
+// listAgg aggregates one merged list: total length and total query mass.
+type listAgg struct {
+	length int // Σ_{u∈L} DF_u
+	qmass  int // Σ_{j∈L} q_j
+}
+
+// aggregate groups the term statistics by merged posting list.
+func aggregate(table *merging.Table, st TermStats) map[merging.ListID]*listAgg {
+	agg := make(map[merging.ListID]*listAgg)
+	for term, df := range st.DocFreq {
+		lid := table.ListOf(term)
+		a := agg[lid]
+		if a == nil {
+			a = &listAgg{}
+			agg[lid] = a
+		}
+		a.length += df
+		a.qmass += st.QueryFreq[term]
+	}
+	return agg
+}
+
+// TotalCost evaluates formula (6) for a merged index: each merged list is
+// scanned once per query of any of its terms, costing its full length.
+func TotalCost(table *merging.Table, st TermStats) float64 {
+	var q float64
+	for _, a := range aggregate(table, st) {
+		q += float64(a.length) * float64(a.qmass)
+	}
+	return q
+}
+
+// UnmergedCost evaluates formula (6) for an ordinary inverted index,
+// where every term is its own list: Q = Σ_t DF_t · q_t.
+func UnmergedCost(st TermStats) float64 {
+	var q float64
+	for term, df := range st.DocFreq {
+		q += float64(df) * float64(st.QueryFreq[term])
+	}
+	return q
+}
+
+// QRatio evaluates formula (8) for one term: the workload cost of the
+// term's merged list (its total length times its total query mass)
+// divided by the term's unmerged cost DF_t · qf_t. Terms with zero DF or
+// query frequency return NaN.
+func QRatio(table *merging.Table, st TermStats, term string) float64 {
+	df := st.DocFreq[term]
+	qf := st.QueryFreq[term]
+	if df == 0 || qf == 0 {
+		return math.NaN()
+	}
+	lid := table.ListOf(term)
+	var sumDF, sumQF int
+	for u, udf := range st.DocFreq {
+		if table.ListOf(u) == lid {
+			sumDF += udf
+			sumQF += st.QueryFreq[u]
+		}
+	}
+	return float64(sumDF) * float64(sumQF) / (float64(df) * float64(qf))
+}
+
+// QRatioEff evaluates formula (9): the fraction of the merged response
+// that actually answers the query term. 1.0 means no overhead (singleton
+// list); values near 0 mean the response is dominated by merged-in
+// neighbors.
+func QRatioEff(table *merging.Table, st TermStats, term string) float64 {
+	df := st.DocFreq[term]
+	if df == 0 {
+		return math.NaN()
+	}
+	lid := table.ListOf(term)
+	sumDF := 0
+	for u, udf := range st.DocFreq {
+		if table.ListOf(u) == lid {
+			sumDF += udf
+		}
+	}
+	if sumDF == 0 {
+		return math.NaN()
+	}
+	return float64(df) / float64(sumDF)
+}
+
+// QRatioEffAll computes formula (9) for every term in the workload with
+// positive query frequency, returning values sorted descending — the
+// series of Fig. 11.
+func QRatioEffAll(table *merging.Table, st TermStats) []float64 {
+	// Precompute merged list lengths once (O(V) instead of O(V^2)).
+	lengths := make(map[merging.ListID]int)
+	for term, df := range st.DocFreq {
+		lengths[table.ListOf(term)] += df
+	}
+	var out []float64
+	for term, qf := range st.QueryFreq {
+		if qf == 0 {
+			continue
+		}
+		df := st.DocFreq[term]
+		if df == 0 {
+			continue
+		}
+		sum := lengths[table.ListOf(term)]
+		if sum > 0 {
+			out = append(out, float64(df)/float64(sum))
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// ResponseSizes returns, per merged posting list, the total number of
+// posting elements (the sum of member document frequencies) sorted
+// ascending — the series of Fig. 12.
+func ResponseSizes(table *merging.Table, docFreq map[string]int) []int {
+	lengths := make(map[merging.ListID]int)
+	for term, df := range docFreq {
+		lengths[table.ListOf(term)] += df
+	}
+	out := make([]int, 0, len(lengths))
+	for _, n := range lengths {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CumulativeWorkload returns the Fig. 6 series: terms ordered by
+// descending query frequency, with the cumulative share of the total
+// workload cost (formula (6), unmerged) contributed by the first i terms.
+func CumulativeWorkload(st TermStats) (terms []string, cumShare []float64) {
+	type e struct {
+		term string
+		qf   int
+	}
+	var es []e
+	for term, qf := range st.QueryFreq {
+		if qf > 0 {
+			es = append(es, e{term, qf})
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].qf != es[j].qf {
+			return es[i].qf > es[j].qf
+		}
+		return es[i].term < es[j].term
+	})
+	total := UnmergedCost(st)
+	terms = make([]string, len(es))
+	cumShare = make([]float64, len(es))
+	acc := 0.0
+	for i, x := range es {
+		acc += float64(st.DocFreq[x.term]) * float64(x.qf)
+		terms[i] = x.term
+		if total > 0 {
+			cumShare[i] = acc / total
+		}
+	}
+	return terms, cumShare
+}
+
+// DiskModel converts a posting-list scan into time using the §7.4 model:
+// one seek plus a transfer proportional to the list length.
+type DiskModel struct {
+	SeekMs        float64 // per-list seek, constant
+	TransferMsPer float64 // per-element transfer time
+}
+
+// DefaultDisk approximates a 2007-era laptop disk: 8 ms seek, 1e-4 ms per
+// 20-byte element (~200 MB/s sequential).
+var DefaultDisk = DiskModel{SeekMs: 8, TransferMsPer: 0.0001}
+
+// ScanTimeMs returns the modeled time to scan a list of n elements.
+func (d DiskModel) ScanTimeMs(n int) float64 {
+	return d.SeekMs + d.TransferMsPer*float64(n)
+}

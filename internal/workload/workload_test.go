@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"zerber/internal/confidential"
+	"zerber/internal/merging"
+)
+
+// buildTable merges the given doc-frequency table with UDM into m lists.
+func buildTable(t *testing.T, dfs map[string]int, m int) *merging.Table {
+	t.Helper()
+	dist, err := confidential.NewDistribution(dfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := merging.Build(dist, merging.Options{Heuristic: merging.UDM, M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestUnmergedCost(t *testing.T) {
+	st := TermStats{
+		DocFreq:   map[string]int{"a": 10, "b": 5},
+		QueryFreq: map[string]int{"a": 3, "b": 2},
+	}
+	if got := UnmergedCost(st); got != 10*3+5*2 {
+		t.Errorf("UnmergedCost = %v, want 40", got)
+	}
+}
+
+func TestTotalCostSingleList(t *testing.T) {
+	// All terms in one merged list: every query scans everything.
+	dfs := map[string]int{"a": 10, "b": 5, "c": 1}
+	st := TermStats{DocFreq: dfs, QueryFreq: map[string]int{"a": 2, "b": 1, "c": 1}}
+	tab := buildTable(t, dfs, 1)
+	want := float64(16) * float64(4) // total length 16, total query mass 4
+	if got := TotalCost(tab, st); got != want {
+		t.Errorf("TotalCost = %v, want %v", got, want)
+	}
+}
+
+func TestTotalCostEqualsUnmergedWhenSingletonLists(t *testing.T) {
+	// With as many lists as terms (UDM round-robin on <=M terms), merging
+	// is a no-op and the costs must coincide.
+	dfs := map[string]int{"a": 10, "b": 5, "c": 1}
+	st := TermStats{DocFreq: dfs, QueryFreq: map[string]int{"a": 2, "b": 1, "c": 7}}
+	tab := buildTable(t, dfs, 3)
+	if got, want := TotalCost(tab, st), UnmergedCost(st); got != want {
+		t.Errorf("TotalCost = %v, want unmerged %v", got, want)
+	}
+}
+
+func TestMergedCostAtLeastUnmerged(t *testing.T) {
+	// Merging can only add overhead.
+	dfs := make(map[string]int)
+	qfs := make(map[string]int)
+	for i := 0; i < 100; i++ {
+		term := fmt.Sprintf("t%03d", i)
+		dfs[term] = 1 + 1000/(i+1)
+		qfs[term] = 1 + 500/(i+1)
+	}
+	st := TermStats{DocFreq: dfs, QueryFreq: qfs}
+	for _, m := range []int{1, 4, 16, 64} {
+		tab := buildTable(t, dfs, m)
+		if merged, plain := TotalCost(tab, st), UnmergedCost(st); merged < plain {
+			t.Errorf("M=%d: merged cost %v < unmerged %v", m, merged, plain)
+		}
+	}
+}
+
+func TestQRatioSingletonIsOne(t *testing.T) {
+	dfs := map[string]int{"a": 10, "b": 5, "c": 1}
+	st := TermStats{DocFreq: dfs, QueryFreq: map[string]int{"a": 2, "b": 1, "c": 1}}
+	tab := buildTable(t, dfs, 3) // singleton lists
+	for term := range dfs {
+		if got := QRatio(tab, st, term); math.Abs(got-1) > 1e-9 {
+			t.Errorf("QRatio(%s) = %v, want 1 for singleton list", term, got)
+		}
+	}
+}
+
+func TestQRatioMergedHandComputed(t *testing.T) {
+	// Two terms merged: a (DF 10, qf 4) and b (DF 2, qf 1).
+	// QRatio(b) = (12 * 5) / (2 * 1) = 30.
+	dfs := map[string]int{"a": 10, "b": 2}
+	st := TermStats{DocFreq: dfs, QueryFreq: map[string]int{"a": 4, "b": 1}}
+	tab := buildTable(t, dfs, 1)
+	if got := QRatio(tab, st, "b"); math.Abs(got-30) > 1e-9 {
+		t.Errorf("QRatio(b) = %v, want 30", got)
+	}
+	if got := QRatio(tab, st, "a"); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("QRatio(a) = %v, want 1.5", got)
+	}
+}
+
+func TestQRatioRareTermsSufferMost(t *testing.T) {
+	// Fig. 10: "merging mostly affects the costs of queries with rarer
+	// terms". Under UDM, a low-DF term's ratio must exceed a high-DF
+	// term's ratio in the same index.
+	dfs := make(map[string]int)
+	qfs := make(map[string]int)
+	for i := 0; i < 200; i++ {
+		term := fmt.Sprintf("t%03d", i)
+		dfs[term] = 1 + 3500/(i+1)
+		qfs[term] = 1 + 1000/(i+1)
+	}
+	st := TermStats{DocFreq: dfs, QueryFreq: qfs}
+	tab := buildTable(t, dfs, 8)
+	high := QRatio(tab, st, "t000") // DF 3501
+	low := QRatio(tab, st, "t199")  // DF ~18
+	if !(low > high) {
+		t.Errorf("low-DF ratio %v should exceed high-DF ratio %v", low, high)
+	}
+}
+
+func TestQRatioNaNCases(t *testing.T) {
+	dfs := map[string]int{"a": 1}
+	st := TermStats{DocFreq: dfs, QueryFreq: map[string]int{}}
+	tab := buildTable(t, dfs, 1)
+	if !math.IsNaN(QRatio(tab, st, "a")) {
+		t.Error("zero query frequency must yield NaN")
+	}
+	if !math.IsNaN(QRatio(tab, st, "missing")) {
+		t.Error("unknown term must yield NaN")
+	}
+}
+
+func TestQRatioEff(t *testing.T) {
+	dfs := map[string]int{"a": 30, "b": 10}
+	st := TermStats{DocFreq: dfs, QueryFreq: map[string]int{"a": 1, "b": 1}}
+	tab := buildTable(t, dfs, 1)
+	if got := QRatioEff(tab, st, "a"); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("QRatioEff(a) = %v, want 0.75", got)
+	}
+	if got := QRatioEff(tab, st, "b"); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("QRatioEff(b) = %v, want 0.25", got)
+	}
+	if !math.IsNaN(QRatioEff(tab, st, "zzz")) {
+		t.Error("unknown term must be NaN")
+	}
+}
+
+func TestQRatioEffAllSortedAndBounded(t *testing.T) {
+	dfs := make(map[string]int)
+	qfs := make(map[string]int)
+	for i := 0; i < 500; i++ {
+		term := fmt.Sprintf("t%03d", i)
+		dfs[term] = 1 + 2000/(i+1)
+		if i%2 == 0 {
+			qfs[term] = 1 + 100/(i+1)
+		}
+	}
+	st := TermStats{DocFreq: dfs, QueryFreq: qfs}
+	tab := buildTable(t, dfs, 16)
+	effs := QRatioEffAll(tab, st)
+	if len(effs) != 250 {
+		t.Fatalf("got %d values, want 250 (queried terms only)", len(effs))
+	}
+	for i, v := range effs {
+		if v <= 0 || v > 1 {
+			t.Fatalf("eff[%d] = %v out of (0,1]", i, v)
+		}
+		if i > 0 && effs[i-1] < v {
+			t.Fatal("series not sorted descending")
+		}
+	}
+}
+
+func TestResponseSizes(t *testing.T) {
+	dfs := map[string]int{"a": 30, "b": 10, "c": 5, "d": 1}
+	tab := buildTable(t, dfs, 2)
+	sizes := ResponseSizes(tab, dfs)
+	if len(sizes) != 2 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	if sizes[0] > sizes[1] {
+		t.Error("sizes not ascending")
+	}
+	if sizes[0]+sizes[1] != 46 {
+		t.Errorf("total elements = %d, want 46", sizes[0]+sizes[1])
+	}
+}
+
+func TestCumulativeWorkload(t *testing.T) {
+	st := TermStats{
+		DocFreq:   map[string]int{"hot": 100, "warm": 50, "cold": 10},
+		QueryFreq: map[string]int{"hot": 1000, "warm": 10, "cold": 1},
+	}
+	terms, cum := CumulativeWorkload(st)
+	if terms[0] != "hot" {
+		t.Errorf("first term = %q", terms[0])
+	}
+	if cum[len(cum)-1] < 0.999 || cum[len(cum)-1] > 1.001 {
+		t.Errorf("final cumulative share = %v, want 1", cum[len(cum)-1])
+	}
+	// Fig. 6 shape: the top term dominates the workload.
+	if cum[0] < 0.9 {
+		t.Errorf("top term carries %v of workload; expected domination", cum[0])
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatal("cumulative share decreased")
+		}
+	}
+}
+
+func TestDiskModel(t *testing.T) {
+	d := DiskModel{SeekMs: 8, TransferMsPer: 0.001}
+	if got := d.ScanTimeMs(0); got != 8 {
+		t.Errorf("empty scan = %v, want seek only", got)
+	}
+	if got := d.ScanTimeMs(1000); math.Abs(got-9) > 1e-9 {
+		t.Errorf("1000-element scan = %v, want 9", got)
+	}
+	// Seek dominates short lists; transfer dominates long ones.
+	if DefaultDisk.ScanTimeMs(100) > DefaultDisk.ScanTimeMs(1000000) {
+		t.Error("transfer must eventually dominate")
+	}
+}

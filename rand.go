@@ -1,0 +1,25 @@
+package zerber
+
+import (
+	"encoding/binary"
+	"math/rand"
+)
+
+// seededReader adapts a deterministic math/rand source to io.Reader for
+// reproducible simulations. Production peers use crypto/rand (the default
+// when Cluster.NewPeer is called with seed 0).
+type seededReader struct{ rng *rand.Rand }
+
+func newSeededReader(seed int64) *seededReader {
+	return &seededReader{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (r *seededReader) Read(p []byte) (int, error) {
+	var buf [8]byte
+	n := 0
+	for n < len(p) {
+		binary.LittleEndian.PutUint64(buf[:], r.rng.Uint64())
+		n += copy(p[n:], buf[:])
+	}
+	return len(p), nil
+}

@@ -1,0 +1,403 @@
+// Package zerber is an implementation of Zerber, the r-confidential
+// inverted index for distributed sensitive documents of Zerr et al.
+// (EDBT 2008).
+//
+// Zerber lets collaboration groups inside a large enterprise share a
+// fast, centralized full-text index without trusting the index servers
+// with document contents:
+//
+//   - every posting element [document_ID, term_ID, tf] is split with
+//     Shamir k-out-of-n secret sharing across n index servers, so up to
+//     k-1 compromised servers reveal nothing about pre-existing elements
+//     and no keys ever need to be distributed or revoked;
+//   - posting lists of several terms are merged so a compromised server
+//     cannot learn per-term document frequencies; the leak is bounded by
+//     the tunable r-confidentiality parameter;
+//   - every index server enforces per-group access control on lookups,
+//     and group membership changes take effect immediately.
+//
+// The entry point is Cluster, which wires the n index servers, the
+// public mapping table, and the authentication service. Peers (document
+// owners) index and update documents; Searchers run ranked keyword
+// queries.
+//
+//	cluster, _ := zerber.NewCluster(docFreqs, zerber.Options{N: 3, K: 2})
+//	cluster.AddUser("alice", 1)
+//	p, _ := cluster.NewPeer("site1", 0)
+//	tok := cluster.IssueToken("alice")
+//	p.IndexDocument(tok, peer.Document{ID: 1, Content: "...", Group: 1})
+//	s, _ := cluster.Searcher()
+//	results, _ := s.Search(tok, []string{"imclone"}, 10)
+package zerber
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"zerber/internal/auth"
+	"zerber/internal/client"
+	"zerber/internal/confidential"
+	"zerber/internal/field"
+	"zerber/internal/merging"
+	"zerber/internal/peer"
+	"zerber/internal/proactive"
+	"zerber/internal/ranking"
+	"zerber/internal/server"
+	"zerber/internal/transport"
+	"zerber/internal/tuning"
+	"zerber/internal/vocab"
+	"zerber/internal/workload"
+)
+
+// Re-exported identifiers so typical applications only import zerber and
+// the peer package.
+type (
+	// UserID identifies an enterprise user.
+	UserID = auth.UserID
+	// GroupID identifies a collaboration group.
+	GroupID = auth.GroupID
+	// Token is an authentication credential.
+	Token = auth.Token
+	// Heuristic selects a posting-list merging strategy.
+	Heuristic = merging.Heuristic
+)
+
+// Merging heuristics (paper §6).
+const (
+	DFM = merging.DFM
+	BFM = merging.BFM
+	UDM = merging.UDM
+)
+
+// Options configures a cluster.
+type Options struct {
+	// N is the number of index servers; K is the secret-sharing
+	// threshold (k-of-n). Defaults: N=3, K=2 (the paper's evaluation
+	// setup).
+	N, K int
+	// Heuristic, M, R and RareCutoff configure posting-list merging; see
+	// merging.Options. Defaults: DFM with M = max(1, vocab/8) lists and
+	// R tuned to the distribution (mass target 4/M).
+	Heuristic  Heuristic
+	M          int
+	R          float64
+	RareCutoff float64
+	// Seed makes table construction and BFM redistribution deterministic.
+	Seed int64
+	// TokenTTL is the authentication token lifetime (default 1h).
+	TokenTTL time.Duration
+	// OpaqueUserIDs enables the §7.1 extension: index servers store and
+	// see only HMAC-derived pseudonyms, never real user identities, so a
+	// compromised server cannot tell who issued a query or update.
+	OpaqueUserIDs bool
+}
+
+// Cluster is a complete in-process Zerber deployment: n index servers,
+// the shared group table, the public mapping table and vocabulary, and
+// the registry of document-owner peers.
+type Cluster struct {
+	opts    Options
+	servers []*server.Server
+	apis    []transport.API
+	authSvc *auth.Service
+	groups  *auth.GroupTable
+	table   *merging.Table
+	voc     *vocab.Vocabulary
+	pseudo  *auth.Pseudonymizer // nil unless OpaqueUserIDs
+
+	mu    sync.RWMutex
+	peers map[string]*peer.Peer
+}
+
+// SuggestOptions auto-tunes the merging configuration for a corpus — the
+// §7.5 future work ("methods of choosing a target value for r that adapt
+// to the characteristics of the document frequency distribution"). It
+// sweeps candidate list counts, measures the confidentiality/overhead
+// frontier against the query statistics (uniform if queryFreqs is nil),
+// and returns Options realizing the best point under the constraints:
+// maxR caps the confidentiality parameter, maxOverhead caps the query
+// cost ratio versus an unmerged index; zero means unconstrained (the
+// knee point is chosen).
+func SuggestOptions(docFreqs, queryFreqs map[string]int, maxR, maxOverhead float64) (Options, error) {
+	dist, err := confidential.NewDistribution(docFreqs)
+	if err != nil {
+		return Options{}, fmt.Errorf("zerber: building term distribution: %w", err)
+	}
+	if queryFreqs == nil {
+		queryFreqs = make(map[string]int, len(docFreqs))
+		for term := range docFreqs {
+			queryFreqs[term] = 1
+		}
+	}
+	stats := workload.TermStats{DocFreq: docFreqs, QueryFreq: queryFreqs}
+	points, err := tuning.Frontier(dist, stats, tuning.DefaultCandidates(dist.Len()), 0)
+	if err != nil {
+		return Options{}, err
+	}
+	chosen, err := tuning.Choose(points, tuning.Constraints{MaxR: maxR, MaxOverhead: maxOverhead})
+	if err != nil {
+		return Options{}, err
+	}
+	ranked := dist.TermsByProbability()
+	cutoff := dist.P(ranked[len(ranked)/10])
+	return Options{
+		Heuristic:  DFM,
+		M:          chosen.M,
+		R:          1 / cutoff,
+		RareCutoff: cutoff,
+	}, nil
+}
+
+// NewCluster builds a cluster. docFreqs is the corpus document-frequency
+// table used to construct the merging table; the paper learns it from
+// the first 30% of documents (§7.5), so an estimate is fine — terms that
+// appear later are hash-routed.
+func NewCluster(docFreqs map[string]int, opts Options) (*Cluster, error) {
+	if opts.N == 0 {
+		opts.N = 3
+	}
+	if opts.K == 0 {
+		opts.K = 2
+	}
+	if opts.K < 1 || opts.K > opts.N {
+		return nil, fmt.Errorf("zerber: need 1 <= K <= N, got K=%d N=%d", opts.K, opts.N)
+	}
+	if opts.Heuristic == "" {
+		opts.Heuristic = DFM
+	}
+
+	dist, err := confidential.NewDistribution(docFreqs)
+	if err != nil {
+		return nil, fmt.Errorf("zerber: building term distribution: %w", err)
+	}
+	if opts.M == 0 {
+		opts.M = dist.Len() / 8
+		if opts.M < 1 {
+			opts.M = 1
+		}
+	}
+	if opts.R == 0 {
+		// Target mass 4/M per list: a few terms per list on average.
+		opts.R = float64(opts.M) / 4
+		if opts.R < 1 {
+			opts.R = 1
+		}
+	}
+	table, err := merging.Build(dist, merging.Options{
+		Heuristic:  opts.Heuristic,
+		M:          opts.M,
+		R:          opts.R,
+		RareCutoff: opts.RareCutoff,
+		Seed:       opts.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("zerber: building mapping table: %w", err)
+	}
+	voc := vocab.NewFromTerms(table.ListedTerms())
+
+	svc, err := auth.NewService(opts.TokenTTL)
+	if err != nil {
+		return nil, fmt.Errorf("zerber: creating auth service: %w", err)
+	}
+	groups := auth.NewGroupTable()
+
+	c := &Cluster{
+		opts:    opts,
+		authSvc: svc,
+		groups:  groups,
+		table:   table,
+		voc:     voc,
+		peers:   make(map[string]*peer.Peer),
+	}
+	if opts.OpaqueUserIDs {
+		c.pseudo, err = auth.NewPseudonymizer()
+		if err != nil {
+			return nil, fmt.Errorf("zerber: creating pseudonymizer: %w", err)
+		}
+	}
+	for i := 0; i < opts.N; i++ {
+		s := server.New(server.Config{
+			Name:   fmt.Sprintf("zerber-ix%d", i+1),
+			X:      field.Element(i + 1),
+			Auth:   svc,
+			Groups: groups,
+		})
+		c.servers = append(c.servers, s)
+		c.apis = append(c.apis, transport.NewLocal(s))
+	}
+	return c, nil
+}
+
+// ident maps a real user ID to the form the index servers see: the ID
+// itself, or its pseudonym under the OpaqueUserIDs extension.
+func (c *Cluster) ident(user UserID) UserID {
+	if c.pseudo != nil {
+		return c.pseudo.Pseudonym(user)
+	}
+	return user
+}
+
+// AddUser puts a user into a group on every index server.
+func (c *Cluster) AddUser(user UserID, group GroupID) { c.groups.Add(c.ident(user), group) }
+
+// RemoveUser revokes a user's group membership immediately.
+func (c *Cluster) RemoveUser(user UserID, group GroupID) bool {
+	return c.groups.Remove(c.ident(user), group)
+}
+
+// IssueToken authenticates a user with the enterprise service. Under
+// OpaqueUserIDs the token carries only the user's pseudonym.
+func (c *Cluster) IssueToken(user UserID) Token { return c.authSvc.Issue(c.ident(user)) }
+
+// NewPeer registers a document-owner peer. seed controls the peer's
+// randomness (0 means crypto-random sharing polynomials). Document IDs
+// must be unique across the cluster's peers — the paper's document ID
+// "must identify both the machine on which the document is hosted and
+// the document within that machine" (§5.4.2) — so partition the 24-bit
+// ID space among sites.
+func (c *Cluster) NewPeer(name string, seed int64) (*peer.Peer, error) {
+	cfg := peer.Config{
+		Name:    name,
+		Servers: c.apis,
+		K:       c.opts.K,
+		Table:   c.table,
+		Vocab:   c.voc,
+	}
+	if seed != 0 {
+		cfg.Rand = newSeededReader(seed)
+	}
+	p, err := peer.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.peers[name]; dup {
+		return nil, fmt.Errorf("zerber: peer %q already registered", name)
+	}
+	c.peers[name] = p
+	return p, nil
+}
+
+// Result is one ranked search hit, with the snippet fetched from the
+// hosting peer (Algorithm 2's final step).
+type Result struct {
+	DocID   uint32
+	Score   float64
+	Snippet string
+	Peer    string
+}
+
+// Searcher is a querying user's handle.
+type Searcher struct {
+	c       *client.Client
+	cluster *Cluster
+}
+
+// Searcher creates a query client over the cluster's servers.
+func (c *Cluster) Searcher() (*Searcher, error) {
+	cl, err := client.New(c.apis, c.opts.K, c.table, c.voc)
+	if err != nil {
+		return nil, err
+	}
+	return &Searcher{c: cl, cluster: c}, nil
+}
+
+// Search runs a ranked keyword query and resolves snippets for the top-K
+// results from the hosting peers.
+func (s *Searcher) Search(tok Token, query []string, topK int) ([]Result, error) {
+	ranked, _, err := s.c.Search(tok, query, topK)
+	if err != nil {
+		return nil, err
+	}
+	return s.cluster.resolveSnippets(tok, query, ranked)
+}
+
+// SearchStats runs a query and additionally returns retrieval statistics
+// (elements fetched, false positives) for instrumentation.
+func (s *Searcher) SearchStats(tok Token, query []string, topK int) ([]Result, client.Stats, error) {
+	ranked, stats, err := s.c.Search(tok, query, topK)
+	if err != nil {
+		return nil, stats, err
+	}
+	res, err := s.cluster.resolveSnippets(tok, query, ranked)
+	return res, stats, err
+}
+
+var errNoPeer = errors.New("zerber: no peer hosts the document")
+
+// resolveSnippets asks the hosting peers for result snippets, enforcing
+// the peer-side group check with the caller's verified identity.
+func (c *Cluster) resolveSnippets(tok Token, query []string, ranked []ranking.ScoredDoc) ([]Result, error) {
+	user, err := c.authSvc.Verify(tok)
+	if err != nil {
+		return nil, err
+	}
+	groupSet := c.groups.GroupSetOf(user)
+
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Result, 0, len(ranked))
+	for _, r := range ranked {
+		res := Result{DocID: r.DocID, Score: r.Score}
+		for name, p := range c.peers {
+			if _, ok := p.Document(r.DocID); !ok {
+				continue
+			}
+			snippet, err := p.Snippet(r.DocID, query, 0, groupSet)
+			if err != nil {
+				return nil, fmt.Errorf("zerber: snippet for doc %d: %w", r.DocID, err)
+			}
+			res.Snippet, res.Peer = snippet, name
+			break
+		}
+		if res.Peer == "" {
+			return nil, fmt.Errorf("%w: %d", errNoPeer, r.DocID)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// ProactiveReshare runs one proactive secret-resharing round over all
+// index servers (§5.1 / Herzberg et al. [21]): every stored share is
+// refreshed in place, so shares an adversary captured earlier can no
+// longer be combined with current ones. Queries keep working throughout;
+// the shared secrets are unchanged. It returns the number of posting
+// elements refreshed.
+func (c *Cluster) ProactiveReshare() (int, error) {
+	return proactive.Reshare(c.servers, c.opts.K, nil)
+}
+
+// K returns the secret-sharing threshold.
+func (c *Cluster) K() int { return c.opts.K }
+
+// N returns the number of index servers.
+func (c *Cluster) N() int { return len(c.servers) }
+
+// RValue returns the resulting confidentiality parameter of the mapping
+// table (formula (7)).
+func (c *Cluster) RValue() float64 { return c.table.RValue() }
+
+// Table exposes the public mapping table (it is public by design).
+func (c *Cluster) Table() *merging.Table { return c.table }
+
+// Vocab exposes the public vocabulary.
+func (c *Cluster) Vocab() *vocab.Vocabulary { return c.voc }
+
+// Servers exposes the underlying index servers for instrumentation and
+// adversary simulation; applications use Searcher and peers instead.
+func (c *Cluster) Servers() []*server.Server {
+	out := make([]*server.Server, len(c.servers))
+	copy(out, c.servers)
+	return out
+}
+
+// APIs exposes the transport handles (e.g. to build a custom client).
+func (c *Cluster) APIs() []transport.API {
+	out := make([]transport.API, len(c.apis))
+	copy(out, c.apis)
+	return out
+}
