@@ -1,0 +1,30 @@
+# Zerber build targets. CI (.github/workflows/ci.yml) runs exactly these,
+# so a green `make ci` locally means a green pipeline.
+
+GO ?= go
+
+.PHONY: build test race bench lint fmt ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration per benchmark: a smoke run proving the benchmarks still
+# compile and execute, not a measurement.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+lint:
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+ci: build lint test race bench

@@ -13,14 +13,17 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"zerber"
+	"zerber/internal/client"
 	"zerber/internal/experiments"
 	"zerber/internal/field"
 	"zerber/internal/peer"
 	"zerber/internal/posting"
 	"zerber/internal/proactive"
 	"zerber/internal/shamir"
+	"zerber/internal/transport"
 	"zerber/internal/wal"
 )
 
@@ -341,5 +344,143 @@ func BenchmarkIndexDocument(b *testing.B) {
 		if err := bc.peer.IndexDocument(bc.tok, doc); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---- concurrent query engine ----------------------------------------
+
+// parallelBenchEnv is a 5-server, k=3 cluster whose transports carry a
+// simulated per-call RTT, indexed with the shared scaled corpus (the
+// same Stud-IP/ODP-profile environment the Fig. 5 benchmarks use). The
+// Retrieve benchmarks below compare the sequential baseline against the
+// parallel fan-out on it.
+type parallelBenchEnv struct {
+	cluster *zerber.Cluster
+	tok     zerber.Token
+	query   []string
+}
+
+const benchRTT = 2 * time.Millisecond
+
+var (
+	parallelEnvOnce sync.Once
+	parallelEnvVal  *parallelBenchEnv
+	parallelEnvErr  error
+)
+
+func parallelEnv(b *testing.B) *parallelBenchEnv {
+	b.Helper()
+	parallelEnvOnce.Do(func() {
+		parallelEnvVal, parallelEnvErr = buildParallelEnv(env(b))
+	})
+	if parallelEnvErr != nil {
+		b.Fatal(parallelEnvErr)
+	}
+	return parallelEnvVal
+}
+
+func buildParallelEnv(e *experiments.Env) (*parallelBenchEnv, error) {
+	c, err := zerber.NewCluster(e.Stats.DocFreq, zerber.Options{N: 5, K: 3, Seed: 11})
+	if err != nil {
+		return nil, err
+	}
+	c.AddUser("bench", 1)
+	tok := c.IssueToken("bench")
+	p, err := c.NewPeer("bench-site", 11)
+	if err != nil {
+		return nil, err
+	}
+	batch := p.NewBatch()
+	for _, d := range e.ODP.Docs {
+		content := ""
+		for term := range d.Counts {
+			content += term + " "
+		}
+		if err := batch.Add(peer.Document{ID: d.ID, Content: content, Group: 1}); err != nil {
+			return nil, err
+		}
+	}
+	if err := batch.Flush(tok); err != nil {
+		return nil, err
+	}
+	return &parallelBenchEnv{
+		cluster: c,
+		tok:     tok,
+		query:   []string{e.Ranked[3], e.Ranked[50]},
+	}, nil
+}
+
+// tunedClient builds a query client over latency-wrapped transports.
+func (pe *parallelBenchEnv) tunedClient(b *testing.B, tuning client.Tuning) *client.Client {
+	b.Helper()
+	apis := pe.cluster.APIs()
+	delayed := make([]transport.API, len(apis))
+	for i, api := range apis {
+		delayed[i] = transport.WithLatency(api, benchRTT)
+	}
+	cl, err := client.New(delayed, pe.cluster.K(), pe.cluster.Table(), pe.cluster.Vocab())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl.SetTuning(tuning)
+	return cl
+}
+
+// BenchmarkRetrieveParallel compares the query engine's tunings on a
+// 5-server, k=3 cluster with a simulated 2 ms server RTT: the
+// pre-concurrency sequential walk (one request at a time, one decrypt
+// goroutine) pays k serial RTTs; the parallel fan-out pays roughly one,
+// bounded by the slowest of the first k responders; hedged keeps only k
+// requests in flight and backfills stragglers after a hedge delay.
+func BenchmarkRetrieveParallel(b *testing.B) {
+	pe := parallelEnv(b)
+	for _, tc := range []struct {
+		name   string
+		tuning client.Tuning
+	}{
+		{"sequential", client.Tuning{Fanout: 1, DecryptWorkers: 1}},
+		{"fanout", client.Tuning{}},
+		{"fanout-hedged", client.Tuning{Fanout: 3, HedgeDelay: benchRTT / 2}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cl := pe.tunedClient(b, tc.tuning)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := cl.Retrieve(pe.tok, pe.query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecryptWorkers isolates the decrypt stage: zero RTT, so the
+// difference between the variants is the worker-pool reconstruction of
+// the joined shares.
+func BenchmarkDecryptWorkers(b *testing.B) {
+	pe := parallelEnv(b)
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"pool", 0}, // one worker per CPU
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			apis := pe.cluster.APIs()
+			cl, err := client.New(apis, pe.cluster.K(), pe.cluster.Table(), pe.cluster.Vocab())
+			if err != nil {
+				b.Fatal(err)
+			}
+			cl.SetTuning(client.Tuning{DecryptWorkers: tc.workers})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := cl.Retrieve(pe.tok, pe.query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,3 @@
+module zerber
+
+go 1.24

@@ -4,9 +4,17 @@
 // returned shares by global element ID, decrypting with Shamir
 // reconstruction, filtering false positives (elements of merged-in terms
 // the user did not query), and ranking the survivors client-side.
+//
+// The hot path is concurrent end-to-end: requests fan out to up to
+// Tuning.Fanout servers in parallel, the query completes as soon as the
+// first k respond (stragglers are cancelled through the context), slow
+// servers can be hedged after Tuning.HedgeDelay, and the joined shares
+// are reconstructed by a pool of Tuning.DecryptWorkers goroutines with
+// an ordered merge so results and Stats stay deterministic.
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -32,6 +40,7 @@ type Client struct {
 	k       int
 	table   *merging.Table
 	voc     *vocab.Vocabulary
+	tuning  Tuning
 	// verify enables k+1 cross-checked retrieval (see EnableVerification).
 	verify bool
 }
@@ -74,10 +83,21 @@ func New(servers []transport.API, k int, table *merging.Table, voc *vocab.Vocabu
 	return &Client{servers: servers, k: k, table: table, voc: voc}, nil
 }
 
+// SetTuning replaces the query-engine tuning (fan-out width, hedge
+// delay, decrypt parallelism). Call it before issuing queries; it is not
+// synchronized with concurrent Retrieve calls.
+func (c *Client) SetTuning(t Tuning) { c.tuning = t }
+
 // Search runs a keyword query and returns the top-K accessible documents
 // ranked by TF-IDF over the user's personalized collection statistics.
 func (c *Client) Search(tok auth.Token, query []string, topK int) ([]ranking.ScoredDoc, Stats, error) {
-	lists, stats, err := c.Retrieve(tok, query)
+	return c.SearchContext(context.Background(), tok, query, topK)
+}
+
+// SearchContext is Search bounded by ctx: cancelling it aborts the
+// server fan-out and the decrypt stage.
+func (c *Client) SearchContext(ctx context.Context, tok auth.Token, query []string, topK int) ([]ranking.ScoredDoc, Stats, error) {
+	lists, stats, err := c.RetrieveContext(ctx, tok, query)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -104,49 +124,30 @@ func (c *Client) Search(tok auth.Token, query []string, topK int) ([]ranking.Sco
 // the decrypted postings grouped by query term. Search builds on it; the
 // experiment harness calls it directly.
 func (c *Client) Retrieve(tok auth.Token, query []string) (map[string][]ranking.Posting, Stats, error) {
+	return c.RetrieveContext(context.Background(), tok, query)
+}
+
+// RetrieveContext is Retrieve bounded by ctx. The fan-out launches
+// requests to up to Tuning.Fanout servers concurrently and returns as
+// soon as the first k respond; ctx cancellation propagates to every
+// in-flight server call.
+func (c *Client) RetrieveContext(ctx context.Context, tok auth.Token, query []string) (map[string][]ranking.Posting, Stats, error) {
 	var stats Stats
 	terms := dedup(query)
 	if len(terms) == 0 {
 		return map[string][]ranking.Posting{}, stats, nil
 	}
 	if c.verify {
-		return c.retrieveVerified(tok, terms)
+		return c.retrieveVerified(ctx, tok, terms)
 	}
 	lids := c.table.ListsOf(terms)
 	stats.ListsRequested = len(lids)
 
-	// Fan out to servers until k have answered (Algorithm 2: the client
-	// queries the available Zerber servers and needs k responses).
-	type response struct {
-		x     field.Element
-		lists map[merging.ListID][]posting.EncryptedShare
-	}
-	responses := make([]response, 0, c.k)
-	var lastErr error
-	for _, s := range c.servers {
-		out, err := s.GetPostingLists(tok, lids)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		responses = append(responses, response{x: s.XCoord(), lists: out})
-		if len(responses) == c.k {
-			break
-		}
-	}
-	if len(responses) < c.k {
-		if lastErr != nil {
-			return nil, stats, fmt.Errorf("%w: %d of %d (last error: %v)", ErrNotEnough, len(responses), c.k, lastErr)
-		}
-		return nil, stats, fmt.Errorf("%w: %d of %d", ErrNotEnough, len(responses), c.k)
+	responses, err := c.fanOut(ctx, tok, lids, c.k)
+	if err != nil {
+		return nil, stats, err
 	}
 	stats.ServersQueried = len(responses)
-
-	// The set of term IDs we are actually looking for.
-	wanted := make(map[uint32]string, len(terms))
-	for _, term := range terms {
-		wanted[c.voc.Resolve(term)] = term
-	}
 
 	// Elements replicated on all k responding servers share one Lagrange
 	// basis; precompute it once (the §7.6 "700 elements/ms" fast path).
@@ -159,51 +160,59 @@ func (c *Client) Retrieve(tok auth.Token, query []string) (map[string][]ranking.
 		return nil, stats, fmt.Errorf("client: building reconstructor: %w", err)
 	}
 
-	out := make(map[string][]ranking.Posting, len(terms))
-	for _, lid := range lids {
-		// Join shares by global element ID across the k responses.
-		type joined struct {
-			ys []field.Element
-			xs []field.Element
+	jobs := joinResponses(lids, responses)
+	results, err := runDecrypt(ctx, jobs, c.tuning.decryptWorkers(), func(j *joinedElem) (decrypted, error) {
+		if len(j.ys) < c.k {
+			// Element not replicated on enough of the responding
+			// servers (e.g. mid-batch); skip rather than mis-decrypt.
+			return decrypted{}, nil
 		}
-		byID := make(map[posting.GlobalID]*joined)
-		for _, resp := range responses {
-			for _, sh := range resp.lists[lid] {
-				j := byID[sh.GlobalID]
-				if j == nil {
-					j = &joined{}
-					byID[sh.GlobalID] = j
-				}
-				j.ys = append(j.ys, sh.Y)
-				j.xs = append(j.xs, resp.x)
-			}
+		var secret field.Element
+		var rerr error
+		if len(j.ys) == c.k && sameXs(j.xs, fullXs) {
+			secret, rerr = fastRec.Reconstruct(j.ys)
+		} else {
+			secret, rerr = reconstructSlow(j.xs[:c.k], j.ys[:c.k])
 		}
-		for gid, j := range byID {
-			if len(j.ys) < c.k {
-				// Element not replicated on enough of the responding
-				// servers (e.g. mid-batch); skip rather than mis-decrypt.
-				continue
-			}
-			var secret field.Element
-			if len(j.ys) == c.k && sameXs(j.xs, fullXs) {
-				secret, err = fastRec.Reconstruct(j.ys)
-			} else {
-				secret, err = reconstructSlow(j.xs[:c.k], j.ys[:c.k])
-			}
-			if err != nil {
-				return nil, stats, fmt.Errorf("client: decrypting element %d of list %d: %w", gid, lid, err)
-			}
-			elem := posting.Decode(secret)
-			stats.ElementsFetched++
-			term, ok := wanted[elem.TermID]
-			if !ok {
-				stats.FalsePositives++ // merged-in neighbor term; discard
-				continue
-			}
-			out[term] = append(out[term], ranking.Posting{DocID: elem.DocID, TF: elem.TF})
+		if rerr != nil {
+			return decrypted{}, fmt.Errorf("client: decrypting element %d of list %d: %w", j.gid, j.lid, rerr)
 		}
+		return decrypted{elem: posting.Decode(secret), ok: true}, nil
+	})
+	if err != nil {
+		return nil, stats, err
 	}
+
+	out := c.mergeDecrypted(terms, results, &stats)
 	return out, stats, nil
+}
+
+// mergeDecrypted runs the ordered merge: it walks the decrypt outcomes
+// in deterministic job order, counts stats, filters the false positives
+// of merged-in neighbor terms (§5.4.2), and groups postings by term.
+func (c *Client) mergeDecrypted(terms []string, results []decrypted, stats *Stats) map[string][]ranking.Posting {
+	// The set of term IDs we are actually looking for.
+	wanted := make(map[uint32]string, len(terms))
+	for _, term := range terms {
+		wanted[c.voc.Resolve(term)] = term
+	}
+	out := make(map[string][]ranking.Posting, len(terms))
+	for _, d := range results {
+		if !d.ok {
+			continue
+		}
+		stats.ElementsFetched++
+		if d.verified {
+			stats.ElementsVerified++
+		}
+		term, ok := wanted[d.elem.TermID]
+		if !ok {
+			stats.FalsePositives++ // merged-in neighbor term; discard
+			continue
+		}
+		out[term] = append(out[term], ranking.Posting{DocID: d.elem.DocID, TF: d.elem.TF})
+	}
+	return out
 }
 
 // K returns the reconstruction threshold.

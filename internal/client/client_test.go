@@ -1,6 +1,7 @@
 package client_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -313,12 +314,12 @@ func TestEmptyQuery(t *testing.T) {
 type failingAPI struct{ x uint64 }
 
 func (f failingAPI) XCoord() field.Element { return field.New(f.x) }
-func (f failingAPI) Insert(auth.Token, []transport.InsertOp) error {
+func (f failingAPI) Insert(context.Context, auth.Token, []transport.InsertOp) error {
 	return errors.New("down")
 }
-func (f failingAPI) Delete(auth.Token, []transport.DeleteOp) error {
+func (f failingAPI) Delete(context.Context, auth.Token, []transport.DeleteOp) error {
 	return errors.New("down")
 }
-func (f failingAPI) GetPostingLists(auth.Token, []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error) {
+func (f failingAPI) GetPostingLists(context.Context, auth.Token, []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error) {
 	return nil, errors.New("down")
 }

@@ -1,0 +1,135 @@
+package client
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"zerber/internal/field"
+	"zerber/internal/merging"
+	"zerber/internal/posting"
+)
+
+// joinedElem is one posting element's shares joined by global element ID
+// across the responding servers, with xs/ys in response (preference)
+// order — the per-list join step of Algorithm 2.
+type joinedElem struct {
+	lid merging.ListID
+	gid posting.GlobalID
+	xs  []field.Element
+	ys  []field.Element
+}
+
+// decrypted is the outcome of reconstructing one joined element.
+type decrypted struct {
+	elem posting.Element
+	// ok is false when the element was skipped (not replicated on
+	// enough of the responding servers, e.g. mid-batch).
+	ok bool
+	// verified reports that the element was cross-checked against two
+	// k-subsets (verified retrieval only).
+	verified bool
+}
+
+// joinResponses joins the shares of every requested list by global
+// element ID. Elements come out in deterministic order — list order as
+// requested, then ascending global ID — so the decrypt stage's results,
+// and with them Stats and per-term posting order, are reproducible
+// regardless of worker scheduling.
+func joinResponses(lids []merging.ListID, responses []response) []joinedElem {
+	jobs := make([]joinedElem, 0, 64)
+	for _, lid := range lids {
+		byID := make(map[posting.GlobalID]int)
+		start := len(jobs)
+		for _, resp := range responses {
+			for _, sh := range resp.lists[lid] {
+				i, seen := byID[sh.GlobalID]
+				if !seen {
+					i = len(jobs)
+					byID[sh.GlobalID] = i
+					jobs = append(jobs, joinedElem{lid: lid, gid: sh.GlobalID})
+				}
+				jobs[i].xs = append(jobs[i].xs, resp.x)
+				jobs[i].ys = append(jobs[i].ys, sh.Y)
+			}
+		}
+		list := jobs[start:]
+		sort.Slice(list, func(a, b int) bool { return list[a].gid < list[b].gid })
+	}
+	return jobs
+}
+
+// decryptBatch is the unit of work one worker claims at a time: large
+// enough to amortize the atomic claim, small enough to balance skew.
+const decryptBatch = 256
+
+// runDecrypt applies fn to every joined element using the given number
+// of workers and returns the outcomes in job order (the ordered merge).
+// With one worker, or few jobs, it runs inline with no goroutines. When
+// several elements fail to decrypt, the lowest-indexed error among those
+// encountered wins, keeping error reporting stable across schedules.
+func runDecrypt(ctx context.Context, jobs []joinedElem, workers int, fn func(j *joinedElem) (decrypted, error)) ([]decrypted, error) {
+	out := make([]decrypted, len(jobs))
+	if workers > len(jobs)/decryptBatch+1 {
+		workers = len(jobs)/decryptBatch + 1
+	}
+	if workers <= 1 {
+		for i := range jobs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			d, err := fn(&jobs[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = d
+		}
+		return out, nil
+	}
+
+	var (
+		nextBatch atomic.Int64
+		failed    atomic.Bool
+		errMu     sync.Mutex
+		firstErr  error
+		firstIdx  int
+		wg        sync.WaitGroup
+	)
+	numBatches := (len(jobs) + decryptBatch - 1) / decryptBatch
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(nextBatch.Add(1)) - 1
+				if b >= numBatches || failed.Load() || ctx.Err() != nil {
+					return
+				}
+				start := b * decryptBatch
+				end := min(start+decryptBatch, len(jobs))
+				for i := start; i < end; i++ {
+					d, err := fn(&jobs[i])
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil || i < firstIdx {
+							firstErr, firstIdx = err, i
+						}
+						errMu.Unlock()
+						failed.Store(true)
+						return
+					}
+					out[i] = d
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"zerber/internal/auth"
+	"zerber/internal/field"
+	"zerber/internal/merging"
+	"zerber/internal/posting"
+)
+
+// response is one server's answer to a posting-list fetch, tagged with
+// the server's position in the client's preference order.
+type response struct {
+	idx   int
+	x     field.Element
+	lists map[merging.ListID][]posting.EncryptedShare
+}
+
+// fanOut runs the parallel first-need-of-n retrieval (Algorithm 2: "the
+// client queries the available Zerber servers and needs k responses"):
+// it launches GetPostingLists against up to Tuning.Fanout servers at
+// once, replaces each failed request with the next untried server,
+// optionally hedges stragglers after Tuning.HedgeDelay, and returns as
+// soon as need servers have answered. Outstanding requests are cancelled
+// through the per-call context. The returned responses are sorted back
+// into preference order so downstream Lagrange bases are deterministic.
+func (c *Client) fanOut(ctx context.Context, tok auth.Token, lids []merging.ListID, need int) ([]response, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	n := len(c.servers)
+	type result struct {
+		idx   int
+		lists map[merging.ListID][]posting.EncryptedShare
+		err   error
+	}
+	// Buffered to n: cancelled stragglers can always deliver and exit.
+	results := make(chan result, n)
+	next := 0
+	launch := func() bool {
+		if next >= n {
+			return false
+		}
+		i := next
+		next++
+		go func() {
+			out, err := c.servers[i].GetPostingLists(ctx, tok, lids)
+			results <- result{idx: i, lists: out, err: err}
+		}()
+		return true
+	}
+	for started := c.tuning.fanoutWidth(n); started > 0; started-- {
+		launch()
+	}
+
+	// Hedging: each time the delay elapses without need responses, put
+	// one more server in flight.
+	var hedge <-chan time.Time
+	var hedgeTimer *time.Timer
+	if c.tuning.HedgeDelay > 0 && next < n {
+		hedgeTimer = time.NewTimer(c.tuning.HedgeDelay)
+		defer hedgeTimer.Stop()
+		hedge = hedgeTimer.C
+	}
+
+	responses := make([]response, 0, need)
+	var lastErr error
+	finished := 0
+	for len(responses) < need {
+		if finished == next && !launch() {
+			// Every reachable server has answered or failed and none
+			// remain to try.
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w: %d of %d (last error: %v)", ErrNotEnough, len(responses), need, lastErr)
+			}
+			return nil, fmt.Errorf("%w: %d of %d", ErrNotEnough, len(responses), need)
+		}
+		select {
+		case r := <-results:
+			finished++
+			if r.err != nil {
+				lastErr = r.err
+				launch() // replace the failed request with the next server
+				continue
+			}
+			responses = append(responses, response{idx: r.idx, x: c.servers[r.idx].XCoord(), lists: r.lists})
+		case <-hedge:
+			if launch() && next < n {
+				hedgeTimer.Reset(c.tuning.HedgeDelay)
+			} else {
+				hedge = nil
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	sort.Slice(responses, func(i, j int) bool { return responses[i].idx < responses[j].idx })
+	return responses, nil
+}

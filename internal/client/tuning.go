@@ -1,0 +1,44 @@
+package client
+
+import (
+	"runtime"
+	"time"
+)
+
+// Tuning configures the concurrent query engine. The zero value selects
+// the aggressive defaults: fan out to every known server at once and
+// decrypt on one worker per CPU. The pre-concurrency sequential behavior
+// is recoverable with Fanout=1, HedgeDelay=0, DecryptWorkers=1 — useful
+// as a benchmark baseline, but strictly dominated in latency.
+type Tuning struct {
+	// Fanout caps the number of concurrently in-flight GetPostingLists
+	// requests. 0 (or >= n) queries all servers at once; 1 walks the
+	// server list one request at a time like the original sequential
+	// client. Lower widths trade latency for reduced server load.
+	Fanout int
+	// HedgeDelay, when positive and Fanout leaves servers unstarted,
+	// launches one additional server each time this delay elapses
+	// without the query having gathered enough responses. This hedges
+	// against stragglers without the full cost of querying everyone.
+	HedgeDelay time.Duration
+	// DecryptWorkers is the number of goroutines reconstructing Shamir
+	// shares. 0 means runtime.NumCPU(); 1 decrypts serially.
+	DecryptWorkers int
+}
+
+// fanoutWidth resolves the initial number of in-flight requests for a
+// cluster of n servers.
+func (t Tuning) fanoutWidth(n int) int {
+	if t.Fanout <= 0 || t.Fanout > n {
+		return n
+	}
+	return t.Fanout
+}
+
+// decryptWorkers resolves the decrypt-stage worker count.
+func (t Tuning) decryptWorkers() int {
+	if t.DecryptWorkers > 0 {
+		return t.DecryptWorkers
+	}
+	return runtime.NumCPU()
+}

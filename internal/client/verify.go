@@ -1,12 +1,12 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"zerber/internal/auth"
 	"zerber/internal/field"
-	"zerber/internal/merging"
 	"zerber/internal/posting"
 	"zerber/internal/ranking"
 	"zerber/internal/shamir"
@@ -36,40 +36,23 @@ func (c *Client) EnableVerification() error {
 // VerificationEnabled reports whether verified retrieval is active.
 func (c *Client) VerificationEnabled() bool { return c.verify }
 
-// retrieveVerified is the verification variant of Retrieve: it gathers
-// k+1 responses and cross-checks each fully replicated element.
-func (c *Client) retrieveVerified(tok auth.Token, terms []string) (map[string][]ranking.Posting, Stats, error) {
+// retrieveVerified is the verification variant of Retrieve: it fans out
+// until k+1 servers have answered and cross-checks each fully replicated
+// element, using the same parallel fan-out and decrypt pool as the plain
+// path.
+func (c *Client) retrieveVerified(ctx context.Context, tok auth.Token, terms []string) (map[string][]ranking.Posting, Stats, error) {
 	var stats Stats
 	lids := c.table.ListsOf(terms)
 	stats.ListsRequested = len(lids)
 
 	need := c.k + 1
-	type response struct {
-		x     field.Element
-		lists map[merging.ListID][]posting.EncryptedShare
-	}
-	responses := make([]response, 0, need)
-	var lastErr error
-	for _, s := range c.servers {
-		out, err := s.GetPostingLists(tok, lids)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		responses = append(responses, response{x: s.XCoord(), lists: out})
-		if len(responses) == need {
-			break
-		}
-	}
-	if len(responses) < need {
-		if lastErr != nil {
-			return nil, stats, fmt.Errorf("%w: %d of %d (last error: %v)", ErrNotEnough, len(responses), need, lastErr)
-		}
-		return nil, stats, fmt.Errorf("%w: %d of %d", ErrNotEnough, len(responses), need)
+	responses, err := c.fanOut(ctx, tok, lids, need)
+	if err != nil {
+		return nil, stats, err
 	}
 	stats.ServersQueried = len(responses)
 
-	// Two overlapping bases: servers [0..k) and servers [1..k+1).
+	// Two overlapping bases: responders [0..k) and responders [1..k+1).
 	xsA := make([]field.Element, c.k)
 	xsB := make([]field.Element, c.k)
 	for i := 0; i < c.k; i++ {
@@ -85,68 +68,38 @@ func (c *Client) retrieveVerified(tok auth.Token, terms []string) (map[string][]
 		return nil, stats, err
 	}
 
-	wanted := make(map[uint32]string, len(terms))
-	for _, term := range terms {
-		wanted[c.voc.Resolve(term)] = term
+	jobs := joinResponses(lids, responses)
+	results, err := runDecrypt(ctx, jobs, c.tuning.decryptWorkers(), func(j *joinedElem) (decrypted, error) {
+		if len(j.ys) < c.k {
+			return decrypted{}, nil
+		}
+		if len(j.ys) >= need {
+			// Present on all k+1 responders, so j.xs follows the
+			// response order and both precomputed bases apply.
+			a, rerr := recA.Reconstruct(j.ys[:c.k])
+			if rerr != nil {
+				return decrypted{}, rerr
+			}
+			b, rerr := recB.Reconstruct(j.ys[1 : c.k+1])
+			if rerr != nil {
+				return decrypted{}, rerr
+			}
+			if a != b {
+				return decrypted{}, fmt.Errorf("%w (element %d, list %d)", ErrCorruptShare, j.gid, j.lid)
+			}
+			return decrypted{elem: posting.Decode(a), ok: true, verified: true}, nil
+		}
+		// Not replicated on all k+1 responders: decrypt from the first
+		// k shares without cross-checking.
+		secret, rerr := reconstructSlow(j.xs[:c.k], j.ys[:c.k])
+		if rerr != nil {
+			return decrypted{}, rerr
+		}
+		return decrypted{elem: posting.Decode(secret), ok: true}, nil
+	})
+	if err != nil {
+		return nil, stats, err
 	}
-
-	out := make(map[string][]ranking.Posting, len(terms))
-	for _, lid := range lids {
-		type joined struct {
-			ys []field.Element
-			xs []field.Element
-		}
-		byID := make(map[posting.GlobalID]*joined)
-		for _, resp := range responses {
-			for _, sh := range resp.lists[lid] {
-				j := byID[sh.GlobalID]
-				if j == nil {
-					j = &joined{}
-					byID[sh.GlobalID] = j
-				}
-				j.ys = append(j.ys, sh.Y)
-				j.xs = append(j.xs, resp.x)
-			}
-		}
-		for gid, j := range byID {
-			if len(j.ys) < c.k {
-				continue
-			}
-			var secret field.Element
-			if len(j.ys) >= need {
-				// Present on all k+1 responders, so j.xs follows the
-				// response order and both precomputed bases apply.
-				a, err := recA.Reconstruct(j.ys[:c.k])
-				if err != nil {
-					return nil, stats, err
-				}
-				bIn := j.ys[1 : c.k+1]
-				bSecret, err := recB.Reconstruct(bIn)
-				if err != nil {
-					return nil, stats, err
-				}
-				if a != bSecret {
-					return nil, stats, fmt.Errorf("%w (element %d, list %d)", ErrCorruptShare, gid, lid)
-				}
-				secret = a
-				stats.ElementsVerified++
-			} else {
-				// Not replicated on all k+1 responders: decrypt from the
-				// first k shares without cross-checking.
-				secret, err = reconstructSlow(j.xs[:c.k], j.ys[:c.k])
-				if err != nil {
-					return nil, stats, err
-				}
-			}
-			stats.ElementsFetched++
-			elem := posting.Decode(secret)
-			term, ok := wanted[elem.TermID]
-			if !ok {
-				stats.FalsePositives++
-				continue
-			}
-			out[term] = append(out[term], ranking.Posting{DocID: elem.DocID, TF: elem.TF})
-		}
-	}
+	out := c.mergeDecrypted(terms, results, &stats)
 	return out, stats, nil
 }

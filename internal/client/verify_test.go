@@ -1,6 +1,7 @@
 package client_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -19,8 +20,8 @@ type corruptingAPI struct {
 	transport.API
 }
 
-func (c corruptingAPI) GetPostingLists(tok auth.Token, lids []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error) {
-	out, err := c.API.GetPostingLists(tok, lids)
+func (c corruptingAPI) GetPostingLists(ctx context.Context, tok auth.Token, lids []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error) {
+	out, err := c.API.GetPostingLists(ctx, tok, lids)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -149,7 +150,7 @@ func (s *Slot) moveList(from *server.Server, toName string, lid merging.ListID) 
 func (s *Slot) XCoord() field.Element { return s.x }
 
 // Insert routes each op to the node owning its posting list.
-func (s *Slot) Insert(tok auth.Token, ops []transport.InsertOp) error {
+func (s *Slot) Insert(ctx context.Context, tok auth.Token, ops []transport.InsertOp) error {
 	grouped, err := s.groupInsert(ops)
 	if err != nil {
 		return err
@@ -161,7 +162,7 @@ func (s *Slot) Insert(tok auth.Token, ops []transport.InsertOp) error {
 		if srv == nil {
 			return fmt.Errorf("dht: owner %s vanished", name)
 		}
-		if err := srv.Insert(tok, nodeOps); err != nil {
+		if err := srv.Insert(ctx, tok, nodeOps); err != nil {
 			return err
 		}
 	}
@@ -169,7 +170,7 @@ func (s *Slot) Insert(tok auth.Token, ops []transport.InsertOp) error {
 }
 
 // Delete routes each op to the node owning its posting list.
-func (s *Slot) Delete(tok auth.Token, ops []transport.DeleteOp) error {
+func (s *Slot) Delete(ctx context.Context, tok auth.Token, ops []transport.DeleteOp) error {
 	grouped := make(map[string][]transport.DeleteOp)
 	for _, op := range ops {
 		owner, err := s.ring.OwnerOfList(op.List)
@@ -185,7 +186,7 @@ func (s *Slot) Delete(tok auth.Token, ops []transport.DeleteOp) error {
 		if srv == nil {
 			return fmt.Errorf("dht: owner %s vanished", name)
 		}
-		if err := srv.Delete(tok, nodeOps); err != nil {
+		if err := srv.Delete(ctx, tok, nodeOps); err != nil {
 			return err
 		}
 	}
@@ -194,7 +195,7 @@ func (s *Slot) Delete(tok auth.Token, ops []transport.DeleteOp) error {
 
 // GetPostingLists fans the request to the owners of the requested lists
 // and merges the responses.
-func (s *Slot) GetPostingLists(tok auth.Token, lists []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error) {
+func (s *Slot) GetPostingLists(ctx context.Context, tok auth.Token, lists []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error) {
 	grouped := make(map[string][]merging.ListID)
 	for _, lid := range lists {
 		owner, err := s.ring.OwnerOfList(lid)
@@ -211,7 +212,7 @@ func (s *Slot) GetPostingLists(tok auth.Token, lists []merging.ListID) (map[merg
 		if srv == nil {
 			return nil, fmt.Errorf("dht: owner %s vanished", name)
 		}
-		part, err := srv.GetPostingLists(tok, nodeLists)
+		part, err := srv.GetPostingLists(ctx, tok, nodeLists)
 		if err != nil {
 			return nil, err
 		}

@@ -9,6 +9,7 @@
 package durable
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -71,8 +72,8 @@ func (s *Server) XCoord() field.Element { return s.inner.XCoord() }
 // Insert authorizes and applies the batch, then logs and syncs it. The
 // in-memory server validates the whole batch before mutating, so a
 // rejected batch is never logged.
-func (s *Server) Insert(tok auth.Token, ops []transport.InsertOp) error {
-	if err := s.inner.Insert(tok, ops); err != nil {
+func (s *Server) Insert(ctx context.Context, tok auth.Token, ops []transport.InsertOp) error {
+	if err := s.inner.Insert(ctx, tok, ops); err != nil {
 		return err
 	}
 	recs := make([]wal.Record, len(ops))
@@ -92,12 +93,12 @@ func (s *Server) Insert(tok auth.Token, ops []transport.InsertOp) error {
 }
 
 // Delete authorizes and applies the batch, then logs and syncs it.
-func (s *Server) Delete(tok auth.Token, ops []transport.DeleteOp) error {
+func (s *Server) Delete(ctx context.Context, tok auth.Token, ops []transport.DeleteOp) error {
 	// The in-memory delete may partially succeed (missing elements
 	// report ErrNotFound after removing the present ones), so log the
 	// batch regardless of that specific error: replaying a delete of a
 	// missing element is a no-op.
-	applyErr := s.inner.Delete(tok, ops)
+	applyErr := s.inner.Delete(ctx, tok, ops)
 	if applyErr != nil && !isNotFound(applyErr) {
 		return applyErr
 	}
@@ -115,8 +116,8 @@ func (s *Server) Delete(tok auth.Token, ops []transport.DeleteOp) error {
 }
 
 // GetPostingLists serves reads from memory.
-func (s *Server) GetPostingLists(tok auth.Token, lists []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error) {
-	return s.inner.GetPostingLists(tok, lists)
+func (s *Server) GetPostingLists(ctx context.Context, tok auth.Token, lists []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error) {
+	return s.inner.GetPostingLists(ctx, tok, lists)
 }
 
 // Close flushes and closes the log. The in-memory state stays usable

@@ -1,6 +1,7 @@
 package durable_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -132,7 +133,7 @@ func TestTornWriteRecovery(t *testing.T) {
 	e := newEnv(t)
 	tok := e.svc.Issue("alice")
 	s := e.open(t, 0)
-	if err := s.Insert(tok, []transport.InsertOp{
+	if err := s.Insert(context.Background(), tok, []transport.InsertOp{
 		{List: 1, Share: sh(1, 100)},
 		{List: 1, Share: sh(2, 200)},
 	}); err != nil {
@@ -160,7 +161,7 @@ func TestTornWriteRecovery(t *testing.T) {
 		t.Fatalf("elements = %d", revived.Inner().TotalElements())
 	}
 	// The server accepts new writes after torn-tail truncation.
-	if err := revived.Insert(tok, []transport.InsertOp{{List: 2, Share: sh(3, 300)}}); err != nil {
+	if err := revived.Insert(context.Background(), tok, []transport.InsertOp{{List: 2, Share: sh(3, 300)}}); err != nil {
 		t.Fatal(err)
 	}
 	revived.Close()
@@ -174,13 +175,13 @@ func TestUnauthorizedWritesNeverLogged(t *testing.T) {
 	e := newEnv(t)
 	s := e.open(t, 0)
 	bad := auth.Token("garbage")
-	if err := s.Insert(bad, []transport.InsertOp{{List: 1, Share: sh(1, 1)}}); err == nil {
+	if err := s.Insert(context.Background(), bad, []transport.InsertOp{{List: 1, Share: sh(1, 1)}}); err == nil {
 		t.Fatal("unauthorized insert succeeded")
 	}
 	// Cross-group insert is also rejected before logging.
 	tok := e.svc.Issue("alice")
 	foreign := pkgposting.EncryptedShare{GlobalID: 7, Group: 99, Y: 1}
-	if err := s.Insert(tok, []transport.InsertOp{{List: 1, Share: foreign}}); err == nil {
+	if err := s.Insert(context.Background(), tok, []transport.InsertOp{{List: 1, Share: foreign}}); err == nil {
 		t.Fatal("cross-group insert succeeded")
 	}
 	s.Close()
@@ -196,11 +197,11 @@ func TestDeleteOfMissingElementStillLogged(t *testing.T) {
 	e := newEnv(t)
 	tok := e.svc.Issue("alice")
 	s := e.open(t, 0)
-	if err := s.Insert(tok, []transport.InsertOp{{List: 1, Share: sh(1, 1)}}); err != nil {
+	if err := s.Insert(context.Background(), tok, []transport.InsertOp{{List: 1, Share: sh(1, 1)}}); err != nil {
 		t.Fatal(err)
 	}
 	// Delete both an existing and a missing element.
-	err := s.Delete(tok, []transport.DeleteOp{{List: 1, ID: 1}, {List: 1, ID: 999}})
+	err := s.Delete(context.Background(), tok, []transport.DeleteOp{{List: 1, ID: 1}, {List: 1, ID: 999}})
 	if err == nil {
 		t.Fatal("expected ErrNotFound for the missing element")
 	}
@@ -220,12 +221,12 @@ func TestCompaction(t *testing.T) {
 	// Churn: insert 50 elements, delete 40 — the log holds 90 records
 	// but only 10 live elements.
 	for i := 0; i < 50; i++ {
-		if err := s.Insert(tok, []transport.InsertOp{{List: merging.ListID(i % 3), Share: sh(uint64(i), uint64(i)*7)}}); err != nil {
+		if err := s.Insert(context.Background(), tok, []transport.InsertOp{{List: merging.ListID(i % 3), Share: sh(uint64(i), uint64(i)*7)}}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 40; i++ {
-		if err := s.Delete(tok, []transport.DeleteOp{{List: merging.ListID(i % 3), ID: pkgposting.GlobalID(i)}}); err != nil {
+		if err := s.Delete(context.Background(), tok, []transport.DeleteOp{{List: merging.ListID(i % 3), ID: pkgposting.GlobalID(i)}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -247,7 +248,7 @@ func TestCompaction(t *testing.T) {
 		t.Errorf("compacted log is %d bytes, want %d (10 live elements)", after.Size(), 10*wal.RecordSize)
 	}
 	// The compacted log still accepts writes...
-	if err := s.Insert(tok, []transport.InsertOp{{List: 9, Share: sh(999, 999)}}); err != nil {
+	if err := s.Insert(context.Background(), tok, []transport.InsertOp{{List: 9, Share: sh(999, 999)}}); err != nil {
 		t.Fatal(err)
 	}
 	wantElements := s.Inner().TotalElements()

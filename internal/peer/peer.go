@@ -7,6 +7,7 @@
 package peer
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"errors"
@@ -166,7 +167,7 @@ func (p *Peer) DeleteDocument(tok auth.Token, docID uint32) error {
 
 	sortDeleteOps(ops)
 	for _, s := range p.cfg.Servers {
-		if err := s.Delete(tok, ops); err != nil {
+		if err := s.Delete(context.Background(), tok, ops); err != nil {
 			return fmt.Errorf("peer %s: deleting doc %d: %w", p.cfg.Name, docID, err)
 		}
 	}
@@ -211,7 +212,7 @@ func (p *Peer) UpdateDocument(tok auth.Token, doc Document) error {
 	if len(dels) > 0 {
 		sortDeleteOps(dels)
 		for _, s := range p.cfg.Servers {
-			if err := s.Delete(tok, dels); err != nil {
+			if err := s.Delete(context.Background(), tok, dels); err != nil {
 				return fmt.Errorf("peer %s: updating doc %d: %w", p.cfg.Name, doc.ID, err)
 			}
 		}
@@ -230,7 +231,7 @@ func (p *Peer) UpdateDocument(tok auth.Token, doc Document) error {
 		return err
 	}
 	for i, s := range p.cfg.Servers {
-		if err := s.Insert(tok, perServer[i]); err != nil {
+		if err := s.Insert(context.Background(), tok, perServer[i]); err != nil {
 			return fmt.Errorf("peer %s: updating doc %d: %w", p.cfg.Name, doc.ID, err)
 		}
 	}
@@ -350,7 +351,7 @@ func (b *Batch) Flush(tok auth.Token) error {
 		for j, src := range perm {
 			shuffled[j] = b.perServer[i][src]
 		}
-		if err := s.Insert(tok, shuffled); err != nil {
+		if err := s.Insert(context.Background(), tok, shuffled); err != nil {
 			return fmt.Errorf("peer %s: batch flush: %w", b.peer.cfg.Name, err)
 		}
 	}

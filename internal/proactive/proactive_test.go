@@ -1,6 +1,7 @@
 package proactive_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -215,7 +216,7 @@ func TestReshareValidation(t *testing.T) {
 		t.Errorf("too few servers: %v", err)
 	}
 	// Make inventories diverge: insert an element on one server only.
-	if err := f.servers[0].Insert(f.tok, []transport.InsertOp{{
+	if err := f.servers[0].Insert(context.Background(), f.tok, []transport.InsertOp{{
 		List: 0, Share: posting.EncryptedShare{GlobalID: 999, Group: 1, Y: 1},
 	}}); err != nil {
 		t.Fatal(err)

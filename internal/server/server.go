@@ -10,6 +10,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -95,7 +96,10 @@ func (s *Server) Groups() *auth.GroupTable { return s.cfg.Groups }
 // Insert authenticates the caller, checks group membership for every
 // share, and appends the shares to their posting lists. The whole batch
 // is validated before any mutation, so a rejected batch changes nothing.
-func (s *Server) Insert(tok auth.Token, ops []transport.InsertOp) error {
+func (s *Server) Insert(ctx context.Context, tok auth.Token, ops []transport.InsertOp) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%s: %w", s.cfg.Name, err)
+	}
 	user, err := s.cfg.Auth.Verify(tok)
 	if err != nil {
 		return fmt.Errorf("%s: %w", s.cfg.Name, err)
@@ -129,7 +133,10 @@ func (s *Server) Insert(tok auth.Token, ops []transport.InsertOp) error {
 // caller must belong to each element's group. Missing elements yield
 // ErrNotFound after all present elements have been removed, so deletes
 // are idempotent in effect but honest about absences.
-func (s *Server) Delete(tok auth.Token, ops []transport.DeleteOp) error {
+func (s *Server) Delete(ctx context.Context, tok auth.Token, ops []transport.DeleteOp) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%s: %w", s.cfg.Name, err)
+	}
 	user, err := s.cfg.Auth.Verify(tok)
 	if err != nil {
 		return fmt.Errorf("%s: %w", s.cfg.Name, err)
@@ -175,7 +182,10 @@ func (s *Server) Delete(tok auth.Token, ops []transport.DeleteOp) error {
 // requested list, only the shares whose group the caller belongs to
 // (Algorithm 2, server side). Unknown lists come back empty: the mapping
 // table is public, so list existence is not a secret.
-func (s *Server) GetPostingLists(tok auth.Token, lists []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error) {
+func (s *Server) GetPostingLists(ctx context.Context, tok auth.Token, lists []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", s.cfg.Name, err)
+	}
 	user, err := s.cfg.Auth.Verify(tok)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", s.cfg.Name, err)
@@ -186,6 +196,12 @@ func (s *Server) GetPostingLists(tok auth.Token, lists []merging.ListID) (map[me
 	out := make(map[merging.ListID][]posting.EncryptedShare, len(lists))
 	served := int64(0)
 	for _, lid := range lists {
+		// A cancelled fan-out straggler stops scanning mid-request; the
+		// client has already abandoned the response.
+		if err := ctx.Err(); err != nil {
+			s.mu.RUnlock()
+			return nil, fmt.Errorf("%s: %w", s.cfg.Name, err)
+		}
 		var acc []posting.EncryptedShare
 		for _, share := range s.lists[lid] {
 			if _, member := memberOf[auth.GroupID(share.Group)]; member {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync"
@@ -47,7 +48,7 @@ func share(gid posting.GlobalID, group uint32, y uint64) posting.EncryptedShare 
 
 func TestInsertAndLookup(t *testing.T) {
 	f := newFixture(t)
-	err := f.srv.Insert(f.alice, []transport.InsertOp{
+	err := f.srv.Insert(context.Background(), f.alice, []transport.InsertOp{
 		{List: 10, Share: share(1, 1, 111)},
 		{List: 10, Share: share(2, 1, 222)},
 		{List: 20, Share: share(3, 1, 333)},
@@ -55,7 +56,7 @@ func TestInsertAndLookup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := f.srv.GetPostingLists(f.alice, []merging.ListID{10, 20, 99})
+	got, err := f.srv.GetPostingLists(context.Background(), f.alice, []merging.ListID{10, 20, 99})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,20 +74,20 @@ func TestInsertAndLookup(t *testing.T) {
 func TestAccessControlFiltersByGroup(t *testing.T) {
 	f := newFixture(t)
 	// Alice (group 1) and Bob (group 2) both have elements in list 5.
-	if err := f.srv.Insert(f.alice, []transport.InsertOp{{List: 5, Share: share(1, 1, 1)}}); err != nil {
+	if err := f.srv.Insert(context.Background(), f.alice, []transport.InsertOp{{List: 5, Share: share(1, 1, 1)}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.srv.Insert(f.bob, []transport.InsertOp{{List: 5, Share: share(2, 2, 2)}}); err != nil {
+	if err := f.srv.Insert(context.Background(), f.bob, []transport.InsertOp{{List: 5, Share: share(2, 2, 2)}}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := f.srv.GetPostingLists(f.alice, []merging.ListID{5})
+	got, err := f.srv.GetPostingLists(context.Background(), f.alice, []merging.ListID{5})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got[5]) != 1 || got[5][0].Group != 1 {
 		t.Fatalf("alice sees %v, want only group-1 share", got[5])
 	}
-	got, err = f.srv.GetPostingLists(f.bob, []merging.ListID{5})
+	got, err = f.srv.GetPostingLists(context.Background(), f.bob, []merging.ListID{5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestAccessControlFiltersByGroup(t *testing.T) {
 		t.Fatalf("bob sees %v, want only group-2 share", got[5])
 	}
 	// Eve belongs to nothing and sees nothing — but the request succeeds.
-	got, err = f.srv.GetPostingLists(f.eve, []merging.ListID{5})
+	got, err = f.srv.GetPostingLists(context.Background(), f.eve, []merging.ListID{5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,12 +106,12 @@ func TestAccessControlFiltersByGroup(t *testing.T) {
 
 func TestInsertRequiresGroupMembership(t *testing.T) {
 	f := newFixture(t)
-	err := f.srv.Insert(f.alice, []transport.InsertOp{{List: 1, Share: share(1, 2, 9)}})
+	err := f.srv.Insert(context.Background(), f.alice, []transport.InsertOp{{List: 1, Share: share(1, 2, 9)}})
 	if !errors.Is(err, ErrUnauthorized) {
 		t.Fatalf("insert into foreign group: %v", err)
 	}
 	// A batch with one bad op must be rejected atomically.
-	err = f.srv.Insert(f.alice, []transport.InsertOp{
+	err = f.srv.Insert(context.Background(), f.alice, []transport.InsertOp{
 		{List: 1, Share: share(1, 1, 9)},
 		{List: 1, Share: share(2, 2, 9)},
 	})
@@ -125,13 +126,13 @@ func TestInsertRequiresGroupMembership(t *testing.T) {
 func TestBadTokenRejected(t *testing.T) {
 	f := newFixture(t)
 	bad := auth.Token("not.a.token")
-	if err := f.srv.Insert(bad, nil); err == nil {
+	if err := f.srv.Insert(context.Background(), bad, nil); err == nil {
 		t.Error("insert with bad token succeeded")
 	}
-	if _, err := f.srv.GetPostingLists(bad, nil); err == nil {
+	if _, err := f.srv.GetPostingLists(context.Background(), bad, nil); err == nil {
 		t.Error("lookup with bad token succeeded")
 	}
-	if err := f.srv.Delete(bad, nil); err == nil {
+	if err := f.srv.Delete(context.Background(), bad, nil); err == nil {
 		t.Error("delete with bad token succeeded")
 	}
 }
@@ -143,16 +144,16 @@ func TestDelete(t *testing.T) {
 		{List: 7, Share: share(2, 1, 20)},
 		{List: 7, Share: share(3, 1, 30)},
 	}
-	if err := f.srv.Insert(f.alice, ops); err != nil {
+	if err := f.srv.Insert(context.Background(), f.alice, ops); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.srv.Delete(f.alice, []transport.DeleteOp{{List: 7, ID: 2}}); err != nil {
+	if err := f.srv.Delete(context.Background(), f.alice, []transport.DeleteOp{{List: 7, ID: 2}}); err != nil {
 		t.Fatal(err)
 	}
 	if f.srv.ListLength(7) != 2 {
 		t.Fatalf("list length = %d, want 2", f.srv.ListLength(7))
 	}
-	got, err := f.srv.GetPostingLists(f.alice, []merging.ListID{7})
+	got, err := f.srv.GetPostingLists(context.Background(), f.alice, []merging.ListID{7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,24 +163,24 @@ func TestDelete(t *testing.T) {
 		}
 	}
 	// Deleting a missing element reports ErrNotFound.
-	if err := f.srv.Delete(f.alice, []transport.DeleteOp{{List: 7, ID: 99}}); !errors.Is(err, ErrNotFound) {
+	if err := f.srv.Delete(context.Background(), f.alice, []transport.DeleteOp{{List: 7, ID: 99}}); !errors.Is(err, ErrNotFound) {
 		t.Errorf("missing delete: %v", err)
 	}
 	// Deleting another group's element is unauthorized.
-	if err := f.srv.Insert(f.bob, []transport.InsertOp{{List: 8, Share: share(5, 2, 50)}}); err != nil {
+	if err := f.srv.Insert(context.Background(), f.bob, []transport.InsertOp{{List: 8, Share: share(5, 2, 50)}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.srv.Delete(f.alice, []transport.DeleteOp{{List: 8, ID: 5}}); !errors.Is(err, ErrUnauthorized) {
+	if err := f.srv.Delete(context.Background(), f.alice, []transport.DeleteOp{{List: 8, ID: 5}}); !errors.Is(err, ErrUnauthorized) {
 		t.Errorf("cross-group delete: %v", err)
 	}
 }
 
 func TestDeleteEmptiesList(t *testing.T) {
 	f := newFixture(t)
-	if err := f.srv.Insert(f.alice, []transport.InsertOp{{List: 3, Share: share(1, 1, 1)}}); err != nil {
+	if err := f.srv.Insert(context.Background(), f.alice, []transport.InsertOp{{List: 3, Share: share(1, 1, 1)}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.srv.Delete(f.alice, []transport.DeleteOp{{List: 3, ID: 1}}); err != nil {
+	if err := f.srv.Delete(context.Background(), f.alice, []transport.DeleteOp{{List: 3, ID: 1}}); err != nil {
 		t.Fatal(err)
 	}
 	if f.srv.ListLength(3) != 0 || f.srv.TotalElements() != 0 {
@@ -192,16 +193,16 @@ func TestDeleteEmptiesList(t *testing.T) {
 
 func TestIdempotentReinsertReplacesShare(t *testing.T) {
 	f := newFixture(t)
-	if err := f.srv.Insert(f.alice, []transport.InsertOp{{List: 4, Share: share(9, 1, 100)}}); err != nil {
+	if err := f.srv.Insert(context.Background(), f.alice, []transport.InsertOp{{List: 4, Share: share(9, 1, 100)}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.srv.Insert(f.alice, []transport.InsertOp{{List: 4, Share: share(9, 1, 200)}}); err != nil {
+	if err := f.srv.Insert(context.Background(), f.alice, []transport.InsertOp{{List: 4, Share: share(9, 1, 200)}}); err != nil {
 		t.Fatal(err)
 	}
 	if f.srv.ListLength(4) != 1 {
 		t.Fatalf("duplicate global ID produced %d entries", f.srv.ListLength(4))
 	}
-	got, err := f.srv.GetPostingLists(f.alice, []merging.ListID{4})
+	got, err := f.srv.GetPostingLists(context.Background(), f.alice, []merging.ListID{4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,11 +213,11 @@ func TestIdempotentReinsertReplacesShare(t *testing.T) {
 
 func TestMembershipRevocationImmediate(t *testing.T) {
 	f := newFixture(t)
-	if err := f.srv.Insert(f.alice, []transport.InsertOp{{List: 1, Share: share(1, 1, 1)}}); err != nil {
+	if err := f.srv.Insert(context.Background(), f.alice, []transport.InsertOp{{List: 1, Share: share(1, 1, 1)}}); err != nil {
 		t.Fatal(err)
 	}
 	f.srv.Groups().Remove("alice", 1)
-	got, err := f.srv.GetPostingLists(f.alice, []merging.ListID{1})
+	got, err := f.srv.GetPostingLists(context.Background(), f.alice, []merging.ListID{1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestMembershipRevocationImmediate(t *testing.T) {
 	}
 	// Re-adding restores access instantly.
 	f.srv.Groups().Add("alice", 1)
-	got, err = f.srv.GetPostingLists(f.alice, []merging.ListID{1})
+	got, err = f.srv.GetPostingLists(context.Background(), f.alice, []merging.ListID{1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func TestAdversaryViewOnlyLengths(t *testing.T) {
 	// elements are not equal (randomized sharing happens client-side; here
 	// we just verify RawList exposes exactly what was stored).
 	f := newFixture(t)
-	if err := f.srv.Insert(f.alice, []transport.InsertOp{
+	if err := f.srv.Insert(context.Background(), f.alice, []transport.InsertOp{
 		{List: 2, Share: share(1, 1, 123)},
 		{List: 2, Share: share(2, 1, 456)},
 	}); err != nil {
@@ -261,13 +262,13 @@ func TestAdversaryViewOnlyLengths(t *testing.T) {
 
 func TestStats(t *testing.T) {
 	f := newFixture(t)
-	if err := f.srv.Insert(f.alice, []transport.InsertOp{{List: 1, Share: share(1, 1, 1)}}); err != nil {
+	if err := f.srv.Insert(context.Background(), f.alice, []transport.InsertOp{{List: 1, Share: share(1, 1, 1)}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.srv.GetPostingLists(f.alice, []merging.ListID{1}); err != nil {
+	if _, err := f.srv.GetPostingLists(context.Background(), f.alice, []merging.ListID{1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.srv.Delete(f.alice, []transport.DeleteOp{{List: 1, ID: 1}}); err != nil {
+	if err := f.srv.Delete(context.Background(), f.alice, []transport.DeleteOp{{List: 1, ID: 1}}); err != nil {
 		t.Fatal(err)
 	}
 	st := f.srv.StatsSnapshot()
@@ -297,16 +298,16 @@ func TestConcurrentMixedOps(t *testing.T) {
 			for i := 0; i < 100; i++ {
 				gid := posting.GlobalID(g*1000 + i)
 				lid := merging.ListID(r.Intn(4))
-				if err := f.srv.Insert(f.alice, []transport.InsertOp{{List: lid, Share: share(gid, 1, uint64(i))}}); err != nil {
+				if err := f.srv.Insert(context.Background(), f.alice, []transport.InsertOp{{List: lid, Share: share(gid, 1, uint64(i))}}); err != nil {
 					t.Errorf("insert: %v", err)
 					return
 				}
-				if _, err := f.srv.GetPostingLists(f.alice, []merging.ListID{lid}); err != nil {
+				if _, err := f.srv.GetPostingLists(context.Background(), f.alice, []merging.ListID{lid}); err != nil {
 					t.Errorf("lookup: %v", err)
 					return
 				}
 				if i%2 == 0 {
-					if err := f.srv.Delete(f.alice, []transport.DeleteOp{{List: lid, ID: gid}}); err != nil {
+					if err := f.srv.Delete(context.Background(), f.alice, []transport.DeleteOp{{List: lid, ID: gid}}); err != nil {
 						t.Errorf("delete: %v", err)
 						return
 					}

@@ -9,6 +9,8 @@
 package transport
 
 import (
+	"context"
+
 	"zerber/internal/auth"
 	"zerber/internal/field"
 	"zerber/internal/merging"
@@ -29,19 +31,22 @@ type DeleteOp struct {
 	ID   posting.GlobalID `json:"id"`
 }
 
-// API is the complete external interface of one index server.
+// API is the complete external interface of one index server. Every call
+// carries a context.Context: implementations must observe cancellation so
+// that a client fanning out to n servers can abandon stragglers once k
+// responses are in (the Algorithm 2 first-k-of-n retrieval).
 type API interface {
 	// XCoord returns the server's public Shamir x-coordinate.
 	XCoord() field.Element
 	// Insert authenticates the caller and appends shares to posting
 	// lists; the caller must belong to each share's group.
-	Insert(tok auth.Token, ops []InsertOp) error
+	Insert(ctx context.Context, tok auth.Token, ops []InsertOp) error
 	// Delete authenticates the caller and removes elements by global ID.
-	Delete(tok auth.Token, ops []DeleteOp) error
+	Delete(ctx context.Context, tok auth.Token, ops []DeleteOp) error
 	// GetPostingLists authenticates the caller and returns, for each
 	// requested list, the shares belonging to groups the caller is a
 	// member of (paper §5.4.2).
-	GetPostingLists(tok auth.Token, lists []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error)
+	GetPostingLists(ctx context.Context, tok auth.Token, lists []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error)
 }
 
 // Wire-size constants for the byte accounting (§7.3). A posting list

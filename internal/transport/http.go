@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -39,7 +40,7 @@ func NewHTTPHandler(api API) http.Handler {
 		if !readJSON(w, r, &ops) {
 			return
 		}
-		if err := api.Insert(token(r), ops); err != nil {
+		if err := api.Insert(r.Context(), token(r), ops); err != nil {
 			httpError(w, err)
 			return
 		}
@@ -50,7 +51,7 @@ func NewHTTPHandler(api API) http.Handler {
 		if !readJSON(w, r, &ops) {
 			return
 		}
-		if err := api.Delete(token(r), ops); err != nil {
+		if err := api.Delete(r.Context(), token(r), ops); err != nil {
 			httpError(w, err)
 			return
 		}
@@ -61,7 +62,7 @@ func NewHTTPHandler(api API) http.Handler {
 		if !readJSON(w, r, &lists) {
 			return
 		}
-		out, err := api.GetPostingLists(token(r), lists)
+		out, err := api.GetPostingLists(r.Context(), token(r), lists)
 		if err != nil {
 			httpError(w, err)
 			return
@@ -163,21 +164,21 @@ var _ API = (*HTTPClient)(nil)
 func (c *HTTPClient) XCoord() field.Element { return c.x }
 
 // Insert posts insert ops.
-func (c *HTTPClient) Insert(tok auth.Token, ops []InsertOp) error {
+func (c *HTTPClient) Insert(ctx context.Context, tok auth.Token, ops []InsertOp) error {
 	var ok string
-	return c.post(pathInsert, tok, ops, &ok)
+	return c.post(ctx, pathInsert, tok, ops, &ok)
 }
 
 // Delete posts delete ops.
-func (c *HTTPClient) Delete(tok auth.Token, ops []DeleteOp) error {
+func (c *HTTPClient) Delete(ctx context.Context, tok auth.Token, ops []DeleteOp) error {
 	var ok string
-	return c.post(pathDelete, tok, ops, &ok)
+	return c.post(ctx, pathDelete, tok, ops, &ok)
 }
 
 // GetPostingLists posts a lookup and decodes the share map.
-func (c *HTTPClient) GetPostingLists(tok auth.Token, lists []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error) {
+func (c *HTTPClient) GetPostingLists(ctx context.Context, tok auth.Token, lists []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error) {
 	enc := make(map[string][]posting.EncryptedShare)
-	if err := c.post(pathLookup, tok, lists, &enc); err != nil {
+	if err := c.post(ctx, pathLookup, tok, lists, &enc); err != nil {
 		return nil, err
 	}
 	out := make(map[merging.ListID][]posting.EncryptedShare, len(enc))
@@ -191,12 +192,12 @@ func (c *HTTPClient) GetPostingLists(tok auth.Token, lists []merging.ListID) (ma
 	return out, nil
 }
 
-func (c *HTTPClient) post(path string, tok auth.Token, in, out any) error {
+func (c *HTTPClient) post(ctx context.Context, path string, tok auth.Token, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("transport: encoding request: %w", err)
 	}
-	req, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"sync"
 
 	"zerber/internal/auth"
@@ -30,22 +31,22 @@ var _ API = (*Local)(nil)
 func (l *Local) XCoord() field.Element { return l.api.XCoord() }
 
 // Insert forwards to the wrapped server and charges request bytes.
-func (l *Local) Insert(tok auth.Token, ops []InsertOp) error {
+func (l *Local) Insert(ctx context.Context, tok auth.Token, ops []InsertOp) error {
 	l.charge(int64(len(tok))+int64(len(ops))*(ListIDBytes+ShareBytes), 1)
-	return l.api.Insert(tok, ops)
+	return l.api.Insert(ctx, tok, ops)
 }
 
 // Delete forwards to the wrapped server and charges request bytes.
-func (l *Local) Delete(tok auth.Token, ops []DeleteOp) error {
+func (l *Local) Delete(ctx context.Context, tok auth.Token, ops []DeleteOp) error {
 	l.charge(int64(len(tok))+int64(len(ops))*(ListIDBytes+8), 1)
-	return l.api.Delete(tok, ops)
+	return l.api.Delete(ctx, tok, ops)
 }
 
 // GetPostingLists forwards to the wrapped server and charges request and
 // response bytes.
-func (l *Local) GetPostingLists(tok auth.Token, lists []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error) {
+func (l *Local) GetPostingLists(ctx context.Context, tok auth.Token, lists []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error) {
 	l.charge(int64(len(tok))+int64(len(lists))*ListIDBytes, 1)
-	out, err := l.api.GetPostingLists(tok, lists)
+	out, err := l.api.GetPostingLists(ctx, tok, lists)
 	if err != nil {
 		return nil, err
 	}

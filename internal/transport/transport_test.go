@@ -1,6 +1,8 @@
 package transport_test
 
 import (
+	"context"
+	"errors"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -36,17 +38,17 @@ func TestLocalPassThrough(t *testing.T) {
 	if l.XCoord() != field.New(42) {
 		t.Error("XCoord passthrough broken")
 	}
-	if err := l.Insert(tok, []transport.InsertOp{{List: 1, Share: sampleShare(1, 100)}}); err != nil {
+	if err := l.Insert(context.Background(), tok, []transport.InsertOp{{List: 1, Share: sampleShare(1, 100)}}); err != nil {
 		t.Fatal(err)
 	}
-	out, err := l.GetPostingLists(tok, []merging.ListID{1})
+	out, err := l.GetPostingLists(context.Background(), tok, []merging.ListID{1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(out[1]) != 1 || out[1][0].Y != field.New(100) {
 		t.Fatalf("lookup via local transport: %v", out)
 	}
-	if err := l.Delete(tok, []transport.DeleteOp{{List: 1, ID: 1}}); err != nil {
+	if err := l.Delete(context.Background(), tok, []transport.DeleteOp{{List: 1, ID: 1}}); err != nil {
 		t.Fatal(err)
 	}
 	if srv.TotalElements() != 0 {
@@ -57,7 +59,7 @@ func TestLocalPassThrough(t *testing.T) {
 func TestLocalByteAccounting(t *testing.T) {
 	srv, tok := newServer(t)
 	l := transport.NewLocal(srv)
-	if err := l.Insert(tok, []transport.InsertOp{
+	if err := l.Insert(context.Background(), tok, []transport.InsertOp{
 		{List: 1, Share: sampleShare(1, 1)},
 		{List: 1, Share: sampleShare(2, 2)},
 	}); err != nil {
@@ -67,7 +69,7 @@ func TestLocalByteAccounting(t *testing.T) {
 	if got := l.BytesSent(); got != wantSent {
 		t.Errorf("BytesSent after insert = %d, want %d", got, wantSent)
 	}
-	if _, err := l.GetPostingLists(tok, []merging.ListID{1}); err != nil {
+	if _, err := l.GetPostingLists(context.Background(), tok, []merging.ListID{1}); err != nil {
 		t.Fatal(err)
 	}
 	wantRecv := int64(transport.ListHeaderBytes + 2*transport.ShareBytes)
@@ -92,13 +94,13 @@ func TestHTTPRoundTrip(t *testing.T) {
 	if c.XCoord() != field.New(42) {
 		t.Errorf("XCoord over HTTP = %d, want 42", c.XCoord())
 	}
-	if err := c.Insert(tok, []transport.InsertOp{
+	if err := c.Insert(context.Background(), tok, []transport.InsertOp{
 		{List: 5, Share: sampleShare(10, 123456789012345)},
 		{List: 5, Share: sampleShare(11, 9)},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	out, err := c.GetPostingLists(tok, []merging.ListID{5, 77})
+	out, err := c.GetPostingLists(context.Background(), tok, []merging.ListID{5, 77})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +120,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 	if len(out[77]) != 0 {
 		t.Error("unknown list must be empty over HTTP")
 	}
-	if err := c.Delete(tok, []transport.DeleteOp{{List: 5, ID: 10}}); err != nil {
+	if err := c.Delete(context.Background(), tok, []transport.DeleteOp{{List: 5, ID: 10}}); err != nil {
 		t.Fatal(err)
 	}
 	if srv.TotalElements() != 1 {
@@ -136,10 +138,10 @@ func TestHTTPLargeYPrecision(t *testing.T) {
 		t.Fatal(err)
 	}
 	huge := uint64(field.P - 1) // 2^61 - 2: above 2^53, so any float64 detour would corrupt it
-	if err := c.Insert(tok, []transport.InsertOp{{List: 1, Share: sampleShare(1, huge)}}); err != nil {
+	if err := c.Insert(context.Background(), tok, []transport.InsertOp{{List: 1, Share: sampleShare(1, huge)}}); err != nil {
 		t.Fatal(err)
 	}
-	out, err := c.GetPostingLists(tok, []merging.ListID{1})
+	out, err := c.GetPostingLists(context.Background(), tok, []merging.ListID{1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +158,7 @@ func TestHTTPAuthFailures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = c.Insert(auth.Token("garbage"), []transport.InsertOp{{List: 1, Share: sampleShare(1, 1)}})
+	err = c.Insert(context.Background(), auth.Token("garbage"), []transport.InsertOp{{List: 1, Share: sampleShare(1, 1)}})
 	if err == nil {
 		t.Fatal("bad token accepted over HTTP")
 	}
@@ -174,7 +176,7 @@ func TestHTTPForbidden(t *testing.T) {
 		t.Fatal(err)
 	}
 	// alice is in group 1 only; group 99 insert is forbidden.
-	err = c.Insert(tok, []transport.InsertOp{{List: 1, Share: posting.EncryptedShare{GlobalID: 1, Group: 99, Y: 1}}})
+	err = c.Insert(context.Background(), tok, []transport.InsertOp{{List: 1, Share: posting.EncryptedShare{GlobalID: 1, Group: 99, Y: 1}}})
 	if err == nil {
 		t.Fatal("cross-group insert accepted over HTTP")
 	}
@@ -186,5 +188,38 @@ func TestHTTPForbidden(t *testing.T) {
 func TestDialHTTPBadAddress(t *testing.T) {
 	if _, err := transport.DialHTTP("http://127.0.0.1:1", 200*time.Millisecond); err == nil {
 		t.Error("dialing a dead address must fail")
+	}
+}
+
+func TestLatencyWrapper(t *testing.T) {
+	srv, tok := newServer(t)
+	l := transport.WithLatency(srv, 20*time.Millisecond)
+	if l.XCoord() != field.New(42) {
+		t.Error("XCoord must pass through without delay")
+	}
+	start := time.Now()
+	if err := l.Insert(context.Background(), tok, []transport.InsertOp{{List: 1, Share: sampleShare(1, 1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("insert returned after %v, want >= 20ms", d)
+	}
+	if _, err := l.GetPostingLists(context.Background(), tok, []merging.ListID{1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyWrapperHonorsCancellation(t *testing.T) {
+	srv, tok := newServer(t)
+	l := transport.WithLatency(srv, time.Hour)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := l.GetPostingLists(ctx, tok, []merging.ListID{1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancellation did not interrupt the simulated RTT")
 	}
 }

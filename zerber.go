@@ -28,9 +28,29 @@
 //	p.IndexDocument(tok, peer.Document{ID: 1, Content: "...", Group: 1})
 //	s, _ := cluster.Searcher()
 //	results, _ := s.Search(tok, []string{"imclone"}, 10)
+//
+// # Query concurrency
+//
+// The query hot path is concurrent end-to-end. A search fans its
+// posting-list request out to the index servers in parallel and
+// completes as soon as the first k respond (Algorithm 2 needs any k of
+// the n shares); stragglers are cancelled through context.Context, which
+// the transport layer threads down to every server call. Three Options
+// knobs tune the engine:
+//
+//   - FanoutWidth caps the number of concurrently in-flight server
+//     requests (0 = all n at once; 1 = the sequential baseline);
+//
+//   - HedgeDelay, with a narrow fan-out, launches one extra server each
+//     time the delay elapses without k responses, hedging tail latency;
+//
+//   - DecryptWorkers sets how many goroutines reconstruct the returned
+//     Shamir shares (0 = one per CPU). Joined elements are processed in
+//     a deterministic order, so results and Stats are reproducible.
 package zerber
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -92,6 +112,16 @@ type Options struct {
 	// see only HMAC-derived pseudonyms, never real user identities, so a
 	// compromised server cannot tell who issued a query or update.
 	OpaqueUserIDs bool
+	// FanoutWidth caps concurrently in-flight server requests per query.
+	// 0 queries all servers at once; 1 reproduces the sequential client.
+	FanoutWidth int
+	// HedgeDelay, when positive and FanoutWidth leaves servers unstarted,
+	// launches one additional server each time the delay elapses without
+	// k responses (tail-latency hedging).
+	HedgeDelay time.Duration
+	// DecryptWorkers is the share-reconstruction worker count per query.
+	// 0 means one worker per CPU; 1 decrypts serially.
+	DecryptWorkers int
 }
 
 // Cluster is a complete in-process Zerber deployment: n index servers,
@@ -296,19 +326,31 @@ type Searcher struct {
 	cluster *Cluster
 }
 
-// Searcher creates a query client over the cluster's servers.
+// Searcher creates a query client over the cluster's servers, tuned by
+// the cluster's FanoutWidth, HedgeDelay, and DecryptWorkers options.
 func (c *Cluster) Searcher() (*Searcher, error) {
 	cl, err := client.New(c.apis, c.opts.K, c.table, c.voc)
 	if err != nil {
 		return nil, err
 	}
+	cl.SetTuning(client.Tuning{
+		Fanout:         c.opts.FanoutWidth,
+		HedgeDelay:     c.opts.HedgeDelay,
+		DecryptWorkers: c.opts.DecryptWorkers,
+	})
 	return &Searcher{c: cl, cluster: c}, nil
 }
 
 // Search runs a ranked keyword query and resolves snippets for the top-K
 // results from the hosting peers.
 func (s *Searcher) Search(tok Token, query []string, topK int) ([]Result, error) {
-	ranked, _, err := s.c.Search(tok, query, topK)
+	return s.SearchContext(context.Background(), tok, query, topK)
+}
+
+// SearchContext is Search bounded by ctx: cancellation aborts the server
+// fan-out and the decrypt stage.
+func (s *Searcher) SearchContext(ctx context.Context, tok Token, query []string, topK int) ([]Result, error) {
+	ranked, _, err := s.c.SearchContext(ctx, tok, query, topK)
 	if err != nil {
 		return nil, err
 	}
