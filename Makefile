@@ -3,21 +3,30 @@
 
 GO ?= go
 
-.PHONY: build test race bench lint fmt ci
+.PHONY: build test race bench benchstore lint fmt ci
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test (and subtest) execution order to surface
+# hidden order dependencies; the seed is printed on failure for replay.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # One iteration per benchmark: a smoke run proving the benchmarks still
 # compile and execute, not a measurement.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Storage-engine comparison: BenchmarkServerMixed runs the same parallel
+# mixed insert/lookup/delete workload against the single-lock baseline
+# (StoreShards=1) and the sharded default, so the sharding speedup is
+# reproducible from one command. Needs >1 CPU to show parallel gain.
+benchstore:
+	$(GO) test -run='^$$' -bench='^BenchmarkServerMixed$$' -benchtime=0.5s -count=1 ./internal/server/
 
 lint:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \

@@ -28,6 +28,7 @@ import (
 	"zerber/internal/durable"
 	"zerber/internal/field"
 	"zerber/internal/server"
+	"zerber/internal/store"
 	"zerber/internal/transport"
 )
 
@@ -40,6 +41,7 @@ func main() {
 		name   = flag.String("name", "", "server name for logs (default ix<x>)")
 		ttl    = flag.Duration("token-ttl", time.Hour, "token lifetime")
 		walAt  = flag.String("wal", "", "write-ahead log path for crash recovery (empty = in-memory only)")
+		shards = flag.Int("store-shards", 0, "storage engine lock stripes: 1 = single-lock baseline, 0 = GOMAXPROCS-scaled sharded default")
 	)
 	flag.Parse()
 
@@ -78,6 +80,7 @@ func main() {
 		X:      xe,
 		Auth:   auth.NewServiceWithKey(key, *ttl),
 		Groups: gt,
+		Store:  store.New(*shards),
 	}
 	var api transport.API
 	if *walAt != "" {

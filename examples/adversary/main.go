@@ -81,8 +81,8 @@ func main() {
 	table := cluster.Table()
 	lid := table.ListOf("hesselhofer")
 	fmt.Printf("\n[attack 2] 'hesselhofer' maps to list %d; Alice inspects its %d shares:\n",
-		lid, len(compromised.RawList(lid)))
-	for i, sh := range compromised.RawList(lid) {
+		lid, len(compromised.Store().List(lid)))
+	for i, sh := range compromised.Store().List(lid) {
 		if i == 3 {
 			fmt.Println("  ...")
 			break
@@ -110,7 +110,7 @@ func main() {
 	// Attack 3 (§5.1): reconstruct a posting element from one server's
 	// share alone — information-theoretically impossible: every candidate
 	// secret is consistent with the share.
-	sh := compromised.RawList(lid)[0]
+	sh := compromised.Store().List(lid)[0]
 	x := compromised.XCoord()
 	fmt.Println("\n[attack 3] single-share reconstruction:")
 	for _, guess := range []uint64{0, 424242, 1 << 59} {

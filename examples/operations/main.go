@@ -107,13 +107,13 @@ func main() {
 		lid = l
 		break
 	}
-	stolen := inner[0].RawList(lid) // adversary snapshots server 0 today
+	stolen := inner[0].Store().List(lid) // adversary snapshots server 0 today
 	// What the stolen share + a current server-1 share decode to, before
 	// and after the refresh.
 	xs := []field.Element{inner[0].XCoord(), inner[1].XCoord()}
 	decodeMix := func() posting.Element {
 		freshByID := map[posting.GlobalID]posting.EncryptedShare{}
-		for _, sh := range inner[1].RawList(lid) {
+		for _, sh := range inner[1].Store().List(lid) {
 			freshByID[sh.GlobalID] = sh
 		}
 		elem, err := posting.Decrypt(

@@ -114,7 +114,16 @@ func TestAbsenceNeverAmplified(t *testing.T) {
 		extra := float64(b%1000) / 10000.0 // [0, 0.1)
 		sum := pt + extra
 		ratio := AbsenceAmplification(pt, sum)
-		return !math.IsNaN(ratio) && ratio <= 1+1e-12 && ratio > 0
+		if math.IsNaN(ratio) || ratio > 1+1e-12 {
+			return false
+		}
+		// extra == 0 is the degenerate single-term list: the absence
+		// posterior — and so the ratio — is exactly 0. Any real merge
+		// must keep it strictly positive.
+		if extra == 0 {
+			return ratio == 0
+		}
+		return ratio > 0
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

@@ -129,8 +129,8 @@ func (s *Slot) migrateFrom(leaving *server.Server) error {
 	return nil
 }
 
-// moveList transplants one merged posting list between nodes using the
-// trusted migration path (node-to-node transfer inside one slot; the
+// moveList transplants one merged posting list between nodes through the
+// storage engines directly (node-to-node transfer inside one slot; the
 // shares stay encrypted throughout — migration never sees plaintext).
 func (s *Slot) moveList(from *server.Server, toName string, lid merging.ListID) error {
 	s.mu.RLock()
@@ -139,11 +139,9 @@ func (s *Slot) moveList(from *server.Server, toName string, lid merging.ListID) 
 	if to == nil {
 		return fmt.Errorf("dht: migration target %s vanished", toName)
 	}
-	shares := from.RawList(lid)
-	if err := to.IngestMigrated(lid, shares); err != nil {
-		return err
-	}
-	return from.DropList(lid)
+	to.Store().IngestList(lid, from.Store().List(lid))
+	from.Store().DropList(lid)
+	return nil
 }
 
 // XCoord returns the slot's public x-coordinate.

@@ -40,14 +40,21 @@ var _ transport.API = (*Server)(nil)
 // shares are bound to it.
 func Open(cfg server.Config, walPath string) (*Server, error) {
 	inner := server.New(cfg)
+	// Replay folds the log straight into the storage engine: the
+	// operations were authorized when first logged, so the server's
+	// policy layer is bypassed and no stats are counted.
+	st := inner.Store()
 	n, err := wal.Replay(walPath, func(r wal.Record) error {
 		switch r.Op {
 		case wal.OpInsert:
-			return inner.IngestMigrated(r.List, []posting.EncryptedShare{{
+			st.IngestList(r.List, []posting.EncryptedShare{{
 				GlobalID: r.ID, Group: r.Group, Y: r.Y,
 			}})
+			return nil
 		case wal.OpDelete:
-			inner.DropElement(r.List, r.ID)
+			// A delete logged twice must replay idempotently; missing
+			// elements are ignored.
+			st.DeleteIf(r.List, r.ID, nil)
 			return nil
 		default:
 			return fmt.Errorf("durable: unknown op %d in log", r.Op)
@@ -139,8 +146,9 @@ func (s *Server) Compact(walPath string) error {
 	if err != nil {
 		return fmt.Errorf("durable: opening compaction log: %w", err)
 	}
-	for lid, ids := range s.inner.ElementKeys() {
-		shares := s.inner.RawList(lid)
+	st := s.inner.Store()
+	for lid, ids := range st.Keys() {
+		shares := st.List(lid)
 		byID := make(map[posting.GlobalID]posting.EncryptedShare, len(shares))
 		for _, sh := range shares {
 			byID[sh.GlobalID] = sh

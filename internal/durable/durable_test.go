@@ -264,7 +264,7 @@ func TestCompaction(t *testing.T) {
 	for i := 40; i < 50; i++ {
 		lid := merging.ListID(i % 3)
 		found := false
-		for _, share := range revived.Inner().RawList(lid) {
+		for _, share := range revived.Inner().Store().List(lid) {
 			if share.GlobalID == pkgposting.GlobalID(i) && share.Y == field.New(uint64(i)*7) {
 				found = true
 			}

@@ -186,7 +186,7 @@ func (e *Env) BatchingAblation() (*Report, error) {
 		// doc <- element mapping, not a real attack).
 		var arrivals []uint32
 		for lid := range srv.ListLengths() {
-			for _, sh := range srv.RawList(lid) {
+			for _, sh := range srv.Store().List(lid) {
 				elem, err := posting.Decrypt(
 					[]posting.EncryptedShare{sh}, []field.Element{srv.XCoord()}, 1)
 				if err != nil {

@@ -31,17 +31,22 @@ const PlainElementBytes = 4 + 2
 // Index is a thread-safe in-memory inverted index.
 // The zero value is not usable; call New.
 type Index struct {
-	mu       sync.RWMutex
-	lists    map[string][]Posting
-	docLens  map[uint32]int // total term count per document
-	postings int            // total posting count, maintained incrementally
+	mu      sync.RWMutex
+	lists   map[string][]Posting
+	docLens map[uint32]int // total term count per document
+	// docTerms is the reverse map: the terms each document contributed
+	// postings to, so removal touches only the document's own lists
+	// instead of scanning the whole vocabulary.
+	docTerms map[uint32][]string
+	postings int // total posting count, maintained incrementally
 }
 
 // New returns an empty index.
 func New() *Index {
 	return &Index{
-		lists:   make(map[string][]Posting),
-		docLens: make(map[uint32]int),
+		lists:    make(map[string][]Posting),
+		docLens:  make(map[uint32]int),
+		docTerms: make(map[uint32][]string),
 	}
 }
 
@@ -55,6 +60,7 @@ func (ix *Index) Add(docID uint32, counts map[string]int) {
 		ix.removeLocked(docID)
 	}
 	total := 0
+	terms := make([]string, 0, len(counts))
 	for term, c := range counts {
 		if c <= 0 {
 			continue
@@ -66,8 +72,10 @@ func (ix *Index) Add(docID uint32, counts map[string]int) {
 		ix.lists[term] = append(ix.lists[term], Posting{DocID: docID, TF: tf})
 		ix.postings++
 		total += c
+		terms = append(terms, term)
 	}
 	ix.docLens[docID] = total
+	ix.docTerms[docID] = terms
 }
 
 // Remove deletes all postings of a document. It reports whether the
@@ -83,7 +91,8 @@ func (ix *Index) Remove(docID uint32) bool {
 }
 
 func (ix *Index) removeLocked(docID uint32) {
-	for term, pl := range ix.lists {
+	for _, term := range ix.docTerms[docID] {
+		pl := ix.lists[term]
 		out := pl[:0]
 		for _, p := range pl {
 			if p.DocID != docID {
@@ -98,6 +107,7 @@ func (ix *Index) removeLocked(docID uint32) {
 			ix.lists[term] = out
 		}
 	}
+	delete(ix.docTerms, docID)
 	delete(ix.docLens, docID)
 }
 

@@ -253,7 +253,7 @@ func TestBatchShufflesAcrossDocuments(t *testing.T) {
 	p.mu.RUnlock()
 	var order []bool // true = doc1 element, in arrival order per list
 	for _, lid := range tc.table.ListsOf(corpusTerms) {
-		for _, sh := range tc.servers[0].RawList(lid) {
+		for _, sh := range tc.servers[0].Store().List(lid) {
 			order = append(order, doc1[uint64(sh.GlobalID)])
 		}
 	}

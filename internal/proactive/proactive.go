@@ -43,10 +43,12 @@ func Reshare(servers []*server.Server, k int, rng io.Reader) (int, error) {
 		return 0, fmt.Errorf("%w: k=%d, servers=%d", ErrTooFewServers, k, len(servers))
 	}
 
-	// Agree on the element inventory.
-	base := servers[0].ElementKeys()
+	// Agree on the element inventory, read from the storage engines
+	// directly: resharing is a trusted server-to-server protocol below
+	// the client API.
+	base := servers[0].Store().Keys()
 	for _, s := range servers[1:] {
-		if !sameInventory(base, s.ElementKeys()) {
+		if !sameInventory(base, s.Store().Keys()) {
 			return 0, fmt.Errorf("%w: %s differs from %s",
 				ErrInconsistent, s.Name(), servers[0].Name())
 		}
@@ -84,7 +86,7 @@ func Reshare(servers []*server.Server, k int, rng io.Reader) (int, error) {
 	}
 
 	for i, s := range servers {
-		if err := s.ApplyShareDeltas(deltas[i]); err != nil {
+		if err := s.Store().ApplyDeltas(deltas[i]); err != nil {
 			return 0, fmt.Errorf("proactive: applying deltas on %s: %w", s.Name(), err)
 		}
 	}

@@ -82,10 +82,10 @@ func decryptAll(t *testing.T, f *fixture, a, b int) map[posting.GlobalID]posting
 	xs := []field.Element{f.servers[a].XCoord(), f.servers[b].XCoord()}
 	for lid := range f.servers[a].ListLengths() {
 		byID := make(map[posting.GlobalID]posting.EncryptedShare)
-		for _, sh := range f.servers[a].RawList(lid) {
+		for _, sh := range f.servers[a].Store().List(lid) {
 			byID[sh.GlobalID] = sh
 		}
-		for _, sh := range f.servers[b].RawList(lid) {
+		for _, sh := range f.servers[b].Store().List(lid) {
 			first, ok := byID[sh.GlobalID]
 			if !ok {
 				t.Fatalf("element %d missing on server %d", sh.GlobalID, a)
@@ -135,11 +135,11 @@ func TestReshareChangesShares(t *testing.T) {
 		lid = l
 		break
 	}
-	before := f.servers[0].RawList(lid)
+	before := f.servers[0].Store().List(lid)
 	if _, err := proactive.Reshare(f.servers, 2, rand.New(rand.NewSource(3))); err != nil {
 		t.Fatal(err)
 	}
-	after := f.servers[0].RawList(lid)
+	after := f.servers[0].Store().List(lid)
 	changed := false
 	for i := range before {
 		if before[i].Y != after[i].Y {
@@ -159,7 +159,7 @@ func TestReshareNeutralizesStolenShares(t *testing.T) {
 		lid = l
 		break
 	}
-	stolen := f.servers[0].RawList(lid)
+	stolen := f.servers[0].Store().List(lid)
 	before := decryptAll(t, f, 0, 1)
 
 	if _, err := proactive.Reshare(f.servers, 2, rand.New(rand.NewSource(4))); err != nil {
@@ -169,7 +169,7 @@ func TestReshareNeutralizesStolenShares(t *testing.T) {
 	// Stolen (pre-refresh) share + fresh share from server 1 must NOT
 	// reconstruct the real element.
 	freshByID := make(map[posting.GlobalID]posting.EncryptedShare)
-	for _, sh := range f.servers[1].RawList(lid) {
+	for _, sh := range f.servers[1].Store().List(lid) {
 		freshByID[sh.GlobalID] = sh
 	}
 	xs := []field.Element{f.servers[0].XCoord(), f.servers[1].XCoord()}

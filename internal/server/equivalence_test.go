@@ -1,0 +1,141 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"zerber/internal/auth"
+	"zerber/internal/merging"
+	"zerber/internal/posting"
+	"zerber/internal/store"
+	"zerber/internal/transport"
+)
+
+// TestShardedServerMatchesBaseline replays one randomized client
+// workload against a server on the legacy single-lock store and a
+// server on the sharded store, and requires byte-identical observable
+// behaviour: errors, retrieval contents and ordering, list lengths, and
+// Stats. This is the StoreShards-is-invisible acceptance criterion at
+// the policy layer.
+func TestShardedServerMatchesBaseline(t *testing.T) {
+	svc, err := auth.NewService(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := auth.NewGroupTable()
+	groups.Add("alice", 1)
+	groups.Add("alice", 2)
+	groups.Add("bob", 2)
+	base := New(Config{Name: "ix", X: 17, Auth: svc, Groups: groups, Store: store.New(1)})
+	shrd := New(Config{Name: "ix", X: 17, Auth: svc, Groups: groups, Store: store.NewSharded(8)})
+	alice, bob := svc.Issue("alice"), svc.Issue("bob")
+	ctx := context.Background()
+
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		tok := alice
+		if r.Intn(3) == 0 {
+			tok = bob
+		}
+		lid := merging.ListID(r.Intn(24))
+		gid := posting.GlobalID(r.Intn(500))
+		switch r.Intn(5) {
+		case 0, 1:
+			ops := []transport.InsertOp{{List: lid, Share: share(gid, uint32(1+r.Intn(2)), uint64(i))}}
+			errA := base.Insert(ctx, tok, ops)
+			errB := shrd.Insert(ctx, tok, ops)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("op %d: Insert errors diverged: %v vs %v", i, errA, errB)
+			}
+		case 2:
+			ops := []transport.DeleteOp{{List: lid, ID: gid}}
+			errA := base.Delete(ctx, tok, ops)
+			errB := shrd.Delete(ctx, tok, ops)
+			if fmt.Sprint(errA) != fmt.Sprint(errB) {
+				t.Fatalf("op %d: Delete errors diverged: %v vs %v", i, errA, errB)
+			}
+		default:
+			lids := []merging.ListID{lid, merging.ListID(r.Intn(24)), 999}
+			gotA, errA := base.GetPostingLists(ctx, tok, lids)
+			gotB, errB := shrd.GetPostingLists(ctx, tok, lids)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("op %d: lookup errors diverged: %v vs %v", i, errA, errB)
+			}
+			for _, l := range lids {
+				a, b := gotA[l], gotB[l]
+				if len(a) != len(b) {
+					t.Fatalf("op %d list %d: %d vs %d shares", i, l, len(a), len(b))
+				}
+				for j := range a {
+					if a[j] != b[j] {
+						t.Fatalf("op %d list %d share %d: %+v vs %+v (retrieval ordering must match)",
+							i, l, j, a[j], b[j])
+					}
+				}
+			}
+		}
+	}
+
+	if a, b := base.StatsSnapshot(), shrd.StatsSnapshot(); a != b {
+		t.Errorf("Stats diverged: %+v vs %+v", a, b)
+	}
+	if a, b := base.TotalElements(), shrd.TotalElements(); a != b {
+		t.Errorf("TotalElements diverged: %d vs %d", a, b)
+	}
+	if a, b := base.StorageBytes(), shrd.StorageBytes(); a != b {
+		t.Errorf("StorageBytes diverged: %d vs %d", a, b)
+	}
+	la, lb := base.ListLengths(), shrd.ListLengths()
+	if len(la) != len(lb) {
+		t.Fatalf("ListLengths size diverged: %d vs %d", len(la), len(lb))
+	}
+	for lid, n := range la {
+		if lb[lid] != n {
+			t.Errorf("list %d length diverged: %d vs %d", lid, n, lb[lid])
+		}
+	}
+}
+
+// TestDeleteUnauthorizedCountsAppliedStats pins the partial-batch
+// semantics across engines: a delete batch that hits a foreign-group
+// element keeps the elements already removed and counts exactly those.
+func TestDeleteUnauthorizedCountsAppliedStats(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			svc, err := auth.NewService(time.Minute)
+			if err != nil {
+				t.Fatal(err)
+			}
+			groups := auth.NewGroupTable()
+			groups.Add("alice", 1)
+			groups.Add("bob", 2)
+			srv := New(Config{Name: "ix", X: 3, Auth: svc, Groups: groups, Store: store.New(shards)})
+			alice, bob := svc.Issue("alice"), svc.Issue("bob")
+			ctx := context.Background()
+			if err := srv.Insert(ctx, alice, []transport.InsertOp{{List: 1, Share: share(1, 1, 1)}, {List: 2, Share: share(2, 1, 2)}}); err != nil {
+				t.Fatal(err)
+			}
+			if err := srv.Insert(ctx, bob, []transport.InsertOp{{List: 3, Share: share(3, 2, 3)}}); err != nil {
+				t.Fatal(err)
+			}
+			err = srv.Delete(ctx, alice, []transport.DeleteOp{
+				{List: 1, ID: 1}, // alice's own: removed
+				{List: 3, ID: 3}, // bob's: unauthorized, aborts the batch
+				{List: 2, ID: 2}, // never reached
+			})
+			if !errors.Is(err, ErrUnauthorized) {
+				t.Fatalf("err = %v, want ErrUnauthorized", err)
+			}
+			if got := srv.TotalElements(); got != 2 {
+				t.Errorf("TotalElements = %d, want 2", got)
+			}
+			if st := srv.StatsSnapshot(); st.Deletes != 1 {
+				t.Errorf("Stats.Deletes = %d, want 1 (the element removed before the abort)", st.Deletes)
+			}
+		})
+	}
+}

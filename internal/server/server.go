@@ -7,19 +7,27 @@
 // It never sees plaintext elements; even its own administrator learns only
 // combined list lengths and group memberships, which is exactly the view
 // the r-confidentiality analysis grants the adversary (§7.1).
+//
+// Share storage lives behind the store.Store interface (package store):
+// the server is a policy layer — authentication, group checks, activity
+// stats — over a pluggable storage engine. Trusted node-to-node and
+// recovery paths (WAL replay, DHT migration, proactive resharing, the
+// security tests' adversary view) bypass the policy layer and operate on
+// Store() directly; they never see plaintext either, because the engine
+// only ever holds encrypted shares.
 package server
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
-	"sync"
+	"sync/atomic"
 
 	"zerber/internal/auth"
 	"zerber/internal/field"
 	"zerber/internal/merging"
 	"zerber/internal/posting"
+	"zerber/internal/store"
 	"zerber/internal/transport"
 )
 
@@ -41,19 +49,19 @@ type Config struct {
 	// Groups is the server's user-group table. Several servers may share
 	// one table object in simulations; real deployments replicate it.
 	Groups *auth.GroupTable
+	// Store is the storage engine holding the encrypted shares. Nil
+	// selects the single-lock store.Memory baseline.
+	Store store.Store
 }
 
 // Server is one index server. It is safe for concurrent use.
 type Server struct {
 	cfg Config
+	st  store.Store
 
-	mu    sync.RWMutex
-	lists map[merging.ListID][]posting.EncryptedShare
-	// pos locates an element inside its list for O(1) deletion.
-	pos map[merging.ListID]map[posting.GlobalID]int
-
-	statsMu sync.Mutex
-	stats   Stats
+	// Activity counters are atomic and updated once per batch, not once
+	// per element, so hot-path inserts don't serialize on a stats mutex.
+	inserts, deletes, lookups, served atomic.Int64
 }
 
 // Stats counts server activity; used by the bandwidth experiments.
@@ -74,11 +82,11 @@ func New(cfg Config) *Server {
 	if cfg.Auth == nil || cfg.Groups == nil {
 		panic("server: Auth and Groups are required")
 	}
-	return &Server{
-		cfg:   cfg,
-		lists: make(map[merging.ListID][]posting.EncryptedShare),
-		pos:   make(map[merging.ListID]map[posting.GlobalID]int),
+	st := cfg.Store
+	if st == nil {
+		st = store.NewMemory()
 	}
+	return &Server{cfg: cfg, st: st}
 }
 
 var _ transport.API = (*Server)(nil)
@@ -92,6 +100,14 @@ func (s *Server) XCoord() field.Element { return s.cfg.X }
 // Groups exposes the server's group table so the group coordinator can
 // manage membership (outside the narrow query interface, §5.3).
 func (s *Server) Groups() *auth.GroupTable { return s.cfg.Groups }
+
+// Store exposes the storage engine for the trusted paths that operate
+// below the client API: WAL replay and compaction (package durable), DHT
+// list migration (package dht), proactive resharing (package proactive),
+// and adversary simulation (an attacker who owns the box reads the
+// engine directly). Clients never touch it; every client-facing
+// operation goes through the authenticated methods above.
+func (s *Server) Store() store.Store { return s.st }
 
 // Insert authenticates the caller, checks group membership for every
 // share, and appends the shares to their posting lists. The whole batch
@@ -110,21 +126,26 @@ func (s *Server) Insert(ctx context.Context, tok auth.Token, ops []transport.Ins
 			return fmt.Errorf("%s: insert into group %d: %w", s.cfg.Name, op.Share.Group, ErrUnauthorized)
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, op := range ops {
-		if s.pos[op.List] == nil {
-			s.pos[op.List] = make(map[posting.GlobalID]int)
+	// Group the batch by destination list, preserving arrival order, so
+	// the store is entered once per touched list rather than once per
+	// element. Idempotent re-inserts (an owner retrying a batch after a
+	// partial failure) replace the stored share and are not counted.
+	added := 0
+	for i := 0; i < len(ops); {
+		lid := ops[i].List
+		j := i + 1
+		for j < len(ops) && ops[j].List == lid {
+			j++
 		}
-		if i, exists := s.pos[op.List][op.Share.GlobalID]; exists {
-			// Idempotent re-insert (e.g. an owner retrying a batch after
-			// a partial failure) replaces the stored share.
-			s.lists[op.List][i] = op.Share
-			continue
+		run := make([]posting.EncryptedShare, 0, j-i)
+		for _, op := range ops[i:j] {
+			run = append(run, op.Share)
 		}
-		s.pos[op.List][op.Share.GlobalID] = len(s.lists[op.List])
-		s.lists[op.List] = append(s.lists[op.List], op.Share)
-		s.addStats(Stats{Inserts: 1})
+		added += s.st.Upsert(lid, run)
+		i = j
+	}
+	if added > 0 {
+		s.inserts.Add(int64(added))
 	}
 	return nil
 }
@@ -143,34 +164,31 @@ func (s *Server) Delete(ctx context.Context, tok auth.Token, ops []transport.Del
 	}
 	memberOf := s.cfg.Groups.GroupSetOf(user)
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var missing int
+	var removed int64
 	for _, op := range ops {
-		idx, ok := s.pos[op.List][op.ID]
-		if !ok {
+		var deniedGroup uint32
+		found, deleted := s.st.DeleteIf(op.List, op.ID, func(sh posting.EncryptedShare) bool {
+			if _, member := memberOf[auth.GroupID(sh.Group)]; !member {
+				deniedGroup = sh.Group
+				return false
+			}
+			return true
+		})
+		switch {
+		case !found:
 			missing++
-			continue
+		case !deleted:
+			if removed > 0 {
+				s.deletes.Add(removed)
+			}
+			return fmt.Errorf("%s: delete from group %d: %w", s.cfg.Name, deniedGroup, ErrUnauthorized)
+		default:
+			removed++
 		}
-		share := s.lists[op.List][idx]
-		if _, member := memberOf[auth.GroupID(share.Group)]; !member {
-			return fmt.Errorf("%s: delete from group %d: %w", s.cfg.Name, share.Group, ErrUnauthorized)
-		}
-		// Swap-remove and fix the moved element's position.
-		list := s.lists[op.List]
-		last := len(list) - 1
-		moved := list[last]
-		list[idx] = moved
-		s.lists[op.List] = list[:last]
-		if idx != last {
-			s.pos[op.List][moved.GlobalID] = idx
-		}
-		delete(s.pos[op.List], op.ID)
-		if len(s.lists[op.List]) == 0 {
-			delete(s.lists, op.List)
-			delete(s.pos, op.List)
-		}
-		s.addStats(Stats{Deletes: 1})
+	}
+	if removed > 0 {
+		s.deletes.Add(removed)
 	}
 	if missing > 0 {
 		return fmt.Errorf("%s: %d of %d elements: %w", s.cfg.Name, missing, len(ops), ErrNotFound)
@@ -191,195 +209,51 @@ func (s *Server) GetPostingLists(ctx context.Context, tok auth.Token, lists []me
 		return nil, fmt.Errorf("%s: %w", s.cfg.Name, err)
 	}
 	memberOf := s.cfg.Groups.GroupSetOf(user)
+	authorized := func(sh posting.EncryptedShare) bool {
+		_, member := memberOf[auth.GroupID(sh.Group)]
+		return member
+	}
 
-	s.mu.RLock()
 	out := make(map[merging.ListID][]posting.EncryptedShare, len(lists))
 	served := int64(0)
 	for _, lid := range lists {
 		// A cancelled fan-out straggler stops scanning mid-request; the
 		// client has already abandoned the response.
 		if err := ctx.Err(); err != nil {
-			s.mu.RUnlock()
 			return nil, fmt.Errorf("%s: %w", s.cfg.Name, err)
 		}
-		var acc []posting.EncryptedShare
-		for _, share := range s.lists[lid] {
-			if _, member := memberOf[auth.GroupID(share.Group)]; member {
-				acc = append(acc, share)
-			}
-		}
+		acc := s.st.Scan(lid, authorized)
 		out[lid] = acc
 		served += int64(len(acc))
 	}
-	s.mu.RUnlock()
-	s.addStats(Stats{Lookups: 1, ElementsServed: served})
+	s.lookups.Add(1)
+	s.served.Add(served)
 	return out, nil
-}
-
-func (s *Server) addStats(d Stats) {
-	s.statsMu.Lock()
-	s.stats.Inserts += d.Inserts
-	s.stats.Deletes += d.Deletes
-	s.stats.Lookups += d.Lookups
-	s.stats.ElementsServed += d.ElementsServed
-	s.statsMu.Unlock()
 }
 
 // ListLength returns the combined length of a merged posting list — the
 // quantity a compromised server administrator can observe (§5.2).
-func (s *Server) ListLength(lid merging.ListID) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.lists[lid])
-}
+func (s *Server) ListLength(lid merging.ListID) int { return s.st.ListLen(lid) }
 
 // ListLengths returns all list lengths: the adversary's complete
 // statistical view of the index contents.
-func (s *Server) ListLengths() map[merging.ListID]int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[merging.ListID]int, len(s.lists))
-	for lid, l := range s.lists {
-		out[lid] = len(l)
-	}
-	return out
-}
+func (s *Server) ListLengths() map[merging.ListID]int { return s.st.ListLengths() }
 
 // TotalElements returns the number of stored shares.
-func (s *Server) TotalElements() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	n := 0
-	for _, l := range s.lists {
-		n += len(l)
-	}
-	return n
-}
+func (s *Server) TotalElements() int { return s.st.TotalElements() }
 
 // StorageBytes returns this server's index size under the wire encoding,
 // for the §7.2 storage-overhead experiment.
 func (s *Server) StorageBytes() int {
-	return s.TotalElements() * posting.WireBytes
+	return s.st.TotalElements() * posting.WireBytes
 }
 
 // StatsSnapshot returns a copy of the activity counters.
 func (s *Server) StatsSnapshot() Stats {
-	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
-	return s.stats
-}
-
-// IngestMigrated accepts a whole merged posting list from another node
-// of the same share slot (DHT rebalancing). Shares stay encrypted
-// throughout; existing elements with the same global ID are replaced.
-// This is a trusted node-to-node path, not part of the client API.
-func (s *Server) IngestMigrated(lid merging.ListID, shares []posting.EncryptedShare) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.pos[lid] == nil {
-		s.pos[lid] = make(map[posting.GlobalID]int, len(shares))
+	return Stats{
+		Inserts:        s.inserts.Load(),
+		Deletes:        s.deletes.Load(),
+		Lookups:        s.lookups.Load(),
+		ElementsServed: s.served.Load(),
 	}
-	for _, sh := range shares {
-		if i, exists := s.pos[lid][sh.GlobalID]; exists {
-			s.lists[lid][i] = sh
-			continue
-		}
-		s.pos[lid][sh.GlobalID] = len(s.lists[lid])
-		s.lists[lid] = append(s.lists[lid], sh)
-	}
-	if len(s.lists[lid]) == 0 {
-		delete(s.lists, lid)
-		delete(s.pos, lid)
-	}
-	return nil
-}
-
-// DropList removes a whole merged posting list after it has been
-// migrated to another node. Trusted node-to-node path.
-func (s *Server) DropList(lid merging.ListID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.lists, lid)
-	delete(s.pos, lid)
-	return nil
-}
-
-// DropElement removes one element without authentication — the trusted
-// path used when replaying an already-authorized operation log after a
-// crash (package durable). Missing elements are ignored: a delete that
-// was logged twice must replay idempotently.
-func (s *Server) DropElement(lid merging.ListID, gid posting.GlobalID) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	idx, ok := s.pos[lid][gid]
-	if !ok {
-		return
-	}
-	list := s.lists[lid]
-	last := len(list) - 1
-	moved := list[last]
-	list[idx] = moved
-	s.lists[lid] = list[:last]
-	if idx != last {
-		s.pos[lid][moved.GlobalID] = idx
-	}
-	delete(s.pos[lid], gid)
-	if len(s.lists[lid]) == 0 {
-		delete(s.lists, lid)
-		delete(s.pos, lid)
-	}
-}
-
-// ElementKeys enumerates the stored elements as list -> sorted global
-// IDs. Proactive resharing uses it to agree on the element set before
-// generating deltas.
-func (s *Server) ElementKeys() map[merging.ListID][]posting.GlobalID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[merging.ListID][]posting.GlobalID, len(s.lists))
-	for lid, list := range s.lists {
-		ids := make([]posting.GlobalID, len(list))
-		for i, sh := range list {
-			ids[i] = sh.GlobalID
-		}
-		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-		out[lid] = ids
-	}
-	return out
-}
-
-// ApplyShareDeltas adds a delta to each addressed share's value — one
-// server's step of a proactive resharing round (Herzberg et al. [21],
-// referenced in paper §5.1). Every addressed element must exist;
-// otherwise nothing is changed and an error is returned, because a
-// partially refreshed element would become undecryptable.
-func (s *Server) ApplyShareDeltas(deltas map[merging.ListID]map[posting.GlobalID]field.Element) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for lid, byID := range deltas {
-		for gid := range byID {
-			if _, ok := s.pos[lid][gid]; !ok {
-				return fmt.Errorf("%s: reshare delta for missing element %d in list %d: %w",
-					s.cfg.Name, gid, lid, ErrNotFound)
-			}
-		}
-	}
-	for lid, byID := range deltas {
-		for gid, delta := range byID {
-			idx := s.pos[lid][gid]
-			s.lists[lid][idx].Y = field.Add(s.lists[lid][idx].Y, delta)
-		}
-	}
-	return nil
-}
-
-// RawList exposes the stored shares of one list without authentication.
-// It models an adversary who has taken over the server box (§7.1) and is
-// used by the adversary example and the security tests — never by clients.
-func (s *Server) RawList(lid merging.ListID) []posting.EncryptedShare {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]posting.EncryptedShare, len(s.lists[lid]))
-	copy(out, s.lists[lid])
-	return out
 }

@@ -239,7 +239,7 @@ func TestAdversaryViewOnlyLengths(t *testing.T) {
 	// A compromised server sees list lengths and encrypted shares, never
 	// the plaintext. We verify that shares stored for equal plaintext
 	// elements are not equal (randomized sharing happens client-side; here
-	// we just verify RawList exposes exactly what was stored).
+	// we just verify the store's raw view exposes exactly what was stored).
 	f := newFixture(t)
 	if err := f.srv.Insert(context.Background(), f.alice, []transport.InsertOp{
 		{List: 2, Share: share(1, 1, 123)},
@@ -247,9 +247,9 @@ func TestAdversaryViewOnlyLengths(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	raw := f.srv.RawList(2)
+	raw := f.srv.Store().List(2)
 	if len(raw) != 2 {
-		t.Fatalf("RawList = %d entries", len(raw))
+		t.Fatalf("raw list = %d entries", len(raw))
 	}
 	lengths := f.srv.ListLengths()
 	if lengths[2] != 2 {

@@ -1,0 +1,124 @@
+// Package store is the storage engine behind a Zerber index server: the
+// keyed container of encrypted posting-list shares that package server
+// wraps with authentication, group checks, and activity stats.
+//
+// The split follows the paper's recovery design (§5.4.1): server state
+// is exactly a fold of (list, global element ID) keyed operations, so
+// storage can sit behind a narrow interface and be swapped or sharded
+// without touching any access-control or confidentiality logic.
+//
+// # Contract
+//
+// Every implementation must guarantee, for the r-confidentiality
+// analysis (§7.1) to keep holding above it:
+//
+//   - Opacity. Shares are opaque payloads. The store never inspects,
+//     re-encodes, or derives anything from a share's value beyond the
+//     (ListID, GlobalID) key and the Group tag it stores alongside;
+//     plaintext posting elements never exist at this layer.
+//   - Keyed addressing only. All mutation is addressed by
+//     (ListID, GlobalID). Upserting an existing key replaces the stored
+//     share in place; it never duplicates the element.
+//   - Stable within-list order. List reads observe shares in arrival
+//     (append) order, except that a swap-delete moves the last element
+//     of a list into the vacated slot. Order across lists carries no
+//     meaning. This makes retrieval output independent of how the
+//     store is sharded: a list lives in exactly one shard.
+//   - Per-list linearizability. Operations touching a single list are
+//     atomic with respect to each other. Operations spanning lists
+//     (ApplyDeltas, Keys, ListLengths, TotalElements) need not present
+//     one globally consistent snapshot — but ApplyDeltas must still be
+//     all-or-nothing, since a partially refreshed element would become
+//     undecryptable (see Store.ApplyDeltas).
+//   - Leak budget. The adversary view an implementation may expose is
+//     list lengths and stored shares — exactly what a compromised
+//     server box already sees (§5.2). No auxiliary index may reveal
+//     more (e.g. insertion timestamps or per-term structure).
+//
+// Two implementations ship: Memory, the single-lock baseline, and
+// Sharded, which stripes lists across independently locked shards for
+// parallel mixed workloads (see BenchmarkServerMixed in package server).
+package store
+
+import (
+	"errors"
+
+	"zerber/internal/field"
+	"zerber/internal/merging"
+	"zerber/internal/posting"
+)
+
+// ErrMissing reports an operation addressing an element that is not in
+// the store.
+var ErrMissing = errors.New("store: element not found")
+
+// Store is the keyed share container behind an index server. All
+// methods are safe for concurrent use.
+type Store interface {
+	// Upsert appends the shares to list lid in arrival order. A share
+	// whose GlobalID is already present replaces the stored share in
+	// place instead of appending. It returns how many shares were newly
+	// appended (replacements are not counted).
+	Upsert(lid merging.ListID, shares []posting.EncryptedShare) int
+
+	// DeleteIf atomically looks up the element keyed by (lid, gid) and,
+	// if allow approves the stored share (nil allows unconditionally),
+	// swap-removes it: the list's last element moves into the vacated
+	// slot. found reports presence; deleted reports removal. A list
+	// emptied by the removal disappears entirely (empty lists are not
+	// part of the adversary view).
+	//
+	// allow runs under the store's internal lock: it must be fast and
+	// must not call back into the store.
+	DeleteIf(lid merging.ListID, gid posting.GlobalID, allow func(posting.EncryptedShare) bool) (found, deleted bool)
+
+	// Scan returns the shares of lid accepted by keep (nil keeps all)
+	// in stored order, or nil if none match. The same locking rules as
+	// DeleteIf's allow apply to keep.
+	Scan(lid merging.ListID, keep func(posting.EncryptedShare) bool) []posting.EncryptedShare
+
+	// IngestList merges a whole list — the trusted node-to-node
+	// migration and log-replay path — with Upsert's replace-by-GlobalID
+	// semantics.
+	IngestList(lid merging.ListID, shares []posting.EncryptedShare)
+
+	// DropList removes a whole list after it has been migrated away,
+	// returning how many elements were dropped.
+	DropList(lid merging.ListID) int
+
+	// ApplyDeltas adds each delta to the addressed share's value — one
+	// server's step of a proactive resharing round. If any addressed
+	// element is missing, no share is modified and the error wraps
+	// ErrMissing: a partially refreshed element would be destroyed.
+	ApplyDeltas(deltas map[merging.ListID]map[posting.GlobalID]field.Element) error
+
+	// Keys enumerates the stored elements as list -> ascending global
+	// IDs (the inventory proactive resharing agrees on).
+	Keys() map[merging.ListID][]posting.GlobalID
+
+	// List returns a copy of one list's shares in stored order — the
+	// raw view of an adversary who has taken over the server box.
+	List(lid merging.ListID) []posting.EncryptedShare
+
+	// ListLen returns the length of one merged posting list.
+	ListLen(lid merging.ListID) int
+
+	// ListLengths returns all list lengths: the adversary's complete
+	// statistical view of the index contents.
+	ListLengths() map[merging.ListID]int
+
+	// TotalElements returns the number of stored shares. Implementations
+	// maintain this incrementally; it never scans the index.
+	TotalElements() int
+}
+
+// New returns the store for a configured shard count: 1 selects the
+// single-lock Memory baseline (the legacy engine), any other value a
+// Sharded store with that many lock stripes (0 picks a GOMAXPROCS-scaled
+// default).
+func New(shards int) Store {
+	if shards == 1 {
+		return NewMemory()
+	}
+	return NewSharded(shards)
+}

@@ -1,0 +1,364 @@
+package store_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"zerber/internal/field"
+	"zerber/internal/merging"
+	"zerber/internal/posting"
+	"zerber/internal/store"
+)
+
+// each runs a subtest against every Store implementation, so the
+// interface contract is enforced uniformly on the baseline and the
+// sharded engine (including the degenerate 1- and 2-shard layouts).
+func each(t *testing.T, run func(t *testing.T, st store.Store)) {
+	t.Helper()
+	impls := []struct {
+		name string
+		mk   func() store.Store
+	}{
+		{"memory", func() store.Store { return store.NewMemory() }},
+		{"sharded-1", func() store.Store { return store.NewSharded(1) }},
+		{"sharded-2", func() store.Store { return store.NewSharded(2) }},
+		{"sharded-default", func() store.Store { return store.NewSharded(0) }},
+	}
+	for _, impl := range impls {
+		t.Run(impl.name, func(t *testing.T) { run(t, impl.mk()) })
+	}
+}
+
+func sh(gid posting.GlobalID, group uint32, y uint64) posting.EncryptedShare {
+	return posting.EncryptedShare{GlobalID: gid, Group: group, Y: field.New(y)}
+}
+
+func TestUpsertAppendsAndReplaces(t *testing.T) {
+	each(t, func(t *testing.T, st store.Store) {
+		if added := st.Upsert(1, []posting.EncryptedShare{sh(10, 1, 100), sh(11, 1, 110)}); added != 2 {
+			t.Fatalf("added = %d, want 2", added)
+		}
+		// Replacing an existing global ID must not append and must keep
+		// the element's position.
+		if added := st.Upsert(1, []posting.EncryptedShare{sh(10, 1, 999), sh(12, 1, 120)}); added != 1 {
+			t.Fatalf("added = %d, want 1", added)
+		}
+		got := st.List(1)
+		if len(got) != 3 {
+			t.Fatalf("list length = %d, want 3", len(got))
+		}
+		want := []posting.EncryptedShare{sh(10, 1, 999), sh(11, 1, 110), sh(12, 1, 120)}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("list[%d] = %+v, want %+v (arrival order must be stable)", i, got[i], want[i])
+			}
+		}
+		if st.TotalElements() != 3 {
+			t.Errorf("TotalElements = %d, want 3", st.TotalElements())
+		}
+	})
+}
+
+func TestIngestListReplacesExistingGlobalIDs(t *testing.T) {
+	each(t, func(t *testing.T, st store.Store) {
+		st.Upsert(5, []posting.EncryptedShare{sh(1, 1, 10), sh(2, 1, 20)})
+		// A migrated list carrying an already-present global ID must
+		// replace the stored share, not duplicate the element.
+		st.IngestList(5, []posting.EncryptedShare{sh(2, 1, 21), sh(3, 1, 30)})
+		got := st.List(5)
+		if len(got) != 3 {
+			t.Fatalf("list length = %d, want 3", len(got))
+		}
+		if got[1] != sh(2, 1, 21) {
+			t.Errorf("element 2 = %+v, want replaced share y=21 in place", got[1])
+		}
+		if st.ListLen(5) != 3 || st.TotalElements() != 3 {
+			t.Errorf("ListLen=%d TotalElements=%d, want 3/3", st.ListLen(5), st.TotalElements())
+		}
+		// Ingesting an empty list into nothing must not materialize one.
+		st.IngestList(77, nil)
+		if _, present := st.ListLengths()[77]; present {
+			t.Error("empty ingest materialized a list")
+		}
+	})
+}
+
+func TestDeleteLastElementCleansUpList(t *testing.T) {
+	each(t, func(t *testing.T, st store.Store) {
+		st.Upsert(3, []posting.EncryptedShare{sh(1, 1, 1)})
+		found, deleted := st.DeleteIf(3, 1, nil)
+		if !found || !deleted {
+			t.Fatalf("DeleteIf = (%v, %v), want (true, true)", found, deleted)
+		}
+		// Both the list and its position index must be gone: an emptied
+		// list disappears from the adversary view and from the resharing
+		// inventory.
+		if _, present := st.ListLengths()[3]; present {
+			t.Error("emptied list still in ListLengths")
+		}
+		if _, present := st.Keys()[3]; present {
+			t.Error("emptied list still in Keys")
+		}
+		if st.ListLen(3) != 0 || st.TotalElements() != 0 {
+			t.Errorf("ListLen=%d TotalElements=%d, want 0/0", st.ListLen(3), st.TotalElements())
+		}
+		// The key must be reusable: a fresh insert starts a fresh list.
+		if added := st.Upsert(3, []posting.EncryptedShare{sh(1, 1, 2)}); added != 1 {
+			t.Fatalf("re-insert after cleanup added %d, want 1", added)
+		}
+		if got := st.List(3); len(got) != 1 || got[0] != sh(1, 1, 2) {
+			t.Errorf("re-inserted list = %+v", got)
+		}
+	})
+}
+
+func TestDeleteIfSwapKeepsPositionsConsistent(t *testing.T) {
+	each(t, func(t *testing.T, st store.Store) {
+		st.Upsert(9, []posting.EncryptedShare{sh(1, 1, 1), sh(2, 1, 2), sh(3, 1, 3)})
+		// Removing the middle element swaps the last into its slot...
+		if _, deleted := st.DeleteIf(9, 2, nil); !deleted {
+			t.Fatal("delete of present element failed")
+		}
+		got := st.List(9)
+		if len(got) != 2 || got[0] != sh(1, 1, 1) || got[1] != sh(3, 1, 3) {
+			t.Fatalf("after swap-delete: %+v", got)
+		}
+		// ...and the moved element stays addressable at its new slot.
+		if _, deleted := st.DeleteIf(9, 3, nil); !deleted {
+			t.Fatal("moved element no longer addressable")
+		}
+		if got := st.List(9); len(got) != 1 || got[0] != sh(1, 1, 1) {
+			t.Fatalf("after second delete: %+v", got)
+		}
+	})
+}
+
+func TestDeleteIfVeto(t *testing.T) {
+	each(t, func(t *testing.T, st store.Store) {
+		st.Upsert(4, []posting.EncryptedShare{sh(7, 2, 70)})
+		var seen posting.EncryptedShare
+		found, deleted := st.DeleteIf(4, 7, func(s posting.EncryptedShare) bool {
+			seen = s
+			return false
+		})
+		if !found || deleted {
+			t.Fatalf("DeleteIf = (%v, %v), want (true, false)", found, deleted)
+		}
+		if seen != sh(7, 2, 70) {
+			t.Errorf("allow saw %+v, want the stored share", seen)
+		}
+		if st.ListLen(4) != 1 {
+			t.Error("vetoed delete removed the element")
+		}
+		found, _ = st.DeleteIf(4, 99, func(posting.EncryptedShare) bool {
+			t.Error("allow called for a missing element")
+			return true
+		})
+		if found {
+			t.Error("missing element reported found")
+		}
+	})
+}
+
+func TestScanFiltersInStoredOrder(t *testing.T) {
+	each(t, func(t *testing.T, st store.Store) {
+		st.Upsert(6, []posting.EncryptedShare{sh(1, 1, 1), sh(2, 2, 2), sh(3, 1, 3)})
+		got := st.Scan(6, func(s posting.EncryptedShare) bool { return s.Group == 1 })
+		if len(got) != 2 || got[0].GlobalID != 1 || got[1].GlobalID != 3 {
+			t.Errorf("filtered scan = %+v", got)
+		}
+		if st.Scan(6, func(posting.EncryptedShare) bool { return false }) != nil {
+			t.Error("all-rejected scan must be nil")
+		}
+		if st.Scan(99, nil) != nil {
+			t.Error("scan of unknown list must be nil")
+		}
+	})
+}
+
+func TestDropList(t *testing.T) {
+	each(t, func(t *testing.T, st store.Store) {
+		st.Upsert(1, []posting.EncryptedShare{sh(1, 1, 1), sh(2, 1, 2)})
+		st.Upsert(2, []posting.EncryptedShare{sh(3, 1, 3)})
+		if n := st.DropList(1); n != 2 {
+			t.Fatalf("DropList = %d, want 2", n)
+		}
+		if st.TotalElements() != 1 {
+			t.Errorf("TotalElements = %d, want 1", st.TotalElements())
+		}
+		if n := st.DropList(1); n != 0 {
+			t.Errorf("dropping an absent list = %d, want 0", n)
+		}
+	})
+}
+
+func TestApplyDeltasAllOrNothing(t *testing.T) {
+	each(t, func(t *testing.T, st store.Store) {
+		// Spread elements over several lists so the sharded store has to
+		// coordinate multiple shards.
+		for lid := merging.ListID(1); lid <= 4; lid++ {
+			st.Upsert(lid, []posting.EncryptedShare{sh(posting.GlobalID(lid), 1, uint64(lid)*10)})
+		}
+		before := make(map[merging.ListID][]posting.EncryptedShare)
+		for lid := merging.ListID(1); lid <= 4; lid++ {
+			before[lid] = st.List(lid)
+		}
+		// One addressed element (4 in list 4) is missing: nothing may move.
+		deltas := map[merging.ListID]map[posting.GlobalID]field.Element{
+			1: {1: field.New(5)},
+			2: {2: field.New(5)},
+			4: {99: field.New(5)},
+		}
+		err := st.ApplyDeltas(deltas)
+		if !errors.Is(err, store.ErrMissing) {
+			t.Fatalf("ApplyDeltas error = %v, want ErrMissing", err)
+		}
+		for lid := merging.ListID(1); lid <= 4; lid++ {
+			got := st.List(lid)
+			for i := range got {
+				if got[i] != before[lid][i] {
+					t.Errorf("list %d element %d changed by failed delta round: %+v -> %+v",
+						lid, i, before[lid][i], got[i])
+				}
+			}
+		}
+		// The valid round then applies everywhere.
+		delete(deltas, 4)
+		deltas[3] = map[posting.GlobalID]field.Element{3: field.New(7)}
+		if err := st.ApplyDeltas(deltas); err != nil {
+			t.Fatal(err)
+		}
+		if got := st.List(1)[0].Y; got != field.Add(field.New(10), field.New(5)) {
+			t.Errorf("list 1 share = %d after delta", got.Uint64())
+		}
+		if got := st.List(3)[0].Y; got != field.Add(field.New(30), field.New(7)) {
+			t.Errorf("list 3 share = %d after delta", got.Uint64())
+		}
+	})
+}
+
+func TestKeysSortedInventory(t *testing.T) {
+	each(t, func(t *testing.T, st store.Store) {
+		st.Upsert(1, []posting.EncryptedShare{sh(5, 1, 1), sh(2, 1, 2), sh(9, 1, 3)})
+		st.Upsert(2, []posting.EncryptedShare{sh(7, 1, 4)})
+		keys := st.Keys()
+		if len(keys) != 2 {
+			t.Fatalf("Keys covers %d lists, want 2", len(keys))
+		}
+		want := []posting.GlobalID{2, 5, 9}
+		for i, gid := range keys[1] {
+			if gid != want[i] {
+				t.Fatalf("keys[1] = %v, want ascending %v", keys[1], want)
+			}
+		}
+	})
+}
+
+func TestConcurrentMixedStoreOps(t *testing.T) {
+	each(t, func(t *testing.T, st store.Store) {
+		var wg sync.WaitGroup
+		const workers, opsPer = 8, 200
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(int64(w)))
+				for i := 0; i < opsPer; i++ {
+					lid := merging.ListID(r.Intn(16))
+					gid := posting.GlobalID(w*100000 + i)
+					st.Upsert(lid, []posting.EncryptedShare{sh(gid, 1, uint64(i))})
+					st.Scan(lid, func(posting.EncryptedShare) bool { return true })
+					st.ListLen(lid)
+					st.TotalElements()
+					if i%2 == 0 {
+						if _, deleted := st.DeleteIf(lid, gid, nil); !deleted {
+							t.Errorf("own element %d vanished", gid)
+							return
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if got := st.TotalElements(); got != workers*opsPer/2 {
+			t.Errorf("TotalElements = %d, want %d", got, workers*opsPer/2)
+		}
+		n := 0
+		for _, l := range st.ListLengths() {
+			n += l
+		}
+		if n != workers*opsPer/2 {
+			t.Errorf("sum of ListLengths = %d, want %d", n, workers*opsPer/2)
+		}
+	})
+}
+
+func TestNewSelectsEngine(t *testing.T) {
+	if _, ok := store.New(1).(*store.Memory); !ok {
+		t.Error("New(1) must be the single-lock Memory baseline")
+	}
+	s, ok := store.New(0).(*store.Sharded)
+	if !ok {
+		t.Fatal("New(0) must be Sharded")
+	}
+	if s.NumShards() != store.DefaultShards() {
+		t.Errorf("New(0) shards = %d, want default %d", s.NumShards(), store.DefaultShards())
+	}
+	if got := store.New(5).(*store.Sharded).NumShards(); got != 8 {
+		t.Errorf("New(5) shards = %d, want next power of two 8", got)
+	}
+}
+
+// TestShardedMatchesMemory replays one randomized operation history
+// against the baseline and the sharded engine and requires identical
+// observable state — the sharding-is-invisible half of the acceptance
+// criteria at the store level.
+func TestShardedMatchesMemory(t *testing.T) {
+	mem := store.NewMemory()
+	shd := store.NewSharded(8)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		lid := merging.ListID(r.Intn(32))
+		gid := posting.GlobalID(r.Intn(400))
+		switch r.Intn(4) {
+		case 0, 1:
+			s := sh(gid, uint32(1+r.Intn(3)), uint64(r.Intn(1<<20)))
+			if mem.Upsert(lid, []posting.EncryptedShare{s}) != shd.Upsert(lid, []posting.EncryptedShare{s}) {
+				t.Fatalf("op %d: Upsert return values diverged", i)
+			}
+		case 2:
+			mf, md := mem.DeleteIf(lid, gid, nil)
+			sf, sd := shd.DeleteIf(lid, gid, nil)
+			if mf != sf || md != sd {
+				t.Fatalf("op %d: DeleteIf diverged: (%v,%v) vs (%v,%v)", i, mf, md, sf, sd)
+			}
+		case 3:
+			if mem.DropList(lid) != shd.DropList(lid) {
+				t.Fatalf("op %d: DropList diverged", i)
+			}
+		}
+	}
+	if mem.TotalElements() != shd.TotalElements() {
+		t.Fatalf("TotalElements: %d vs %d", mem.TotalElements(), shd.TotalElements())
+	}
+	ml, sl := mem.ListLengths(), shd.ListLengths()
+	// fmt prints maps in sorted key order, so string equality is map
+	// equality here.
+	if fmt.Sprint(ml) != fmt.Sprint(sl) {
+		t.Fatalf("ListLengths diverged: %v vs %v", ml, sl)
+	}
+	for lid := range ml {
+		a, b := mem.List(lid), shd.List(lid)
+		if len(a) != len(b) {
+			t.Fatalf("list %d: lengths %d vs %d", lid, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("list %d element %d: %+v vs %+v (ordering must match exactly)", lid, i, a[i], b[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"zerber/internal/field"
+	"zerber/internal/merging"
+	"zerber/internal/posting"
+)
+
+// table is the unsynchronized core shared by Memory and Sharded: merged
+// posting lists plus a position index for O(1) keyed access. Callers
+// hold the appropriate lock.
+type table struct {
+	lists map[merging.ListID][]posting.EncryptedShare
+	// pos locates an element inside its list for O(1) replace/delete.
+	pos map[merging.ListID]map[posting.GlobalID]int
+}
+
+func newTable() table {
+	return table{
+		lists: make(map[merging.ListID][]posting.EncryptedShare),
+		pos:   make(map[merging.ListID]map[posting.GlobalID]int),
+	}
+}
+
+// upsert appends or replaces shares; returns the number newly appended.
+func (t *table) upsert(lid merging.ListID, shares []posting.EncryptedShare) int {
+	if len(shares) == 0 {
+		return 0
+	}
+	if t.pos[lid] == nil {
+		t.pos[lid] = make(map[posting.GlobalID]int, len(shares))
+	}
+	added := 0
+	for _, sh := range shares {
+		if i, exists := t.pos[lid][sh.GlobalID]; exists {
+			t.lists[lid][i] = sh
+			continue
+		}
+		t.pos[lid][sh.GlobalID] = len(t.lists[lid])
+		t.lists[lid] = append(t.lists[lid], sh)
+		added++
+	}
+	return added
+}
+
+// deleteIf swap-removes the element if allow approves it.
+func (t *table) deleteIf(lid merging.ListID, gid posting.GlobalID, allow func(posting.EncryptedShare) bool) (found, deleted bool) {
+	idx, ok := t.pos[lid][gid]
+	if !ok {
+		return false, false
+	}
+	list := t.lists[lid]
+	if allow != nil && !allow(list[idx]) {
+		return true, false
+	}
+	last := len(list) - 1
+	moved := list[last]
+	list[idx] = moved
+	t.lists[lid] = list[:last]
+	if idx != last {
+		t.pos[lid][moved.GlobalID] = idx
+	}
+	delete(t.pos[lid], gid)
+	if len(t.lists[lid]) == 0 {
+		delete(t.lists, lid)
+		delete(t.pos, lid)
+	}
+	return true, true
+}
+
+func (t *table) scan(lid merging.ListID, keep func(posting.EncryptedShare) bool) []posting.EncryptedShare {
+	src := t.lists[lid]
+	if keep == nil {
+		if len(src) == 0 {
+			return nil
+		}
+		out := make([]posting.EncryptedShare, len(src))
+		copy(out, src)
+		return out
+	}
+	var out []posting.EncryptedShare
+	for _, sh := range src {
+		if keep(sh) {
+			out = append(out, sh)
+		}
+	}
+	return out
+}
+
+func (t *table) dropList(lid merging.ListID) int {
+	n := len(t.lists[lid])
+	delete(t.lists, lid)
+	delete(t.pos, lid)
+	return n
+}
+
+// checkDeltas verifies every addressed element exists in this table.
+func (t *table) checkDeltas(deltas map[merging.ListID]map[posting.GlobalID]field.Element) error {
+	for lid, byID := range deltas {
+		for gid := range byID {
+			if _, ok := t.pos[lid][gid]; !ok {
+				return fmt.Errorf("reshare delta for element %d in list %d: %w", gid, lid, ErrMissing)
+			}
+		}
+	}
+	return nil
+}
+
+// applyDeltas adds the deltas; every addressed element must exist
+// (checkDeltas first).
+func (t *table) applyDeltas(deltas map[merging.ListID]map[posting.GlobalID]field.Element) {
+	for lid, byID := range deltas {
+		for gid, delta := range byID {
+			idx := t.pos[lid][gid]
+			t.lists[lid][idx].Y = field.Add(t.lists[lid][idx].Y, delta)
+		}
+	}
+}
+
+// keys appends this table's inventory (list -> ascending global IDs)
+// into out.
+func (t *table) keys(out map[merging.ListID][]posting.GlobalID) {
+	for lid, list := range t.lists {
+		ids := make([]posting.GlobalID, len(list))
+		for i, sh := range list {
+			ids[i] = sh.GlobalID
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		out[lid] = ids
+	}
+}
+
+// lengths appends this table's list lengths into out.
+func (t *table) lengths(out map[merging.ListID]int) {
+	for lid, l := range t.lists {
+		out[lid] = len(l)
+	}
+}

@@ -126,7 +126,7 @@ func TestSingleServerSharesLookRandom(t *testing.T) {
 	srv := c.Servers()[0]
 	small, total := 0, 0
 	for lid := range srv.ListLengths() {
-		for _, sh := range srv.RawList(lid) {
+		for _, sh := range srv.Store().List(lid) {
 			total++
 			if sh.Y.Uint64() < 1<<61/1024 {
 				small++
@@ -156,7 +156,7 @@ func TestKMinusOneServersCannotDecrypt(t *testing.T) {
 		lid = l
 		break
 	}
-	shares := srv.RawList(lid)
+	shares := srv.Store().List(lid)
 	if len(shares) == 0 {
 		t.Fatal("no shares")
 	}

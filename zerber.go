@@ -47,6 +47,29 @@
 //   - DecryptWorkers sets how many goroutines reconstruct the returned
 //     Shamir shares (0 = one per CPU). Joined elements are processed in
 //     a deterministic order, so results and Stats are reproducible.
+//
+// # Storage engine
+//
+// Server-side concurrency is governed by the storage engine behind each
+// index server. Every server is a thin policy layer (authentication,
+// group checks, stats) over the store.Store interface, which captures
+// the keyed share operations of the paper's recovery design (§5.4.1):
+// batch append/replace, swap-delete by (list, global ID), authorized
+// scan, full-list ingest/drop for DHT migration, delta application for
+// proactive resharing, and keyed iteration for WAL compaction.
+//
+// The StoreShards option selects the engine. StoreShards=1 is the
+// single-lock legacy baseline: one RWMutex over flat maps, so every
+// insert, delete, and lookup on a server serializes. Any other value
+// stripes the merged posting lists over independently locked shards
+// keyed by hash(ListID) (0 picks a GOMAXPROCS-scaled power of two), so
+// mixed traffic on different lists proceeds in parallel. A merged list
+// lives entirely in one shard, so within-list share ordering — and
+// therefore retrieval output and Stats — is identical under every
+// setting; only throughput changes. Sharding is invisible to the
+// confidentiality analysis: shares stay encrypted inside the engine and
+// access control stays at the server boundary (see the contract in
+// internal/store).
 package zerber
 
 import (
@@ -65,6 +88,7 @@ import (
 	"zerber/internal/proactive"
 	"zerber/internal/ranking"
 	"zerber/internal/server"
+	"zerber/internal/store"
 	"zerber/internal/transport"
 	"zerber/internal/tuning"
 	"zerber/internal/vocab"
@@ -122,6 +146,13 @@ type Options struct {
 	// DecryptWorkers is the share-reconstruction worker count per query.
 	// 0 means one worker per CPU; 1 decrypts serially.
 	DecryptWorkers int
+	// StoreShards selects each index server's storage engine: 1 is the
+	// legacy single-lock baseline, any other value a lock-striped
+	// sharded store with that many shards (rounded up to a power of
+	// two); 0 picks a GOMAXPROCS-scaled default. Results and Stats are
+	// identical under every setting; only server-side throughput under
+	// concurrent mixed traffic changes.
+	StoreShards int
 }
 
 // Cluster is a complete in-process Zerber deployment: n index servers,
@@ -253,6 +284,7 @@ func NewCluster(docFreqs map[string]int, opts Options) (*Cluster, error) {
 			X:      field.Element(i + 1),
 			Auth:   svc,
 			Groups: groups,
+			Store:  store.New(opts.StoreShards),
 		})
 		c.servers = append(c.servers, s)
 		c.apis = append(c.apis, transport.NewLocal(s))
