@@ -2,8 +2,9 @@
 # so a green `make ci` locally means a green pipeline.
 
 GO ?= go
+BENCHTIME ?= 0.5s
 
-.PHONY: build test race bench benchstore lint fmt ci
+.PHONY: build test race bench benchstore benchjson lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -27,6 +28,26 @@ bench:
 # reproducible from one command. Needs >1 CPU to show parallel gain.
 benchstore:
 	$(GO) test -run='^$$' -bench='^BenchmarkServerMixed$$' -benchtime=0.5s -count=1 ./internal/server/
+
+# Indexing-pipeline benchmarks, recorded as a committed JSON artifact so
+# the write-path performance trajectory is tracked alongside the code:
+# batched split/encrypt vs the per-element baselines, plus the
+# end-to-end 5,000-term document index (paper §5.1).
+# Both steps write to temp files (gitignored) so a benchmark failure or
+# parser failure aborts the recipe without touching the committed
+# BENCH_index.json: a pipe would take only the last command's exit
+# status, and redirecting the parser straight into BENCH_index.json
+# would truncate it before the parser even runs.
+benchjson:
+	$(GO) test -run='^$$' \
+		-bench='^(BenchmarkSplitBatch|BenchmarkSplitSequential|BenchmarkEncryptBatch|BenchmarkEncryptSequential|BenchmarkIndexDocument5k|BenchmarkIndexDocument5kSerial|BenchmarkFillRandDRBG|BenchmarkFillRandCryptoDirect|BenchmarkInvChain|BenchmarkInvGenericPow)$$' \
+		-benchmem -benchtime=$(BENCHTIME) -count=1 \
+		./internal/field/ ./internal/shamir/ ./internal/posting/ ./internal/peer/ \
+		> bench_index.out.tmp
+	$(GO) run ./cmd/zerber-benchjson < bench_index.out.tmp > bench_index.json.tmp
+	mv bench_index.json.tmp BENCH_index.json
+	@rm -f bench_index.out.tmp
+	@cat BENCH_index.json
 
 lint:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \

@@ -1,0 +1,108 @@
+// Command zerber-benchjson converts `go test -bench -benchmem` output on
+// stdin into a JSON object on stdout, keyed by benchmark name (with the
+// -GOMAXPROCS suffix stripped):
+//
+//	{
+//	  "BenchmarkEncryptBatch": {"ns_per_op": 184200, "bytes_per_op": 524728, "allocs_per_op": 7},
+//	  ...
+//	}
+//
+// It backs `make benchjson`, which records the indexing-pipeline
+// benchmarks as BENCH_index.json so the performance trajectory of the
+// write path is tracked alongside the code. Non-benchmark lines are
+// ignored; benchmarks that appear multiple times (e.g. -count > 1) keep
+// the last measurement.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// measurement is one benchmark result row.
+type measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// parseLine extracts a measurement from one `go test -bench` output
+// line, or reports ok=false for any other line. The format is
+//
+//	BenchmarkName-8   	     100	  11111 ns/op	  2048 B/op	   12 allocs/op
+//
+// with B/op and allocs/op present only under -benchmem.
+func parseLine(line string) (name string, m measurement, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", measurement{}, false
+	}
+	name = fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	found := false
+	for i := 2; i+1 < len(fields); i++ {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			m.NsPerOp, found = v, true
+		case "B/op":
+			m.BytesPerOp = v
+		case "allocs/op":
+			m.AllocsPerOp = v
+		}
+	}
+	return name, m, found
+}
+
+func main() {
+	results := make(map[string]measurement)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if name, m, ok := parseLine(sc.Text()); ok {
+			results[name] = m
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "zerber-benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "zerber-benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	// Deterministic key order for committed artifacts.
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	sb.WriteString("{\n")
+	for i, n := range names {
+		row, err := json.Marshal(results[n])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zerber-benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(&sb, "  %q: %s", n, row)
+		if i < len(names)-1 {
+			sb.WriteString(",")
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("}\n")
+	os.Stdout.WriteString(sb.String())
+}

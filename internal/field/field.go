@@ -16,7 +16,6 @@
 package field
 
 import (
-	"crypto/rand"
 	"encoding/binary"
 	"errors"
 	"io"
@@ -111,24 +110,55 @@ func Pow(a Element, e uint64) Element {
 	return result
 }
 
+// sqn returns a^(2^n) by n repeated squarings.
+func sqn(a Element, n int) Element {
+	for ; n > 0; n-- {
+		a = Square(a)
+	}
+	return a
+}
+
 // Inv returns the multiplicative inverse a^(p-2) mod p.
 // Inv(0) returns 0; callers that can receive zero must check first.
+//
+// The exponent p-2 = 2^61 - 3 is fixed, so instead of generic binary
+// exponentiation (~119 multiplies plus loop bookkeeping) Inv uses a
+// fixed addition chain: p-2 = 4*(2^59 - 1) + 1, and a^(2^59-1) is built
+// by doubling the run length of an all-ones exponent
+// (1 -> 2 -> 4 -> 8 -> 16 -> 32 -> 48 -> 56 -> 58 -> 59 ones),
+// for 60 squarings + 10 multiplies total. Inversions sit on the hot
+// reconstruction path (Lagrange basis setup, Gaussian elimination), so
+// the constant factor is worth pinning.
 func Inv(a Element) Element {
 	if a == 0 {
 		return 0
 	}
-	return Pow(a, P-2)
+	x2 := Mul(Square(a), a)       // a^(2^2-1)
+	x4 := Mul(sqn(x2, 2), x2)     // a^(2^4-1)
+	x8 := Mul(sqn(x4, 4), x4)     // a^(2^8-1)
+	x16 := Mul(sqn(x8, 8), x8)    // a^(2^16-1)
+	x32 := Mul(sqn(x16, 16), x16) // a^(2^32-1)
+	x48 := Mul(sqn(x32, 16), x16) // a^(2^48-1)
+	x56 := Mul(sqn(x48, 8), x8)   // a^(2^56-1)
+	x58 := Mul(sqn(x56, 2), x2)   // a^(2^58-1)
+	x59 := Mul(Square(x58), a)    // a^(2^59-1)
+	return Mul(sqn(x59, 2), a)    // a^(4*(2^59-1)+1) = a^(p-2)
 }
 
 // Div returns a / b mod p. Division by zero returns 0.
 func Div(a, b Element) Element { return Mul(a, Inv(b)) }
 
 // Rand returns a uniformly random field element read from r.
-// If r is nil, crypto/rand.Reader is used. Sampling is by rejection so the
-// distribution is exactly uniform over [0, P).
+// If r is nil, a pooled ShareSource DRBG keyed from crypto/rand supplies
+// the entropy, so the per-element syscall of reading crypto/rand
+// directly is amortized away. Sampling is by rejection in both cases, so
+// the distribution is exactly uniform over [0, P).
 func Rand(r io.Reader) (Element, error) {
 	if r == nil {
-		r = rand.Reader
+		s := sourcePool.Get().(*ShareSource)
+		e, err := s.Element()
+		sourcePool.Put(s)
+		return e, err
 	}
 	var buf [8]byte
 	for {

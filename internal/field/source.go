@@ -1,0 +1,157 @@
+package field
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"io"
+	randv2 "math/rand/v2"
+	"sync"
+)
+
+// reseedEvery bounds how many 8-byte draws a DRBG-mode ShareSource emits
+// before mixing fresh OS entropy back in. 8192 draws = 64 KiB of output
+// per reseed, so one getrandom(2) syscall is amortized over thousands of
+// field elements instead of paid per element.
+const reseedEvery = 8192
+
+// ShareSource is a randomness source tuned for bulk share generation
+// (paper Algorithm 1a): splitting a document draws k-1 random
+// coefficients per posting element, and a 5,000-term document therefore
+// needs tens of thousands of field elements of entropy. Reading each one
+// from crypto/rand costs a syscall; ShareSource amortizes that.
+//
+// A ShareSource operates in one of two modes:
+//
+//   - DRBG mode (underlying reader nil): a ChaCha8 stream cipher keyed
+//     from crypto/rand generates the output and is re-keyed with fresh
+//     OS entropy every 64 KiB. ChaCha8 is the generator the Go runtime
+//     itself uses for its cryptographic randomness, so shares produced
+//     this way remain unpredictable to the index servers.
+//
+//   - Pass-through mode (non-nil reader): every draw reads exactly 8
+//     bytes from the supplied reader, byte-for-byte what the unbatched
+//     code path consumed. Deterministic test streams, and callers that
+//     interleave other reads from the same reader (global-ID draws,
+//     shuffle seeds), observe identical behavior to the per-element
+//     path — this is the drop-in guarantee the equivalence tests pin.
+//
+// A ShareSource is not safe for concurrent use; give each worker its
+// own (see NewShareSource) or use the package-level Rand, which pools.
+type ShareSource struct {
+	user io.Reader       // non-nil selects pass-through mode
+	drbg *randv2.ChaCha8 // lazily keyed in DRBG mode
+	left int             // draws remaining until the next re-key
+}
+
+// NewShareSource returns a source reading from r, or a ChaCha8 DRBG
+// seeded from crypto/rand when r is nil.
+func NewShareSource(r io.Reader) *ShareSource {
+	return &ShareSource{user: r}
+}
+
+// SourceFrom adapts an arbitrary rng parameter to a ShareSource: a nil
+// reader yields a fresh DRBG, an existing ShareSource is returned as is,
+// and any other reader is wrapped in pass-through mode.
+func SourceFrom(r io.Reader) *ShareSource {
+	if s, ok := r.(*ShareSource); ok && s != nil {
+		return s
+	}
+	return NewShareSource(r)
+}
+
+// reseed re-keys the ChaCha8 stream from crypto/rand.
+func (s *ShareSource) reseed() error {
+	var seed [32]byte
+	if _, err := io.ReadFull(crand.Reader, seed[:]); err != nil {
+		return err
+	}
+	if s.drbg == nil {
+		s.drbg = randv2.NewChaCha8(seed)
+	} else {
+		s.drbg.Seed(seed)
+	}
+	s.left = reseedEvery
+	return nil
+}
+
+// Uint64 draws 8 raw bytes from the source as a little-endian uint64.
+func (s *ShareSource) Uint64() (uint64, error) {
+	if s == nil || s.user != nil {
+		var r io.Reader = crand.Reader
+		if s != nil {
+			r = s.user
+		}
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	if s.left == 0 {
+		if err := s.reseed(); err != nil {
+			return 0, err
+		}
+	}
+	s.left--
+	return s.drbg.Uint64(), nil
+}
+
+// Element draws one uniformly random field element. Sampling is by the
+// same rejection rule as Rand — mask to 61 bits, retry on the single
+// masked value >= P (P itself, since P = 2^61-1) — so the distribution
+// is exactly uniform over [0, P).
+func (s *ShareSource) Element() (Element, error) {
+	for {
+		v, err := s.Uint64()
+		if err != nil {
+			return 0, err
+		}
+		v &= 1<<61 - 1
+		if v < P {
+			return Element(v), nil
+		}
+	}
+}
+
+// FillRand fills dst with uniformly random field elements, the bulk
+// entry point of the batched splitting pipeline. One call covers a whole
+// document's coefficient needs from at most a handful of entropy reads.
+func (s *ShareSource) FillRand(dst []Element) error {
+	for i := range dst {
+		e, err := s.Element()
+		if err != nil {
+			return err
+		}
+		dst[i] = e
+	}
+	return nil
+}
+
+// Read implements io.Reader so a ShareSource can stand in wherever an
+// entropy reader is expected (global-ID draws, shuffle seeds).
+func (s *ShareSource) Read(p []byte) (int, error) {
+	if s == nil {
+		return io.ReadFull(crand.Reader, p)
+	}
+	if s.user != nil {
+		return io.ReadFull(s.user, p)
+	}
+	if s.left == 0 {
+		if err := s.reseed(); err != nil {
+			return 0, err
+		}
+	}
+	// Account the output against the reseed budget in 8-byte units.
+	draws := (len(p) + 7) / 8
+	if draws >= s.left {
+		s.left = 0
+	} else {
+		s.left -= draws
+	}
+	s.drbg.Read(p)
+	return len(p), nil
+}
+
+// sourcePool backs Rand(nil): per-P goroutine-local-ish DRBG instances
+// so concurrent callers do not serialize on one stream.
+var sourcePool = sync.Pool{New: func() any { return NewShareSource(nil) }}

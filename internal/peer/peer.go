@@ -8,12 +8,12 @@ package peer
 
 import (
 	"context"
-	"crypto/rand"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	mrand "math/rand"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -22,6 +22,7 @@ import (
 	"zerber/internal/invindex"
 	"zerber/internal/merging"
 	"zerber/internal/posting"
+	"zerber/internal/shamir"
 	"zerber/internal/textproc"
 	"zerber/internal/transport"
 	"zerber/internal/vocab"
@@ -63,13 +64,24 @@ type Config struct {
 	// Vocab is the public vocabulary that yields term IDs.
 	Vocab *vocab.Vocabulary
 	// Rand supplies randomness for sharing polynomials and global IDs.
-	// nil means crypto/rand; tests inject a deterministic source.
+	// nil means a crypto-seeded buffered DRBG (field.ShareSource); tests
+	// inject a deterministic source. With an injected source, share
+	// generation always runs on a single goroutine so the stream stays
+	// reproducible.
 	Rand io.Reader
+	// EncryptWorkers caps the goroutines splitting staged elements into
+	// shares when the peer uses crypto randomness (Rand nil). 0 means
+	// one per CPU; 1 encrypts serially. Each worker draws coefficients
+	// from its own DRBG, so workers never contend on an entropy stream.
+	EncryptWorkers int
 }
 
 // Peer is one document owner's machine. It is safe for concurrent use.
 type Peer struct {
-	cfg Config
+	cfg      Config
+	splitter *shamir.Splitter // validated once against the servers' x-coordinates
+	crypto   bool             // cfg.Rand was nil: crypto randomness, parallelism allowed
+	rngPool  sync.Pool        // *field.ShareSource per concurrent caller/worker
 
 	mu    sync.RWMutex
 	docs  map[uint32]Document
@@ -85,15 +97,33 @@ func New(cfg Config) (*Peer, error) {
 	if cfg.Table == nil || cfg.Vocab == nil {
 		return nil, errors.New("peer: Table and Vocab are required")
 	}
-	if cfg.Rand == nil {
-		cfg.Rand = rand.Reader
+	sp, err := shamir.NewSplitter(cfg.K, serverXs(cfg.Servers))
+	if err != nil {
+		return nil, fmt.Errorf("peer: server x-coordinates: %w", err)
 	}
-	return &Peer{
-		cfg:   cfg,
-		docs:  make(map[uint32]Document),
-		refs:  make(map[uint32]map[string]elemRef),
-		local: invindex.New(),
-	}, nil
+	p := &Peer{
+		cfg:      cfg,
+		splitter: sp,
+		crypto:   cfg.Rand == nil,
+		docs:     make(map[uint32]Document),
+		refs:     make(map[uint32]map[string]elemRef),
+		local:    invindex.New(),
+	}
+	p.rngPool.New = func() any { return field.NewShareSource(nil) }
+	return p, nil
+}
+
+// acquireRand hands the caller an entropy source for one operation. In
+// crypto mode each call gets a pooled DRBG of its own, so concurrent
+// IndexDocument/Batch calls never share generator state; with an
+// injected deterministic Rand the configured reader itself is returned
+// (its consumers all run sequentially).
+func (p *Peer) acquireRand() (io.Reader, func()) {
+	if !p.crypto {
+		return p.cfg.Rand, func() {}
+	}
+	src := p.rngPool.Get().(*field.ShareSource)
+	return src, func() { p.rngPool.Put(src) }
 }
 
 // Local exposes the peer's local inverted index (useful for local search
@@ -247,60 +277,220 @@ func (p *Peer) UpdateDocument(tok auth.Token, doc Document) error {
 	return nil
 }
 
-// buildOps encrypts the listed terms of doc and returns per-server insert
-// ops plus the element references to remember.
-func (p *Peer) buildOps(doc Document, counts map[string]int, terms []string) ([][]transport.InsertOp, map[string]elemRef, error) {
+// staged is the cleartext half of the indexing pipeline: parallel
+// per-element arrays accumulated document by document, then split into
+// per-server share buffers in one batched pass. Staging is cheap
+// (vocabulary lookups and global-ID draws); all field arithmetic is
+// deferred to encryptStaged.
+type staged struct {
+	elems  []posting.Element
+	gids   []posting.GlobalID
+	lids   []merging.ListID
+	groups []uint32
+}
+
+// addDoc stages every listed term of doc and returns the element
+// references to remember. On error the staged state is unchanged.
+func (st *staged) addDoc(p *Peer, doc Document, counts map[string]int, terms []string, rng io.Reader) (map[string]elemRef, error) {
 	if doc.ID > posting.MaxDocID {
-		return nil, nil, fmt.Errorf("%w: %d", ErrDocIDRange, doc.ID)
+		return nil, fmt.Errorf("%w: %d", ErrDocIDRange, doc.ID)
 	}
-	xs := serverXs(p.cfg.Servers)
-	perServer := make([][]transport.InsertOp, len(p.cfg.Servers))
+	base := len(st.elems)
 	refs := make(map[string]elemRef, len(terms))
 	for _, term := range terms {
-		count := counts[term]
 		elem := posting.Element{
 			DocID:  doc.ID,
 			TermID: p.cfg.Vocab.Resolve(term),
-			TF:     posting.ClampTF(count),
+			TF:     posting.ClampTF(counts[term]),
 		}
-		gid, err := randomGlobalID(p.cfg.Rand)
+		gid, err := randomGlobalID(rng)
 		if err != nil {
-			return nil, nil, fmt.Errorf("peer: generating element ID: %w", err)
+			st.truncate(base)
+			return nil, fmt.Errorf("peer: generating element ID: %w", err)
 		}
 		lid := p.cfg.Table.ListOf(term)
-		shares, err := posting.Encrypt(elem, gid, uint32(doc.Group), p.cfg.K, xs, p.cfg.Rand)
-		if err != nil {
-			return nil, nil, fmt.Errorf("peer: encrypting %q of doc %d: %w", term, doc.ID, err)
-		}
-		for i := range p.cfg.Servers {
-			perServer[i] = append(perServer[i], transport.InsertOp{List: lid, Share: shares[i]})
-		}
+		st.elems = append(st.elems, elem)
+		st.gids = append(st.gids, gid)
+		st.lids = append(st.lids, lid)
+		st.groups = append(st.groups, uint32(doc.Group))
 		refs[term] = elemRef{list: lid, gid: gid, tf: elem.TF}
 	}
-	return perServer, refs, nil
+	return refs, nil
+}
+
+func (st *staged) truncate(n int) {
+	st.elems = st.elems[:n]
+	st.gids = st.gids[:n]
+	st.lids = st.lids[:n]
+	st.groups = st.groups[:n]
+}
+
+func (st *staged) reset() { st.truncate(0) }
+
+// encryptChunk is the target element count per encryption task. Chunks
+// small enough to spread one large document across the worker pool,
+// large enough that per-task scratch allocation stays negligible.
+const encryptChunk = 512
+
+// encTask is one contiguous same-group window of staged elements.
+type encTask struct {
+	lo, hi int
+	group  uint32
+}
+
+// chunkTasks cuts the staged elements into same-group windows of at most
+// encryptChunk elements. Group runs are respected because every share of
+// a window carries one group tag.
+func chunkTasks(groups []uint32) []encTask {
+	var tasks []encTask
+	for lo := 0; lo < len(groups); {
+		hi := lo + 1
+		for hi < len(groups) && groups[hi] == groups[lo] && hi-lo < encryptChunk {
+			hi++
+		}
+		tasks = append(tasks, encTask{lo: lo, hi: hi, group: groups[lo]})
+		lo = hi
+	}
+	return tasks
+}
+
+// encryptWorkers resolves the worker count for a given task count.
+// Deterministic peers always encrypt on one goroutine.
+func (p *Peer) encryptWorkers(tasks int) int {
+	if !p.crypto {
+		return 1
+	}
+	w := p.cfg.EncryptWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > tasks {
+		w = tasks
+	}
+	return w
+}
+
+// encryptStaged splits every staged element into n per-server share
+// rows backed by a single allocation: out[i][e] is server i's share of
+// st.elems[e]. Tasks are fanned across the encrypt worker pool when the
+// peer uses crypto randomness; each worker fills disjoint element
+// windows of the shared buffers from its own DRBG.
+func (p *Peer) encryptStaged(st *staged, rng io.Reader) ([][]posting.EncryptedShare, error) {
+	n := len(p.cfg.Servers)
+	total := len(st.elems)
+	flat := make([]posting.EncryptedShare, n*total)
+	dst := make([][]posting.EncryptedShare, n)
+	for i := range dst {
+		dst[i] = flat[i*total : (i+1)*total : (i+1)*total]
+	}
+	tasks := chunkTasks(st.groups)
+	workers := p.encryptWorkers(len(tasks))
+	if workers <= 1 {
+		for _, t := range tasks {
+			if err := posting.EncryptBatchInto(p.splitter, st.elems[t.lo:t.hi],
+				st.gids[t.lo:t.hi], t.group, rng, dst, t.lo); err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	}
+	ch := make(chan encTask, len(tasks))
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := p.rngPool.Get().(*field.ShareSource)
+			defer p.rngPool.Put(src)
+			for t := range ch {
+				if errs[w] != nil {
+					continue // drain after failure
+				}
+				errs[w] = posting.EncryptBatchInto(p.splitter, st.elems[t.lo:t.hi],
+					st.gids[t.lo:t.hi], t.group, src, dst, t.lo)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// insertOps wraps per-server share rows into per-server insert ops,
+// attaching each element's merged-list ID.
+func (st *staged) insertOps(shares [][]posting.EncryptedShare) [][]transport.InsertOp {
+	perServer := make([][]transport.InsertOp, len(shares))
+	for i, row := range shares {
+		ops := make([]transport.InsertOp, len(row))
+		for j := range row {
+			ops[j] = transport.InsertOp{List: st.lids[j], Share: row[j]}
+		}
+		perServer[i] = ops
+	}
+	return perServer
+}
+
+// buildOps encrypts the listed terms of doc through the batched pipeline
+// and returns per-server insert ops plus the element references to
+// remember.
+func (p *Peer) buildOps(doc Document, counts map[string]int, terms []string) ([][]transport.InsertOp, map[string]elemRef, error) {
+	rng, release := p.acquireRand()
+	defer release()
+	var st staged
+	refs, err := st.addDoc(p, doc, counts, terms, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	shares, err := p.encryptStaged(&st, rng)
+	if err != nil {
+		return nil, nil, fmt.Errorf("peer: encrypting doc %d: %w", doc.ID, err)
+	}
+	return st.insertOps(shares), refs, nil
 }
 
 // Batch accumulates the elements of several documents and flushes them in
 // one shuffled insert per server, hiding which elements co-occur in one
 // document from an adversary watching updates (§5.4.1).
+//
+// Add only stages cleartext elements (term IDs, counts, fresh global
+// IDs); all share generation is deferred to Flush, where one batched
+// pass — fanned across the peer's encrypt workers — splits every staged
+// element of every queued document. A batch is not safe for concurrent
+// use; the peer it flushes into is.
 type Batch struct {
-	peer      *Peer
-	perServer [][]transport.InsertOp
-	docs      []Document
-	counts    []map[string]int
-	refs      []map[string]elemRef
+	peer   *Peer
+	st     staged
+	docs   []Document
+	counts []map[string]int
+	refs   []map[string]elemRef
+	// pending holds the shuffled per-server ops of a failed Flush, and
+	// pendingCount the number of staged elements they cover. A retried
+	// Flush must resend byte-identical shares: re-encrypting with fresh
+	// randomness could leave servers that persisted the first attempt
+	// holding shares of a different polynomial than servers reached
+	// only by the retry, which k-of-n reconstruction would silently
+	// combine into garbage. Elements staged after the failure (Add
+	// between retries) are encrypted separately and appended.
+	pending      [][]transport.InsertOp
+	pendingCount int
 }
 
 // NewBatch starts an empty batch.
 func (p *Peer) NewBatch() *Batch {
-	return &Batch{
-		peer:      p,
-		perServer: make([][]transport.InsertOp, len(p.cfg.Servers)),
-	}
+	return &Batch{peer: p}
 }
 
-// Add encrypts a document's elements into the batch. Nothing is sent
-// until Flush.
+// Add stages a document's elements into the batch. Nothing is encrypted
+// or sent until Flush.
 func (b *Batch) Add(doc Document) error {
 	counts := textproc.TermCounts(doc.Content)
 	terms := make([]string, 0, len(counts))
@@ -308,12 +498,11 @@ func (b *Batch) Add(doc Document) error {
 		terms = append(terms, term)
 	}
 	sort.Strings(terms)
-	perServer, refs, err := b.peer.buildOps(doc, counts, terms)
+	rng, release := b.peer.acquireRand()
+	defer release()
+	refs, err := b.st.addDoc(b.peer, doc, counts, terms, rng)
 	if err != nil {
 		return err
-	}
-	for i := range b.perServer {
-		b.perServer[i] = append(b.perServer[i], perServer[i]...)
 	}
 	b.docs = append(b.docs, doc)
 	b.counts = append(b.counts, counts)
@@ -325,31 +514,41 @@ func (b *Batch) Add(doc Document) error {
 func (b *Batch) Len() int { return len(b.docs) }
 
 // Elements returns the number of posting elements queued per server.
-func (b *Batch) Elements() int {
-	if len(b.perServer) == 0 {
-		return 0
-	}
-	return len(b.perServer[0])
-}
+func (b *Batch) Elements() int { return len(b.st.elems) }
 
-// Flush shuffles the accumulated ops and sends them to every server,
-// then commits the local state. The shuffle order is derived from the
-// peer's randomness source; all servers receive the same order, which is
-// irrelevant for security (each server sees its own arrival order anyway)
-// but keeps the flush deterministic under test.
+// Flush encrypts the staged elements, shuffles the resulting ops, and
+// sends them to every server, then commits the local state. The shuffle
+// order is derived from the peer's randomness source; all servers
+// receive the same order, which is irrelevant for security (each server
+// sees its own arrival order anyway) but keeps the flush deterministic
+// under test. A Flush that fails part-way may be retried: the encrypted
+// shares are cached and resent byte-identical (under a fresh shuffle),
+// so servers that persisted the first attempt converge with servers
+// reached only by the retry.
 func (b *Batch) Flush(tok auth.Token) error {
 	if len(b.docs) == 0 {
 		return nil
 	}
-	n := len(b.perServer[0])
-	perm, err := randomPerm(b.peer.cfg.Rand, n)
+	rng, release := b.peer.acquireRand()
+	defer release()
+	if err := b.encryptPending(rng); err != nil {
+		return err
+	}
+	// The shuffle is drawn per attempt over the whole pending set, so a
+	// retry that appended a fresh tranche (Add between attempts) still
+	// mixes it with the earlier documents — a contiguous per-document
+	// tail would be exactly the co-occurrence signal batching hides.
+	// Reordering across attempts is safe: only the share bytes must be
+	// identical, and the store upserts by (list, global ID).
+	n := len(b.st.elems)
+	perm, err := randomPerm(rng, n)
 	if err != nil {
 		return fmt.Errorf("peer: batch shuffle: %w", err)
 	}
 	for i, s := range b.peer.cfg.Servers {
 		shuffled := make([]transport.InsertOp, n)
 		for j, src := range perm {
-			shuffled[j] = b.perServer[i][src]
+			shuffled[j] = b.pending[i][src]
 		}
 		if err := s.Insert(context.Background(), tok, shuffled); err != nil {
 			return fmt.Errorf("peer %s: batch flush: %w", b.peer.cfg.Name, err)
@@ -363,8 +562,41 @@ func (b *Batch) Flush(tok auth.Token) error {
 		p.local.Add(doc.ID, b.counts[i])
 	}
 	p.mu.Unlock()
-	b.docs, b.counts, b.refs = nil, nil, nil
-	b.perServer = make([][]transport.InsertOp, len(p.cfg.Servers))
+	b.docs, b.counts, b.refs, b.pending = nil, nil, nil, nil
+	b.pendingCount = 0
+	b.st.reset()
+	return nil
+}
+
+// encryptPending encrypts the staged elements not yet covered by the
+// pending ops — all of them on a first Flush, only the ones staged
+// after a failure on a retry — and appends their ops in staged order
+// (Flush shuffles at send time). Already cached ops are never
+// regenerated, preserving byte-identical resends.
+func (b *Batch) encryptPending(rng io.Reader) error {
+	if b.pending == nil {
+		// Allocated even with zero staged elements: a batch of
+		// documents that produce no terms (empty content) still flushes
+		// empty op lists and commits the local state.
+		b.pending = make([][]transport.InsertOp, len(b.peer.cfg.Servers))
+	}
+	if len(b.st.elems) <= b.pendingCount {
+		return nil
+	}
+	sub := staged{
+		elems:  b.st.elems[b.pendingCount:],
+		gids:   b.st.gids[b.pendingCount:],
+		lids:   b.st.lids[b.pendingCount:],
+		groups: b.st.groups[b.pendingCount:],
+	}
+	shares, err := b.peer.encryptStaged(&sub, rng)
+	if err != nil {
+		return fmt.Errorf("peer %s: batch encrypt: %w", b.peer.cfg.Name, err)
+	}
+	for i, ops := range sub.insertOps(shares) {
+		b.pending[i] = append(b.pending[i], ops...)
+	}
+	b.pendingCount = len(b.st.elems)
 	return nil
 }
 

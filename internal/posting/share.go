@@ -1,6 +1,7 @@
 package posting
 
 import (
+	"fmt"
 	"io"
 
 	"zerber/internal/field"
@@ -44,6 +45,73 @@ func Encrypt(e Element, gid GlobalID, group uint32, k int, xs []field.Element, r
 		out[i] = EncryptedShare{GlobalID: gid, Group: group, Y: s.Y}
 	}
 	return out, nil
+}
+
+// EncryptBatch splits a whole slice of posting elements — typically
+// every distinct term of one document, the unit of Algorithm 1a — in one
+// pass through a prepared shamir.Splitter. It returns n per-server
+// contiguous buffers backed by a single allocation: out[i][e] is the
+// share of elems[e] destined for the server with x-coordinate
+// splitter.Xs()[i], carrying gids[e] and the group tag.
+//
+// Randomness is consumed exactly as by per-element Encrypt calls in
+// element order, so under a shared deterministic rng the output is
+// byte-identical to the sequential path; the difference is purely
+// mechanical (a constant number of allocations per batch instead of
+// several per element).
+func EncryptBatch(sp *shamir.Splitter, elems []Element, gids []GlobalID, group uint32, rng io.Reader) ([][]EncryptedShare, error) {
+	n := sp.N()
+	s := len(elems)
+	flat := make([]EncryptedShare, n*s)
+	out := make([][]EncryptedShare, n)
+	for i := range out {
+		out[i] = flat[i*s : (i+1)*s : (i+1)*s]
+	}
+	if err := EncryptBatchInto(sp, elems, gids, group, rng, out, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EncryptBatchInto is EncryptBatch writing into caller-owned per-server
+// buffers at the given element offset: dst[i][offset+e] receives server
+// i's share of elems[e]. It lets a peer stage one large per-server
+// buffer for a multi-document flush and have independent workers fill
+// disjoint [offset, offset+len(elems)) windows concurrently.
+func EncryptBatchInto(sp *shamir.Splitter, elems []Element, gids []GlobalID, group uint32, rng io.Reader, dst [][]EncryptedShare, offset int) error {
+	if len(gids) != len(elems) {
+		return fmt.Errorf("posting: %d elements but %d global IDs", len(elems), len(gids))
+	}
+	n := sp.N()
+	if len(dst) != n {
+		return fmt.Errorf("posting: %d destination buffers for %d servers", len(dst), n)
+	}
+	s := len(elems)
+	for i := range dst {
+		if len(dst[i]) < offset+s {
+			return fmt.Errorf("posting: destination buffer %d holds %d shares, need offset %d + %d elements",
+				i, len(dst[i]), offset, s)
+		}
+	}
+	secrets := make([]field.Element, s)
+	for e, el := range elems {
+		sec, err := el.Encode()
+		if err != nil {
+			return err
+		}
+		secrets[e] = sec
+	}
+	ys := make([]field.Element, n*s)
+	if err := sp.SplitBatch(secrets, ys, rng); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		row := dst[i][offset : offset+s]
+		for e := 0; e < s; e++ {
+			row[e] = EncryptedShare{GlobalID: gids[e], Group: group, Y: ys[i*s+e]}
+		}
+	}
+	return nil
 }
 
 // Decrypt reconstructs a posting element from k shares gathered from

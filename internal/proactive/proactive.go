@@ -26,6 +26,7 @@ import (
 	"zerber/internal/merging"
 	"zerber/internal/posting"
 	"zerber/internal/server"
+	"zerber/internal/shamir"
 )
 
 // Errors returned by Reshare.
@@ -64,25 +65,42 @@ func Reshare(servers []*server.Server, k int, rng io.Reader) (int, error) {
 	// its peers; summing n zero-polynomials is again a zero-polynomial,
 	// so generating the sum directly is behaviourally identical and
 	// keeps the simulation O(elements * n).
+	//
+	// A refresh delta is exactly a Shamir share of the secret 0, so
+	// delta generation runs through the batched splitting pipeline: one
+	// Splitter validates the x-coordinates and precomputes the power
+	// table once, and each list's deltas are produced by a single
+	// SplitBatch over a zero-secret vector instead of a fresh polynomial
+	// allocation and n Horner evaluations per element.
+	sp, err := shamir.NewSplitter(k, xs)
+	if err != nil {
+		return 0, fmt.Errorf("proactive: preparing splitter: %w", err)
+	}
 	deltas := make([]map[merging.ListID]map[posting.GlobalID]field.Element, len(servers))
 	for i := range deltas {
 		deltas[i] = make(map[merging.ListID]map[posting.GlobalID]field.Element, len(base))
 	}
 	count := 0
+	var zeros, ys []field.Element // scratch, grown to the largest list
 	for lid, gids := range base {
+		s := len(gids)
+		if cap(zeros) < s {
+			zeros = make([]field.Element, s)
+		}
+		if cap(ys) < s*len(servers) {
+			ys = make([]field.Element, s*len(servers))
+		}
+		if err := sp.SplitBatch(zeros[:s], ys[:s*len(servers)], rng); err != nil {
+			return 0, fmt.Errorf("proactive: generating refresh deltas: %w", err)
+		}
 		for i := range deltas {
-			deltas[i][lid] = make(map[posting.GlobalID]field.Element, len(gids))
-		}
-		for _, gid := range gids {
-			g, err := field.NewRandomPoly(0, k, rng)
-			if err != nil {
-				return 0, fmt.Errorf("proactive: generating refresh polynomial: %w", err)
+			m := make(map[posting.GlobalID]field.Element, s)
+			for j, gid := range gids {
+				m[gid] = ys[i*s+j]
 			}
-			for i, x := range xs {
-				deltas[i][lid][gid] = g.Eval(x)
-			}
-			count++
+			deltas[i][lid] = m
 		}
+		count += s
 	}
 
 	for i, s := range servers {

@@ -12,6 +12,18 @@
 // k x k Vandermonde system (the method named in Algorithm 1b, O(k^3)) and
 // Lagrange interpolation at x = 0 (O(k^2)). They agree on all inputs; the
 // benchmarks in the repository root compare them (DESIGN.md ablation 1).
+//
+// Both directions of the protocol are dominated by bulk workloads — a
+// document owner splits one element per distinct term when indexing
+// (Algorithm 1a, §5.1), a searcher reconstructs one element per posting
+// returned (Algorithm 1b) — so both sides get a precomputed, reusable
+// form bound to a fixed server set. Reconstructor caches the Lagrange
+// basis at x=0 for k x-coordinates; its write-side twin Splitter caches
+// the validated x-coordinates and the Vandermonde power table for
+// k-out-of-n sharing, and SplitBatch shares a whole slice of secrets
+// into a caller-owned matrix with no per-element allocation. The
+// one-shot Split/Reconstruct functions remain as the simple (and
+// benchmark-baseline) path.
 package shamir
 
 import (
@@ -192,33 +204,54 @@ func Extend(shares []Share, k int, newXs []field.Element) ([]Share, error) {
 	return out, nil
 }
 
-func validateXs(xs []field.Element) error {
-	seen := make(map[field.Element]struct{}, len(xs))
-	for _, x := range xs {
-		if x == 0 {
+// scanThreshold is the set size below which duplicate detection uses a
+// quadratic scan instead of a map. validateXs and checkShares run on
+// every Split and Reconstruct call, and real deployments have a handful
+// of servers (the paper evaluates n=3, k=2), where allocating and
+// hashing a map costs far more than comparing at most ~16^2/2 uint64
+// pairs in registers.
+const scanThreshold = 16
+
+// checkXs enforces the x-coordinate rules — non-zero (x=0 is the
+// secret) and pairwise distinct — over n coordinates read through x.
+// The accessor lets one implementation serve both bare coordinate
+// slices and share sets without copying.
+func checkXs(n int, x func(int) field.Element) error {
+	if n <= scanThreshold {
+		for i := 0; i < n; i++ {
+			xi := x(i)
+			if xi == 0 {
+				return ErrZeroX
+			}
+			for j := 0; j < i; j++ {
+				if x(j) == xi {
+					return fmt.Errorf("%w: x=%d", ErrDuplicateX, xi)
+				}
+			}
+		}
+		return nil
+	}
+	seen := make(map[field.Element]struct{}, n)
+	for i := 0; i < n; i++ {
+		xi := x(i)
+		if xi == 0 {
 			return ErrZeroX
 		}
-		if _, dup := seen[x]; dup {
-			return fmt.Errorf("%w: x=%d", ErrDuplicateX, x)
+		if _, dup := seen[xi]; dup {
+			return fmt.Errorf("%w: x=%d", ErrDuplicateX, xi)
 		}
-		seen[x] = struct{}{}
+		seen[xi] = struct{}{}
 	}
 	return nil
+}
+
+func validateXs(xs []field.Element) error {
+	return checkXs(len(xs), func(i int) field.Element { return xs[i] })
 }
 
 func checkShares(shares []Share, k int) error {
 	if k < 1 || len(shares) < k {
 		return fmt.Errorf("%w: have %d, need %d", ErrTooFewShares, len(shares), k)
 	}
-	seen := make(map[field.Element]struct{}, k)
-	for _, s := range shares[:k] {
-		if s.X == 0 {
-			return ErrZeroX
-		}
-		if _, dup := seen[s.X]; dup {
-			return fmt.Errorf("%w: x=%d", ErrDuplicateX, s.X)
-		}
-		seen[s.X] = struct{}{}
-	}
-	return nil
+	return checkXs(k, func(i int) field.Element { return shares[i].X })
 }

@@ -1,0 +1,109 @@
+package shamir
+
+import (
+	"fmt"
+	"io"
+
+	"zerber/internal/field"
+)
+
+// Splitter is the write-side twin of Reconstructor: where Reconstructor
+// caches the Lagrange basis for a fixed set of k server x-coordinates so
+// a client can decrypt thousands of response elements cheaply,
+// Splitter caches everything Algorithm 1a needs for a fixed (k, n,
+// x-coordinates) so a document owner can encrypt thousands of posting
+// elements cheaply. Indexing a document splits every distinct term
+// through the same server set (§5.1 reports splitting a 5,000-term
+// document in the low-millisecond range), so per-element work must be
+// just the k-1 coefficient draws and the n evaluations.
+//
+// Construction validates the x-coordinates once and precomputes the
+// n x (k-1) Vandermonde power table powers[i][j] = x_i^(j+1); per-secret
+// evaluation is then a dot product of the random coefficient vector with
+// each server's precomputed power row — no per-element validation, no
+// polynomial allocation, and straight-line multiply-adds over contiguous
+// memory.
+//
+// A Splitter is immutable after construction and safe for concurrent
+// use; the per-call randomness source is not shared.
+type Splitter struct {
+	k      int
+	xs     []field.Element
+	powers []field.Element // server-major: powers[i*(k-1)+j] = xs[i]^(j+1)
+}
+
+// NewSplitter validates the server x-coordinates (distinct, non-zero)
+// and precomputes the power table for k-out-of-len(xs) sharing.
+func NewSplitter(k int, xs []field.Element) (*Splitter, error) {
+	if k < 1 || k > len(xs) {
+		return nil, fmt.Errorf("%w: k=%d, n=%d", ErrBadParams, k, len(xs))
+	}
+	if err := validateXs(xs); err != nil {
+		return nil, err
+	}
+	s := &Splitter{
+		k:      k,
+		xs:     make([]field.Element, len(xs)),
+		powers: make([]field.Element, len(xs)*(k-1)),
+	}
+	copy(s.xs, xs)
+	for i, x := range xs {
+		pow := x
+		for j := 0; j < k-1; j++ {
+			s.powers[i*(k-1)+j] = pow
+			pow = field.Mul(pow, x)
+		}
+	}
+	return s, nil
+}
+
+// K returns the reconstruction threshold.
+func (s *Splitter) K() int { return s.k }
+
+// N returns the number of servers shares are produced for.
+func (s *Splitter) N() int { return len(s.xs) }
+
+// Xs returns a copy of the server x-coordinates, in share order.
+func (s *Splitter) Xs() []field.Element {
+	out := make([]field.Element, len(s.xs))
+	copy(out, s.xs)
+	return out
+}
+
+// SplitBatch shares every secret in secrets among the splitter's n
+// servers and writes the share values into dst, a caller-owned
+// server-major flat matrix: dst[i*len(secrets)+e] is server i's share of
+// secrets[e]. dst must have length n*len(secrets). rng supplies the
+// random coefficients (nil means a crypto-seeded DRBG; see
+// field.ShareSource).
+//
+// The randomness consumption order — k-1 rejection-sampled coefficients
+// per secret, in secret order — is identical to calling Split once per
+// secret with the same reader, so under a shared deterministic stream
+// the batch output is byte-identical to the per-element path. Beyond
+// one coefficient scratch buffer, SplitBatch performs no allocations.
+func (s *Splitter) SplitBatch(secrets, dst []field.Element, rng io.Reader) error {
+	n := len(s.xs)
+	if len(dst) != n*len(secrets) {
+		return fmt.Errorf("shamir: dst holds %d shares, need %d (n=%d x %d secrets)",
+			len(dst), n*len(secrets), n, len(secrets))
+	}
+	src := field.SourceFrom(rng)
+	kk := s.k - 1
+	coeffs := make([]field.Element, kk)
+	stride := len(secrets)
+	for e, secret := range secrets {
+		if err := src.FillRand(coeffs); err != nil {
+			return fmt.Errorf("shamir: drawing coefficients: %w", err)
+		}
+		for i := 0; i < n; i++ {
+			row := s.powers[i*kk : i*kk+kk]
+			acc := secret
+			for j := 0; j < kk; j++ {
+				acc = field.Add(acc, field.Mul(coeffs[j], row[j]))
+			}
+			dst[i*stride+e] = acc
+		}
+	}
+	return nil
+}

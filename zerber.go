@@ -70,6 +70,32 @@
 // confidentiality analysis: shares stay encrypted inside the engine and
 // access control stays at the server boundary (see the contract in
 // internal/store).
+//
+// # Indexing pipeline
+//
+// The write side mirrors the query side's batched design. Indexing a
+// document (Algorithm 1a; §5.1 reports splitting a 5,000-term document
+// in the low-millisecond range) runs as a two-stage pipeline inside the
+// peer. The staging stage is cleartext bookkeeping: term counting,
+// vocabulary lookups, and one random global ID per element. The
+// splitting stage then shares every staged element in bulk through a
+// shamir.Splitter — the write-side twin of the cached Lagrange
+// Reconstructor — which validates the servers' x-coordinates once,
+// precomputes the Vandermonde power table, and writes all shares into
+// per-server contiguous buffers with a constant number of allocations
+// per batch instead of several per element. Random polynomial
+// coefficients come from field.ShareSource, a ChaCha8 generator keyed
+// (and periodically re-keyed) from crypto/rand, so entropy syscalls are
+// amortized across a whole document rather than paid per coefficient.
+//
+// Batch flushes defer splitting entirely to Flush, so one batched pass
+// covers every queued document before the correlation-hiding shuffle
+// (§5.4.1). The EncryptWorkers option fans that pass out across
+// same-group windows of staged elements, each worker drawing from its
+// own DRBG; peers with a deterministic seed always encrypt serially so
+// their share streams stay reproducible. Proactive resharing rides the
+// same pipeline: a refresh delta is a Shamir share of zero, so delta
+// generation is a SplitBatch over a zero-secret vector.
 package zerber
 
 import (
@@ -153,6 +179,11 @@ type Options struct {
 	// identical under every setting; only server-side throughput under
 	// concurrent mixed traffic changes.
 	StoreShards int
+	// EncryptWorkers caps the goroutines each peer uses to split staged
+	// posting elements into Shamir shares when indexing. 0 means one
+	// per CPU; 1 encrypts serially. Peers created with a deterministic
+	// seed always encrypt serially so their output is reproducible.
+	EncryptWorkers int
 }
 
 // Cluster is a complete in-process Zerber deployment: n index servers,
@@ -321,11 +352,12 @@ func (c *Cluster) IssueToken(user UserID) Token { return c.authSvc.Issue(c.ident
 // ID space among sites.
 func (c *Cluster) NewPeer(name string, seed int64) (*peer.Peer, error) {
 	cfg := peer.Config{
-		Name:    name,
-		Servers: c.apis,
-		K:       c.opts.K,
-		Table:   c.table,
-		Vocab:   c.voc,
+		Name:           name,
+		Servers:        c.apis,
+		K:              c.opts.K,
+		Table:          c.table,
+		Vocab:          c.voc,
+		EncryptWorkers: c.opts.EncryptWorkers,
 	}
 	if seed != 0 {
 		cfg.Rand = newSeededReader(seed)
