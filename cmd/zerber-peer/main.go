@@ -51,6 +51,7 @@ func main() {
 		docsDir   = flag.String("docs", ".", "directory of documents (*.txt, *.md)")
 		groupsArg = flag.String("groups", "", "user:group memberships for the local access check")
 		name      = flag.String("name", "zerber-peer", "peer/site name")
+		journal   = flag.String("journal", "", "mutation journal directory (crash-safe, exactly-once updates; empty = no journal)")
 	)
 	flag.Parse()
 	if *servers == "" || *keyHex == "" || *user == "" {
@@ -74,9 +75,16 @@ func main() {
 		}
 		apis = append(apis, c)
 	}
-	p, err := peer.New(peer.Config{
+	cfg := peer.Config{
 		Name: *name, Servers: apis, K: *k, Table: &table, Vocab: voc,
-	})
+	}
+	if *journal != "" {
+		if err := os.MkdirAll(*journal, 0o755); err != nil {
+			log.Fatalf("zerber-peer: journal directory: %v", err)
+		}
+		cfg.JournalPath = filepath.Join(*journal, *name+".journal")
+	}
+	p, err := peer.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,23 +107,68 @@ func main() {
 	svc := auth.NewServiceWithKey(key, time.Hour)
 	tok := svc.Issue(auth.UserID(*user))
 
-	// Index the directory in one shuffled batch.
+	// A journaled peer may have crashed mid-mutation: converge the
+	// in-flight operations before indexing anything new.
+	if n := p.PendingOps(); n > 0 {
+		done, err := p.Recover(tok)
+		if err != nil {
+			log.Fatalf("zerber-peer: recovering %d in-flight mutations: %v", n, err)
+		}
+		fmt.Printf("%s: recovered %d in-flight mutation(s) from the journal\n", *name, done)
+	}
+
+	// Index the directory in one shuffled batch. Documents the journal
+	// already knows go through the diff-update path instead: re-batching
+	// them would insert a second generation of elements under fresh
+	// global IDs, while the update sends only what changed (nothing, for
+	// an unchanged file). Document IDs are positional (sorted filename
+	// order), so renaming or inserting files reassigns IDs and the
+	// restart rewrites the shifted documents — correct, just not
+	// traffic-free; a shrunken directory is reconciled below by deleting
+	// the journal-known IDs past the end.
 	batch := p.NewBatch()
 	names := readDir(*docsDir)
+	updated := 0
 	for i, file := range names {
 		data, err := os.ReadFile(filepath.Join(*docsDir, file))
 		if err != nil {
 			log.Fatalf("zerber-peer: %v", err)
 		}
-		if err := batch.Add(peer.Document{
+		doc := peer.Document{
 			ID: uint32(i + 1), Name: file, Content: string(data), Group: auth.GroupID(*group),
-		}); err != nil {
+		}
+		if _, known := p.Document(doc.ID); known {
+			if err := p.UpdateDocument(tok, doc); err != nil {
+				log.Fatalf("zerber-peer: %s: %v", file, err)
+			}
+			updated++
+			continue
+		}
+		if err := batch.Add(doc); err != nil {
 			log.Fatalf("zerber-peer: %s: %v", file, err)
 		}
 	}
 	elements := batch.Elements()
 	if err := batch.Flush(tok); err != nil {
 		log.Fatalf("zerber-peer: indexing: %v", err)
+	}
+	if updated > 0 {
+		fmt.Printf("%s: diff-updated %d journal-known document(s)\n", *name, updated)
+	}
+	// Files removed since the last run: their journal-known documents
+	// (IDs past the current directory's end) would otherwise stay
+	// indexed — and searchable — forever.
+	removed := 0
+	for _, id := range p.DocIDs() {
+		if int(id) > len(names) {
+			if err := p.DeleteDocument(tok, id); err != nil {
+				log.Fatalf("zerber-peer: removing vanished doc %d: %v", id, err)
+			}
+			removed++
+		}
+	}
+	if removed > 0 {
+		fmt.Printf("%s: deleted %d document(s) whose files vanished\n", *name, removed)
 	}
 	// Publish the docID -> filename map next to the table so
 	// zerber-search can label results.

@@ -1,11 +1,14 @@
 // Operations: running Zerber in anger — crash recovery from the
-// write-ahead log, proactive share resharing, and tamper-detecting
+// write-ahead log, exactly-once peer mutations recovered from the
+// mutation journal, proactive share resharing, and tamper-detecting
 // verified retrieval.
 //
 //	go run ./examples/operations
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
@@ -100,6 +103,57 @@ func main() {
 	}
 	fmt.Printf("post-recovery search for 'imclone': %d hit(s)\n\n", len(res))
 
+	// --- 2b. Peer crash mid-update: journaled, exactly-once recovery --
+	// An update inserts its fresh elements on every server before
+	// deleting the superseded ones, and a journaled peer persists the
+	// whole operation before the first send. Kill the owner between the
+	// two stages, restart it on its journal, and Recover() converges:
+	// no orphaned elements, and the new document is indexed exactly once.
+	flaky := &failDeleteOnce{API: apis[1]}
+	japis := []transport.API{apis[0], flaky, apis[2]}
+	jpath := filepath.Join(dir, "site2.journal")
+	newSite2 := func() *peer.Peer {
+		p2, err := peer.New(peer.Config{
+			Name: "site2", Servers: japis, K: 2, Table: table, Vocab: voc,
+			Rand: rand.New(rand.NewSource(2)), JournalPath: jpath,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p2
+	}
+	p2 := newSite2()
+	if err := p2.IndexDocument(tok, peer.Document{ID: 10, Content: "merger budget", Group: 1}); err != nil {
+		log.Fatal(err)
+	}
+	err = p2.UpdateDocument(tok, peer.Document{ID: 10, Content: "merger layoff", Group: 1})
+	fmt.Printf("update interrupted between stages: %v\n", err)
+	fmt.Printf("elements per server mid-crash: %d/%d/%d (old+new generations coexist; nothing lost)\n",
+		servers[0].Inner().TotalElements(), servers[1].Inner().TotalElements(), servers[2].Inner().TotalElements())
+	p2.Close() // power cut on the owner's machine
+
+	p2 = newSite2()
+	fmt.Printf("after restart: %d in-flight mutation journaled\n", p2.PendingOps())
+	done, err := p2.Recover(tok)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Recover() completed %d op(s); elements per server: %d/%d/%d (superseded generation gone)\n",
+		done,
+		servers[0].Inner().TotalElements(), servers[1].Inner().TotalElements(), servers[2].Inner().TotalElements())
+	res, _, err = cl.Search(tok, []string{"layoff"}, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hits := 0
+	for _, r := range res {
+		if r.DocID == 10 {
+			hits++
+		}
+	}
+	fmt.Printf("search for the updated term finds doc 10 exactly once: %d hit(s)\n\n", hits)
+	defer p2.Close()
+
 	// --- 3. Proactive resharing --------------------------------------
 	inner := []*server.Server{servers[0].Inner(), servers[1].Inner(), servers[2].Inner()}
 	var lid merging.ListID
@@ -151,4 +205,20 @@ func main() {
 	for _, s := range servers {
 		s.Close()
 	}
+}
+
+// failDeleteOnce drops the first delete-stage Apply on its way to the
+// wrapped server: the outage that interrupts an update exactly between
+// its insert and delete stages.
+type failDeleteOnce struct {
+	transport.API
+	failed bool
+}
+
+func (f *failDeleteOnce) Apply(ctx context.Context, tok auth.Token, op transport.OpID, inserts []transport.InsertOp, deletes []transport.DeleteOp) error {
+	if !f.failed && op.Stage == transport.StageDelete {
+		f.failed = true
+		return errors.New("injected outage")
+	}
+	return f.API.Apply(ctx, tok, op, inserts, deletes)
 }

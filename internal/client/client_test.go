@@ -320,6 +320,9 @@ func (f failingAPI) Insert(context.Context, auth.Token, []transport.InsertOp) er
 func (f failingAPI) Delete(context.Context, auth.Token, []transport.DeleteOp) error {
 	return errors.New("down")
 }
+func (f failingAPI) Apply(context.Context, auth.Token, transport.OpID, []transport.InsertOp, []transport.DeleteOp) error {
+	return errors.New("down")
+}
 func (f failingAPI) GetPostingLists(context.Context, auth.Token, []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error) {
 	return nil, errors.New("down")
 }

@@ -32,6 +32,9 @@ func (b *blockingAPI) Insert(context.Context, auth.Token, []transport.InsertOp) 
 func (b *blockingAPI) Delete(context.Context, auth.Token, []transport.DeleteOp) error {
 	return errors.New("read-only fake")
 }
+func (b *blockingAPI) Apply(context.Context, auth.Token, transport.OpID, []transport.InsertOp, []transport.DeleteOp) error {
+	return errors.New("read-only fake")
+}
 func (b *blockingAPI) GetPostingLists(ctx context.Context, _ auth.Token, _ []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error) {
 	<-ctx.Done()
 	b.once.Do(func() { close(b.done) })

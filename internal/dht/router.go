@@ -2,6 +2,7 @@ package dht
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -31,7 +32,7 @@ var _ transport.API = (*Slot)(nil)
 // NewSlot creates an empty slot for the given x-coordinate.
 func NewSlot(x field.Element, vnodesPerNode int) (*Slot, error) {
 	if x == 0 {
-		return nil, fmt.Errorf("dht: x-coordinate 0 is reserved for the secret")
+		return nil, errors.New("dht: x-coordinate 0 is reserved for the secret")
 	}
 	return &Slot{
 		x:     x,
@@ -71,7 +72,7 @@ func (s *Slot) RemoveNode(name string) error {
 	}
 	if len(s.nodes) == 1 {
 		s.mu.Unlock()
-		return fmt.Errorf("dht: cannot remove the last node of a slot")
+		return errors.New("dht: cannot remove the last node of a slot")
 	}
 	delete(s.nodes, name)
 	s.ring.RemoveNode(name)
@@ -185,6 +186,44 @@ func (s *Slot) Delete(ctx context.Context, tok auth.Token, ops []transport.Delet
 			return fmt.Errorf("dht: owner %s vanished", name)
 		}
 		if err := srv.Delete(ctx, tok, nodeOps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Apply routes one mutation stage to the nodes owning its posting
+// lists, forwarding the op ID so each node deduplicates its own part of
+// a redelivered stage. If ring membership changes between an attempt and
+// its retry, a node can receive the same op ID with a different payload
+// slice; the nodes' payload checksums catch that and re-apply, which
+// converges because inserts upsert and Apply's deletes are conditional.
+func (s *Slot) Apply(ctx context.Context, tok auth.Token, op transport.OpID, inserts []transport.InsertOp, deletes []transport.DeleteOp) error {
+	groupedIns, err := s.groupInsert(inserts)
+	if err != nil {
+		return err
+	}
+	groupedDels := make(map[string][]transport.DeleteOp)
+	owners := make(map[string]struct{}, len(groupedIns))
+	for name := range groupedIns {
+		owners[name] = struct{}{}
+	}
+	for _, del := range deletes {
+		owner, err := s.ring.OwnerOfList(del.List)
+		if err != nil {
+			return err
+		}
+		groupedDels[owner] = append(groupedDels[owner], del)
+		owners[owner] = struct{}{}
+	}
+	for name := range owners {
+		s.mu.RLock()
+		srv := s.nodes[name]
+		s.mu.RUnlock()
+		if srv == nil {
+			return fmt.Errorf("dht: owner %s vanished", name)
+		}
+		if err := srv.Apply(ctx, tok, op, groupedIns[name], groupedDels[name]); err != nil {
 			return err
 		}
 	}

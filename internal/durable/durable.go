@@ -122,6 +122,36 @@ func (s *Server) Delete(ctx context.Context, tok auth.Token, ops []transport.Del
 	return applyErr
 }
 
+// Apply authorizes and applies one journaled mutation stage, then logs
+// and syncs its constituent records. A deduplicated redelivery is logged
+// too — the log cannot tell, and replaying an upsert or a conditional
+// delete twice is a no-op — so the WAL stays a faithful superset of the
+// applied state. The dedup window itself is in-memory and lost on crash;
+// a redelivery after recovery re-applies, which converges for the same
+// reason the replay does.
+func (s *Server) Apply(ctx context.Context, tok auth.Token, op transport.OpID, inserts []transport.InsertOp, deletes []transport.DeleteOp) error {
+	if err := s.inner.Apply(ctx, tok, op, inserts, deletes); err != nil {
+		return err
+	}
+	recs := make([]wal.Record, 0, len(inserts)+len(deletes))
+	for _, ins := range inserts {
+		recs = append(recs, wal.Record{
+			Op:    wal.OpInsert,
+			List:  ins.List,
+			ID:    ins.Share.GlobalID,
+			Group: ins.Share.Group,
+			Y:     ins.Share.Y,
+		})
+	}
+	for _, del := range deletes {
+		recs = append(recs, wal.Record{Op: wal.OpDelete, List: del.List, ID: del.ID})
+	}
+	if err := s.log.Append(recs...); err != nil {
+		return fmt.Errorf("durable: logging apply: %w", err)
+	}
+	return s.log.Sync()
+}
+
 // GetPostingLists serves reads from memory.
 func (s *Server) GetPostingLists(ctx context.Context, tok auth.Token, lists []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error) {
 	return s.inner.GetPostingLists(ctx, tok, lists)

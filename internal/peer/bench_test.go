@@ -2,7 +2,9 @@ package peer
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -27,6 +29,9 @@ func (discardAPI) Insert(context.Context, auth.Token, []transport.InsertOp) erro
 	return nil
 }
 func (discardAPI) Delete(context.Context, auth.Token, []transport.DeleteOp) error {
+	return nil
+}
+func (discardAPI) Apply(context.Context, auth.Token, transport.OpID, []transport.InsertOp, []transport.DeleteOp) error {
 	return nil
 }
 func (discardAPI) GetPostingLists(context.Context, auth.Token, []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error) {
@@ -110,6 +115,107 @@ func BenchmarkIndexDocument5kSerial(b *testing.B) {
 		if err := p.IndexDocument(tok, doc); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchMutationPeer builds a crypto-randomness peer over a termCount
+// vocabulary wired to discarding servers, optionally journaled.
+func benchMutationPeer(b *testing.B, termCount int, journalPath string) (*Peer, []string) {
+	b.Helper()
+	dfs := make(map[string]int, termCount)
+	names := make([]string, termCount)
+	for i := 0; i < termCount; i++ {
+		names[i] = fmt.Sprintf("term%04d", i)
+		dfs[names[i]] = termCount - i
+	}
+	dist, err := confidential.NewDistribution(dfs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	table, err := merging.Build(dist, merging.Options{Heuristic: merging.UDM, M: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	apis := make([]transport.API, 3)
+	for i := range apis {
+		apis[i] = discardAPI{x: field.Element(i + 1)}
+	}
+	p, err := New(Config{
+		Name: "bench", Servers: apis, K: 2,
+		Table: table, Vocab: vocab.NewFromTerms(names),
+		JournalPath: journalPath,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, names
+}
+
+// BenchmarkUpdateDocument: one op = a diff update of a 1,000-term
+// document that changes 100 terms — 100 journal-free two-stage deletes
+// plus 100 fresh elements per update, the peer's steady-state mutation.
+func BenchmarkUpdateDocument(b *testing.B) {
+	p, names := benchMutationPeer(b, 1100, "")
+	tok := benchToken(b)
+	contentA := strings.Join(names[:1000], " ")
+	contentB := strings.Join(append(append([]string{}, names[:900]...), names[1000:1100]...), " ")
+	doc := Document{ID: 1, Name: "doc", Content: contentA, Group: 1}
+	if err := p.IndexDocument(tok, doc); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			doc.Content = contentB
+		} else {
+			doc.Content = contentA
+		}
+		if err := p.UpdateDocument(tok, doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// flushBatch stages and flushes one 10-document, 1,000-element batch.
+func flushBatch(b *testing.B, p *Peer, tok auth.Token, names []string, iter int) {
+	b.Helper()
+	batch := p.NewBatch()
+	for d := 0; d < 10; d++ {
+		id := uint32((iter*10+d)%posting.MaxDocID + 1)
+		content := strings.Join(names[d*100:(d+1)*100], " ")
+		if err := batch.Add(Document{ID: id, Content: content, Group: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := batch.Flush(tok); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkJournaledFlush: one op = flushing a 10-document batch with
+// the mutation journal on — the crash-safe path, two fsyncs per flush.
+func BenchmarkJournaledFlush(b *testing.B) {
+	p, names := benchMutationPeer(b, 1000, filepath.Join(b.TempDir(), "bench.journal"))
+	defer p.Close()
+	tok := benchToken(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flushBatch(b, p, tok, names, i)
+	}
+}
+
+// BenchmarkUnjournaledFlush is the journal-off baseline for
+// BenchmarkJournaledFlush: the same batch through the same engine with
+// no persistence, isolating the journal's overhead.
+func BenchmarkUnjournaledFlush(b *testing.B) {
+	p, names := benchMutationPeer(b, 1000, "")
+	tok := benchToken(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flushBatch(b, p, tok, names, i)
 	}
 }
 
@@ -218,20 +324,20 @@ func TestChunkTasksRespectsGroupRuns(t *testing.T) {
 }
 
 // persistThenFailAPI simulates the worst retry hazard: the server
-// persists the insert but the owner sees an error (e.g. a timeout on
-// the response). The first Insert call delegates and then fails.
+// persists the mutation but the owner sees an error (e.g. a timeout on
+// the response). The first Apply call delegates and then fails.
 type persistThenFailAPI struct {
 	transport.API
 	failed bool
 }
 
-func (f *persistThenFailAPI) Insert(ctx context.Context, tok auth.Token, ops []transport.InsertOp) error {
-	if err := f.API.Insert(ctx, tok, ops); err != nil {
+func (f *persistThenFailAPI) Apply(ctx context.Context, tok auth.Token, op transport.OpID, inserts []transport.InsertOp, deletes []transport.DeleteOp) error {
+	if err := f.API.Apply(ctx, tok, op, inserts, deletes); err != nil {
 		return err
 	}
 	if !f.failed {
 		f.failed = true
-		return fmt.Errorf("simulated timeout after persisting")
+		return errors.New("simulated timeout after persisting")
 	}
 	return nil
 }

@@ -7,7 +7,6 @@
 package peer
 
 import (
-	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -20,6 +19,7 @@ import (
 	"zerber/internal/auth"
 	"zerber/internal/field"
 	"zerber/internal/invindex"
+	"zerber/internal/journal"
 	"zerber/internal/merging"
 	"zerber/internal/posting"
 	"zerber/internal/shamir"
@@ -74,6 +74,14 @@ type Config struct {
 	// one per CPU; 1 encrypts serially. Each worker draws coefficients
 	// from its own DRBG, so workers never contend on an entropy stream.
 	EncryptWorkers int
+	// JournalPath, when non-empty, persists every mutation through a
+	// journal at that path (package journal): payloads are fsynced
+	// before the first network send, per-server acknowledgements are
+	// recorded, and reopening a peer on the same path restores its
+	// document state and the in-flight operations for Recover. Empty
+	// means mutations are tracked in memory only (retryable within the
+	// process, lost on crash).
+	JournalPath string
 }
 
 // Peer is one document owner's machine. It is safe for concurrent use.
@@ -87,6 +95,13 @@ type Peer struct {
 	docs  map[uint32]Document
 	refs  map[uint32]map[string]elemRef // docID -> term -> central element
 	local *invindex.Index
+
+	// The mutation engine (engine.go): pmu serializes mutations, pending
+	// holds operations whose dispatch has not completed, jn is the
+	// optional crash-safe journal behind them.
+	pmu     sync.Mutex
+	pending []*mutOp
+	jn      *journal.Journal
 }
 
 // New validates the configuration and returns a peer.
@@ -110,6 +125,34 @@ func New(cfg Config) (*Peer, error) {
 		local:    invindex.New(),
 	}
 	p.rngPool.New = func() any { return field.NewShareSource(nil) }
+	if cfg.JournalPath != "" {
+		if len(cfg.Servers) > journal.MaxServers {
+			return nil, fmt.Errorf("peer: journaling supports at most %d servers, got %d",
+				journal.MaxServers, len(cfg.Servers))
+		}
+		jn, states, err := journal.Open(cfg.JournalPath)
+		if err != nil {
+			return nil, fmt.Errorf("peer: opening journal: %w", err)
+		}
+		for _, st := range states {
+			if st.Op.Servers != len(cfg.Servers) {
+				jn.Close()
+				return nil, fmt.Errorf("peer: journal %s was written for %d servers, peer has %d",
+					cfg.JournalPath, st.Op.Servers, len(cfg.Servers))
+			}
+			if st.Done {
+				// Completed operations rebuild the local document state
+				// in mutation order.
+				p.applyLocal(&mutOp{op: st.Op})
+			} else {
+				p.pending = append(p.pending, &mutOp{
+					op: st.Op, insertAcks: st.InsertAcks, deleteAcks: st.DeleteAcks,
+					journaled: true, // it came from the journal
+				})
+			}
+		}
+		p.jn = jn
+	}
 	return p, nil
 }
 
@@ -145,6 +188,20 @@ func (p *Peer) NumDocs() int {
 	return len(p.docs)
 }
 
+// DocIDs returns the IDs of all hosted documents in ascending order —
+// e.g. for a site daemon reconciling a journal-restored peer against
+// its current document directory.
+func (p *Peer) DocIDs() []uint32 {
+	p.mu.RLock()
+	ids := make([]uint32, 0, len(p.docs))
+	for id := range p.docs {
+		ids = append(ids, id)
+	}
+	p.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // Snippet serves the result snippet for a hosted document if the
 // requesting user belongs to the document's group — the peer-side check
 // of §5.4.2's snippet fetch. groupsOf is the caller's verified group set.
@@ -161,94 +218,92 @@ func (p *Peer) Snippet(docID uint32, query []string, width int, groupsOf map[aut
 	return textproc.Snippet(doc.Content, query, width), nil
 }
 
-// IndexDocument indexes (or re-indexes) a document immediately: its
-// elements are encrypted and pushed to all servers in one call. For the
-// correlation-resistant path, use a Batch instead. Re-indexing a known
-// document routes through UpdateDocument so stale central elements are
-// removed.
+// IndexDocument indexes (or re-indexes) a document immediately as one
+// journaled mutation pushed to all servers. For the correlation-
+// resistant path, use a Batch instead. Re-indexing a known document is
+// an update: stale central elements are removed after the fresh ones
+// are in place.
 func (p *Peer) IndexDocument(tok auth.Token, doc Document) error {
-	p.mu.RLock()
-	_, known := p.docs[doc.ID]
-	p.mu.RUnlock()
-	if known {
-		return p.UpdateDocument(tok, doc)
-	}
-	b := p.NewBatch()
-	if err := b.Add(doc); err != nil {
+	p.pmu.Lock()
+	defer p.pmu.Unlock()
+	if err := p.drainPending(tok); err != nil {
 		return err
 	}
-	return b.Flush(tok)
+	return p.mutateDoc(tok, doc)
 }
 
 // DeleteDocument removes a document: every central element is deleted
-// individually (document IDs are encrypted, §7.3), then the local state.
+// individually (document IDs are encrypted, §7.3) in one journaled
+// delete-stage mutation, then the local state.
 func (p *Peer) DeleteDocument(tok auth.Token, docID uint32) error {
-	p.mu.Lock()
+	p.pmu.Lock()
+	defer p.pmu.Unlock()
+	if err := p.drainPending(tok); err != nil {
+		return err
+	}
+	p.mu.RLock()
 	refs, ok := p.refs[docID]
+	dels := make([]journal.Del, 0, len(refs))
+	for _, ref := range refs {
+		dels = append(dels, journal.Del{List: uint32(ref.list), GID: uint64(ref.gid)})
+	}
+	p.mu.RUnlock()
 	if !ok {
-		p.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrUnknownDoc, docID)
 	}
-	ops := make([]transport.DeleteOp, 0, len(refs))
-	for _, ref := range refs {
-		ops = append(ops, transport.DeleteOp{List: ref.list, ID: ref.gid})
+	opID, err := p.newOpID()
+	if err != nil {
+		return err
 	}
-	p.mu.Unlock()
-
-	sortDeleteOps(ops)
-	for _, s := range p.cfg.Servers {
-		if err := s.Delete(context.Background(), tok, ops); err != nil {
-			return fmt.Errorf("peer %s: deleting doc %d: %w", p.cfg.Name, docID, err)
-		}
+	m := &mutOp{op: journal.Op{
+		ID:      opID,
+		Kind:    journal.KindDelete,
+		Servers: len(p.cfg.Servers),
+		Removed: []uint32{docID},
+		Dels:    dels,
+	}}
+	if err := p.beginOp(m); err != nil {
+		return err
 	}
-
-	p.mu.Lock()
-	delete(p.refs, docID)
-	delete(p.docs, docID)
-	p.local.Remove(docID)
-	p.mu.Unlock()
-	return nil
+	return p.drainPending(tok)
 }
 
 // UpdateDocument re-indexes a changed document, sending "only the
 // necessary updates" (§5.4.1): unchanged (term, tf) elements are left
-// alone; changed or removed terms are deleted; new or changed terms are
-// inserted. The document's group must be unchanged — unchanged elements
-// keep their stored group tag; to move a document between groups, delete
-// and re-index it.
+// alone; new or changed terms are inserted on every server first, and
+// only then are the superseded elements deleted, so an interrupted
+// update never loses the old postings — at worst both generations are
+// present until the operation (journaled, retryable) completes. The
+// document's group must be unchanged — unchanged elements keep their
+// stored group tag; to move a document between groups, delete and
+// re-index it.
 func (p *Peer) UpdateDocument(tok auth.Token, doc Document) error {
-	p.mu.RLock()
-	_, known := p.docs[doc.ID]
-	p.mu.RUnlock()
-	if !known {
-		return p.IndexDocument(tok, doc)
-	}
+	return p.IndexDocument(tok, doc)
+}
 
+// mutateDoc builds and runs the journaled operation for indexing or
+// updating one document. The complete encrypted payload is constructed
+// before anything is sent: a payload-construction failure (ID out of
+// range, entropy failure) returns with the index untouched. Callers
+// hold pmu with no pending operations.
+func (p *Peer) mutateDoc(tok auth.Token, doc Document) error {
 	newCounts := textproc.TermCounts(doc.Content)
 
-	p.mu.Lock()
+	// Diff against the committed refs. An unknown document is the empty
+	// diff base: everything is new, nothing is deleted.
+	p.mu.RLock()
 	oldRefs := p.refs[doc.ID]
-	var dels []transport.DeleteOp
 	keep := make(map[string]elemRef)
+	var dels []journal.Del
 	for term, ref := range oldRefs {
 		if c, still := newCounts[term]; still && posting.ClampTF(c) == ref.tf {
 			keep[term] = ref // identical element; no network traffic
 			continue
 		}
-		dels = append(dels, transport.DeleteOp{List: ref.list, ID: ref.gid})
+		dels = append(dels, journal.Del{List: uint32(ref.list), GID: uint64(ref.gid)})
 	}
-	p.mu.Unlock()
+	p.mu.RUnlock()
 
-	if len(dels) > 0 {
-		sortDeleteOps(dels)
-		for _, s := range p.cfg.Servers {
-			if err := s.Delete(context.Background(), tok, dels); err != nil {
-				return fmt.Errorf("peer %s: updating doc %d: %w", p.cfg.Name, doc.ID, err)
-			}
-		}
-	}
-
-	// Insert the new/changed terms.
 	var toInsert []string
 	for term := range newCounts {
 		if _, kept := keep[term]; !kept {
@@ -256,25 +311,52 @@ func (p *Peer) UpdateDocument(tok auth.Token, doc Document) error {
 		}
 	}
 	sort.Strings(toInsert)
-	perServer, newRefs, err := p.buildOps(doc, newCounts, toInsert)
+
+	rng, release := p.acquireRand()
+	var st staged
+	refs, err := st.addDoc(p, doc, newCounts, toInsert, rng)
+	if err != nil {
+		release()
+		return err
+	}
+	shares, err := p.encryptStaged(&st, rng)
+	release()
+	if err != nil {
+		return fmt.Errorf("peer: encrypting doc %d: %w", doc.ID, err)
+	}
+	for term, ref := range refs {
+		keep[term] = ref
+	}
+
+	opID, err := p.newOpID()
 	if err != nil {
 		return err
 	}
-	for i, s := range p.cfg.Servers {
-		if err := s.Insert(context.Background(), tok, perServer[i]); err != nil {
-			return fmt.Errorf("peer %s: updating doc %d: %w", p.cfg.Name, doc.ID, err)
-		}
+	kind := journal.KindIndex
+	if len(dels) > 0 {
+		kind = journal.KindUpdate
 	}
-
-	p.mu.Lock()
-	for term, ref := range newRefs {
-		keep[term] = ref
+	m := &mutOp{
+		op: journal.Op{
+			ID:      opID,
+			Kind:    kind,
+			Servers: len(p.cfg.Servers),
+			Elems:   buildElems(&st, shares),
+			Dels:    dels,
+		},
+		commitDocs:   []Document{doc},
+		commitRefs:   []map[string]elemRef{keep},
+		commitCounts: []map[string]int{newCounts},
 	}
-	p.refs[doc.ID] = keep
-	p.docs[doc.ID] = doc
-	p.local.Add(doc.ID, newCounts)
-	p.mu.Unlock()
-	return nil
+	if p.jn != nil {
+		// The journaled post-state (with its deterministic sorted-ref
+		// encoding) is only built when there is a journal to hold it.
+		m.op.Docs = []journal.DocState{docState(doc, keep)}
+	}
+	if err := p.beginOp(m); err != nil {
+		return err
+	}
+	return p.drainPending(tok)
 }
 
 // staged is the cleartext half of the indexing pipeline: parallel
@@ -425,38 +507,6 @@ func (p *Peer) encryptStaged(st *staged, rng io.Reader) ([][]posting.EncryptedSh
 	return dst, nil
 }
 
-// insertOps wraps per-server share rows into per-server insert ops,
-// attaching each element's merged-list ID.
-func (st *staged) insertOps(shares [][]posting.EncryptedShare) [][]transport.InsertOp {
-	perServer := make([][]transport.InsertOp, len(shares))
-	for i, row := range shares {
-		ops := make([]transport.InsertOp, len(row))
-		for j := range row {
-			ops[j] = transport.InsertOp{List: st.lids[j], Share: row[j]}
-		}
-		perServer[i] = ops
-	}
-	return perServer
-}
-
-// buildOps encrypts the listed terms of doc through the batched pipeline
-// and returns per-server insert ops plus the element references to
-// remember.
-func (p *Peer) buildOps(doc Document, counts map[string]int, terms []string) ([][]transport.InsertOp, map[string]elemRef, error) {
-	rng, release := p.acquireRand()
-	defer release()
-	var st staged
-	refs, err := st.addDoc(p, doc, counts, terms, rng)
-	if err != nil {
-		return nil, nil, err
-	}
-	shares, err := p.encryptStaged(&st, rng)
-	if err != nil {
-		return nil, nil, fmt.Errorf("peer: encrypting doc %d: %w", doc.ID, err)
-	}
-	return st.insertOps(shares), refs, nil
-}
-
 // Batch accumulates the elements of several documents and flushes them in
 // one shuffled insert per server, hiding which elements co-occur in one
 // document from an adversary watching updates (§5.4.1).
@@ -464,24 +514,26 @@ func (p *Peer) buildOps(doc Document, counts map[string]int, terms []string) ([]
 // Add only stages cleartext elements (term IDs, counts, fresh global
 // IDs); all share generation is deferred to Flush, where one batched
 // pass — fanned across the peer's encrypt workers — splits every staged
-// element of every queued document. A batch is not safe for concurrent
-// use; the peer it flushes into is.
+// element of every queued document into one journaled operation. A batch
+// is not safe for concurrent use; the peer it flushes into is.
 type Batch struct {
 	peer   *Peer
 	st     staged
 	docs   []Document
 	counts []map[string]int
 	refs   []map[string]elemRef
-	// pending holds the shuffled per-server ops of a failed Flush, and
-	// pendingCount the number of staged elements they cover. A retried
-	// Flush must resend byte-identical shares: re-encrypting with fresh
-	// randomness could leave servers that persisted the first attempt
-	// holding shares of a different polynomial than servers reached
-	// only by the retry, which k-of-n reconstruction would silently
-	// combine into garbage. Elements staged after the failure (Add
-	// between retries) are encrypted separately and appended.
-	pending      [][]transport.InsertOp
-	pendingCount int
+	// m is the journaled operation of a failed Flush; opElems/opDocs
+	// count how much of the staged state its payload already covers. A
+	// retried Flush must resend byte-identical shares: re-encrypting
+	// with fresh randomness could leave servers that persisted the
+	// first attempt holding shares of a different polynomial than
+	// servers reached only by the retry, which k-of-n reconstruction
+	// would silently combine into garbage. Elements staged after the
+	// failure (Add between retries) are encrypted separately and
+	// appended to the operation's payload.
+	m       *mutOp
+	opElems int
+	opDocs  int
 }
 
 // NewBatch starts an empty batch.
@@ -516,87 +568,123 @@ func (b *Batch) Len() int { return len(b.docs) }
 // Elements returns the number of posting elements queued per server.
 func (b *Batch) Elements() int { return len(b.st.elems) }
 
-// Flush encrypts the staged elements, shuffles the resulting ops, and
-// sends them to every server, then commits the local state. The shuffle
-// order is derived from the peer's randomness source; all servers
-// receive the same order, which is irrelevant for security (each server
-// sees its own arrival order anyway) but keeps the flush deterministic
-// under test. A Flush that fails part-way may be retried: the encrypted
-// shares are cached and resent byte-identical (under a fresh shuffle),
-// so servers that persisted the first attempt converge with servers
-// reached only by the retry.
+// Flush runs the batch as one journaled operation: the staged elements
+// are encrypted into the operation's payload, persisted (with a journal
+// configured) before the first send, dispatched to every server under a
+// fresh whole-payload shuffle, and committed locally once all servers
+// acknowledge. A Flush that fails part-way may be retried: the
+// encrypted shares are kept in the operation and resent byte-identical
+// (under a fresh shuffle, so a tranche added between attempts is still
+// mixed in), servers that already acknowledged are skipped, and the
+// operation ID lets servers deduplicate redeliveries, so retries are
+// exactly-once in effect.
 func (b *Batch) Flush(tok auth.Token) error {
-	if len(b.docs) == 0 {
-		return nil
+	p := b.peer
+	p.pmu.Lock()
+	defer p.pmu.Unlock()
+	if b.m != nil && !p.isPending(b.m) {
+		// A later mutation's drain already completed the batch's
+		// operation; only elements staged since (if any) still need an
+		// operation of their own.
+		b.m = nil
+		if b.opDocs == len(b.docs) && b.opElems == len(b.st.elems) {
+			b.docs, b.counts, b.refs = nil, nil, nil
+			b.opElems, b.opDocs = 0, 0
+			b.st.reset()
+			return nil
+		}
 	}
-	rng, release := b.peer.acquireRand()
-	defer release()
-	if err := b.encryptPending(rng); err != nil {
+	if b.m == nil {
+		if len(b.docs) == 0 {
+			return nil
+		}
+		// Older failed mutations must converge before a new operation
+		// starts (they may address the same documents).
+		if err := p.drainPending(tok); err != nil {
+			return err
+		}
+	}
+	if err := b.syncOp(); err != nil {
 		return err
 	}
-	// The shuffle is drawn per attempt over the whole pending set, so a
-	// retry that appended a fresh tranche (Add between attempts) still
-	// mixes it with the earlier documents — a contiguous per-document
-	// tail would be exactly the co-occurrence signal batching hides.
-	// Reordering across attempts is safe: only the share bytes must be
-	// identical, and the store upserts by (list, global ID).
-	n := len(b.st.elems)
-	perm, err := randomPerm(rng, n)
-	if err != nil {
-		return fmt.Errorf("peer: batch shuffle: %w", err)
+	if err := p.drainPending(tok); err != nil {
+		return err
 	}
-	for i, s := range b.peer.cfg.Servers {
-		shuffled := make([]transport.InsertOp, n)
-		for j, src := range perm {
-			shuffled[j] = b.pending[i][src]
-		}
-		if err := s.Insert(context.Background(), tok, shuffled); err != nil {
-			return fmt.Errorf("peer %s: batch flush: %w", b.peer.cfg.Name, err)
-		}
-	}
-	p := b.peer
-	p.mu.Lock()
-	for i, doc := range b.docs {
-		p.docs[doc.ID] = doc
-		p.refs[doc.ID] = b.refs[i]
-		p.local.Add(doc.ID, b.counts[i])
-	}
-	p.mu.Unlock()
-	b.docs, b.counts, b.refs, b.pending = nil, nil, nil, nil
-	b.pendingCount = 0
+	b.docs, b.counts, b.refs, b.m = nil, nil, nil, nil
+	b.opElems, b.opDocs = 0, 0
 	b.st.reset()
 	return nil
 }
 
-// encryptPending encrypts the staged elements not yet covered by the
-// pending ops — all of them on a first Flush, only the ones staged
-// after a failure on a retry — and appends their ops in staged order
-// (Flush shuffles at send time). Already cached ops are never
-// regenerated, preserving byte-identical resends.
-func (b *Batch) encryptPending(rng io.Reader) error {
-	if b.pending == nil {
-		// Allocated even with zero staged elements: a batch of
-		// documents that produce no terms (empty content) still flushes
-		// empty op lists and commits the local state.
-		b.pending = make([][]transport.InsertOp, len(b.peer.cfg.Servers))
+// syncOp creates the batch's journaled operation on first Flush and
+// extends its payload with any elements and documents staged since —
+// all of them on a first Flush, only the fresh tranche on a retry.
+// Already encrypted elements are never regenerated, preserving
+// byte-identical resends; an extension clears the insert
+// acknowledgements, because servers that acknowledged the smaller
+// payload have not seen the new tranche (their re-send converges by
+// upsert). Callers hold pmu.
+func (b *Batch) syncOp() error {
+	p := b.peer
+	created := false
+	if b.m == nil {
+		opID, err := p.newOpID()
+		if err != nil {
+			return err
+		}
+		b.m = &mutOp{op: journal.Op{
+			ID:      opID,
+			Kind:    journal.KindIndex,
+			Servers: len(p.cfg.Servers),
+		}}
+		created = true
 	}
-	if len(b.st.elems) <= b.pendingCount {
-		return nil
+	// Any payload growth counts as an extension — including documents
+	// that stage no elements (empty or out-of-vocabulary content),
+	// whose journaled DocStates must still reach the op record.
+	extended := !created && (len(b.st.elems) > b.opElems || len(b.docs) > b.opDocs)
+	if len(b.st.elems) > b.opElems {
+		sub := staged{
+			elems:  b.st.elems[b.opElems:],
+			gids:   b.st.gids[b.opElems:],
+			lids:   b.st.lids[b.opElems:],
+			groups: b.st.groups[b.opElems:],
+		}
+		rng, release := p.acquireRand()
+		shares, err := p.encryptStaged(&sub, rng)
+		release()
+		if err != nil {
+			if created {
+				b.m = nil
+			}
+			return fmt.Errorf("peer %s: batch encrypt: %w", p.cfg.Name, err)
+		}
+		b.m.op.Elems = append(b.m.op.Elems, buildElems(&sub, shares)...)
+		b.opElems = len(b.st.elems)
 	}
-	sub := staged{
-		elems:  b.st.elems[b.pendingCount:],
-		gids:   b.st.gids[b.pendingCount:],
-		lids:   b.st.lids[b.pendingCount:],
-		groups: b.st.groups[b.pendingCount:],
+	if p.jn != nil {
+		for i := b.opDocs; i < len(b.docs); i++ {
+			b.m.op.Docs = append(b.m.op.Docs, docState(b.docs[i], b.refs[i]))
+		}
 	}
-	shares, err := b.peer.encryptStaged(&sub, rng)
-	if err != nil {
-		return fmt.Errorf("peer %s: batch encrypt: %w", b.peer.cfg.Name, err)
+	b.opDocs = len(b.docs)
+	b.m.commitDocs, b.m.commitRefs, b.m.commitCounts = b.docs, b.refs, b.counts
+	if created {
+		return p.beginOp(b.m)
 	}
-	for i, ops := range sub.insertOps(shares) {
-		b.pending[i] = append(b.pending[i], ops...)
+	if extended {
+		// Earlier insert acks cover a smaller payload and no longer
+		// count, and the journaled op record is stale. Marking the op
+		// un-journaled (rather than calling Begin here) makes the
+		// re-Begin — which replaces the payload and clears the
+		// journaled acks to match, see journal.Open — happen in
+		// dispatch, where it is retried on every drain until it
+		// sticks; a transient Begin failure here would otherwise never
+		// be retried, leaving the journal with the smaller payload
+		// forever.
+		b.m.insertAcks = 0
+		b.m.journaled = false
 	}
-	b.pendingCount = len(b.st.elems)
 	return nil
 }
 

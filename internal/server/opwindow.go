@@ -1,0 +1,119 @@
+package server
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"sync"
+
+	"zerber/internal/auth"
+	"zerber/internal/transport"
+)
+
+// opWindowCap is how many recently applied mutation stages a server
+// remembers per caller. A peer retries a stage until it is acknowledged
+// and never has more than a handful of mutations in flight, so a few
+// hundred entries cover any realistic redelivery window; an op evicted
+// from the window is re-applied on redelivery, which still converges
+// because inserts upsert by (list, global ID) and Apply's deletes are
+// conditional — the window only spares the redundant work and keeps the
+// activity stats exact.
+const opWindowCap = 1024
+
+// stageKey identifies one mutation stage within one caller's window.
+type stageKey struct {
+	id    uint64
+	stage uint8
+}
+
+// opWindow is the per-caller dedup memory behind Server.Apply. Memory is
+// bounded by opWindowCap entries per caller; callers are enterprise
+// users (or their pseudonyms), bounded by the group table.
+type opWindow struct {
+	mu    sync.Mutex
+	users map[auth.UserID]*userWindow
+}
+
+// userWindow is one caller's bounded FIFO of applied stages. The stored
+// checksum guards against the one hazard of ID-based dedup: the same
+// (ID, stage) redelivered with a different payload — e.g. a routing
+// layer re-partitioning a stage across nodes between attempt and retry —
+// must be re-applied, not skipped, or elements silently go missing.
+type userWindow struct {
+	sums map[stageKey]uint32
+	fifo []stageKey
+	next int
+}
+
+func newOpWindow() *opWindow {
+	return &opWindow{users: make(map[auth.UserID]*userWindow)}
+}
+
+// seen reports whether the caller already applied this stage with an
+// identical payload.
+func (w *opWindow) seen(user auth.UserID, op transport.OpID, sum uint32) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	uw := w.users[user]
+	if uw == nil {
+		return false
+	}
+	prev, ok := uw.sums[stageKey{op.ID, op.Stage}]
+	return ok && prev == sum
+}
+
+// record remembers a fully applied stage, evicting the caller's oldest
+// entry once the window is full.
+func (w *opWindow) record(user auth.UserID, op transport.OpID, sum uint32) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	uw := w.users[user]
+	if uw == nil {
+		uw = &userWindow{sums: make(map[stageKey]uint32)}
+		w.users[user] = uw
+	}
+	key := stageKey{op.ID, op.Stage}
+	if _, ok := uw.sums[key]; ok {
+		uw.sums[key] = sum // payload changed: update in place
+		return
+	}
+	if len(uw.fifo) < opWindowCap {
+		uw.fifo = append(uw.fifo, key)
+	} else {
+		delete(uw.sums, uw.fifo[uw.next])
+		uw.fifo[uw.next] = key
+		uw.next = (uw.next + 1) % opWindowCap
+	}
+	uw.sums[key] = sum
+}
+
+// payloadSum checksums an Apply payload so the dedup window can tell a
+// redelivery (skip) from a same-ID payload change (re-apply). The sum
+// is order-independent — per-record CRCs combined by addition — because
+// peers re-shuffle the insert stage on every dispatch attempt (the
+// correlation-hiding shuffle is drawn fresh per attempt): the same
+// elements in a different order are the same payload and must dedup. A
+// tag byte separates insert from delete records, and the section
+// lengths are folded in, so the two halves cannot alias. The checksum
+// is a hint, never a correctness boundary: a false mismatch re-applies
+// (convergent), and a caller can only "spoof" a match against their own
+// operations.
+func payloadSum(inserts []transport.InsertOp, deletes []transport.DeleteOp) uint32 {
+	var acc uint64
+	acc += uint64(len(inserts))<<32 + uint64(len(deletes))
+	var buf [25]byte
+	for _, op := range inserts {
+		buf[0] = 'i'
+		binary.LittleEndian.PutUint32(buf[1:5], uint32(op.List))
+		binary.LittleEndian.PutUint64(buf[5:13], uint64(op.Share.GlobalID))
+		binary.LittleEndian.PutUint32(buf[13:17], op.Share.Group)
+		binary.LittleEndian.PutUint64(buf[17:25], op.Share.Y.Uint64())
+		acc += uint64(crc32.ChecksumIEEE(buf[:]))
+	}
+	for _, op := range deletes {
+		buf[0] = 'd'
+		binary.LittleEndian.PutUint32(buf[1:5], uint32(op.List))
+		binary.LittleEndian.PutUint64(buf[5:13], uint64(op.ID))
+		acc += uint64(crc32.ChecksumIEEE(buf[:13]))
+	}
+	return uint32(acc) ^ uint32(acc>>32)
+}

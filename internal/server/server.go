@@ -59,6 +59,11 @@ type Server struct {
 	cfg Config
 	st  store.Store
 
+	// ops remembers recently applied mutation stages per caller so a
+	// redelivered Apply (client retry after a lost response, journal
+	// replay after a peer crash) is exactly-once in effect.
+	ops *opWindow
+
 	// Activity counters are atomic and updated once per batch, not once
 	// per element, so hot-path inserts don't serialize on a stats mutex.
 	inserts, deletes, lookups, served atomic.Int64
@@ -86,7 +91,7 @@ func New(cfg Config) *Server {
 	if st == nil {
 		st = store.NewMemory()
 	}
-	return &Server{cfg: cfg, st: st}
+	return &Server{cfg: cfg, st: st, ops: newOpWindow()}
 }
 
 var _ transport.API = (*Server)(nil)
@@ -121,15 +126,32 @@ func (s *Server) Insert(ctx context.Context, tok auth.Token, ops []transport.Ins
 		return fmt.Errorf("%s: %w", s.cfg.Name, err)
 	}
 	memberOf := s.cfg.Groups.GroupSetOf(user)
+	if err := s.authorizeInserts(memberOf, ops); err != nil {
+		return err
+	}
+	if added := s.upsertAll(ops); added > 0 {
+		s.inserts.Add(int64(added))
+	}
+	return nil
+}
+
+// authorizeInserts checks group membership for every share before any
+// mutation, so a rejected batch changes nothing.
+func (s *Server) authorizeInserts(memberOf map[auth.GroupID]struct{}, ops []transport.InsertOp) error {
 	for _, op := range ops {
 		if _, ok := memberOf[auth.GroupID(op.Share.Group)]; !ok {
 			return fmt.Errorf("%s: insert into group %d: %w", s.cfg.Name, op.Share.Group, ErrUnauthorized)
 		}
 	}
-	// Group the batch by destination list, preserving arrival order, so
-	// the store is entered once per touched list rather than once per
-	// element. Idempotent re-inserts (an owner retrying a batch after a
-	// partial failure) replace the stored share and are not counted.
+	return nil
+}
+
+// upsertAll writes an authorized insert batch into the store, grouped by
+// destination list so the store is entered once per touched list rather
+// than once per element. It returns how many shares were newly appended:
+// idempotent re-inserts (an owner retrying after a partial failure)
+// replace the stored share and are not counted.
+func (s *Server) upsertAll(ops []transport.InsertOp) int {
 	added := 0
 	for i := 0; i < len(ops); {
 		lid := ops[i].List
@@ -144,10 +166,7 @@ func (s *Server) Insert(ctx context.Context, tok auth.Token, ops []transport.Ins
 		added += s.st.Upsert(lid, run)
 		i = j
 	}
-	if added > 0 {
-		s.inserts.Add(int64(added))
-	}
-	return nil
+	return added
 }
 
 // Delete authenticates the caller and removes elements by global ID. The
@@ -163,9 +182,28 @@ func (s *Server) Delete(ctx context.Context, tok auth.Token, ops []transport.Del
 		return fmt.Errorf("%s: %w", s.cfg.Name, err)
 	}
 	memberOf := s.cfg.Groups.GroupSetOf(user)
+	missing, err := s.deleteAll(memberOf, ops)
+	if err != nil {
+		return err
+	}
+	if missing > 0 {
+		return fmt.Errorf("%s: %d of %d elements: %w", s.cfg.Name, missing, len(ops), ErrNotFound)
+	}
+	return nil
+}
 
-	var missing int
+// deleteAll removes the addressed elements whose group the caller
+// belongs to, counting stats once per batch. It reports how many
+// elements were already absent; an element in a foreign group aborts
+// with ErrUnauthorized after the stats of the removals so far are
+// recorded.
+func (s *Server) deleteAll(memberOf map[auth.GroupID]struct{}, ops []transport.DeleteOp) (missing int, err error) {
 	var removed int64
+	defer func() {
+		if removed > 0 {
+			s.deletes.Add(removed)
+		}
+	}()
 	for _, op := range ops {
 		var deniedGroup uint32
 		found, deleted := s.st.DeleteIf(op.List, op.ID, func(sh posting.EncryptedShare) bool {
@@ -179,19 +217,51 @@ func (s *Server) Delete(ctx context.Context, tok auth.Token, ops []transport.Del
 		case !found:
 			missing++
 		case !deleted:
-			if removed > 0 {
-				s.deletes.Add(removed)
-			}
-			return fmt.Errorf("%s: delete from group %d: %w", s.cfg.Name, deniedGroup, ErrUnauthorized)
+			return missing, fmt.Errorf("%s: delete from group %d: %w", s.cfg.Name, deniedGroup, ErrUnauthorized)
 		default:
 			removed++
 		}
 	}
-	if removed > 0 {
-		s.deletes.Add(removed)
+	return missing, nil
+}
+
+// Apply authenticates the caller and applies one stage of a journaled
+// peer mutation: inserts are upserted, then deletes remove elements
+// conditionally (absence is not an error — an earlier delivery of the
+// same stage may already have removed them). A non-zero op ID
+// deduplicates redeliveries: a stage this caller already applied with an
+// identical payload returns nil without touching the store or the stats,
+// so retried mutations are exactly-once in effect. The window is
+// bounded (see opWindowCap); an evicted op re-applies, which still
+// converges because upserts replace by (list, global ID).
+func (s *Server) Apply(ctx context.Context, tok auth.Token, op transport.OpID, inserts []transport.InsertOp, deletes []transport.DeleteOp) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%s: %w", s.cfg.Name, err)
 	}
-	if missing > 0 {
-		return fmt.Errorf("%s: %d of %d elements: %w", s.cfg.Name, missing, len(ops), ErrNotFound)
+	user, err := s.cfg.Auth.Verify(tok)
+	if err != nil {
+		return fmt.Errorf("%s: %w", s.cfg.Name, err)
+	}
+	memberOf := s.cfg.Groups.GroupSetOf(user)
+	if err := s.authorizeInserts(memberOf, inserts); err != nil {
+		return err
+	}
+	var sum uint32
+	if !op.IsZero() {
+		sum = payloadSum(inserts, deletes)
+		if s.ops.seen(user, op, sum) {
+			return nil
+		}
+	}
+	if added := s.upsertAll(inserts); added > 0 {
+		s.inserts.Add(int64(added))
+	}
+	if _, err := s.deleteAll(memberOf, deletes); err != nil {
+		// Not recorded in the window: the retry must re-apply.
+		return err
+	}
+	if !op.IsZero() {
+		s.ops.record(user, op, sum)
 	}
 	return nil
 }

@@ -31,6 +31,33 @@ type DeleteOp struct {
 	ID   posting.GlobalID `json:"id"`
 }
 
+// OpID identifies one stage of one journaled peer mutation. A peer
+// assigns each mutation a unique 64-bit operation ID and sends its
+// insert stage and delete stage as separate Apply calls distinguished by
+// Stage; together with the caller's verified identity, (ID, Stage) keys
+// the server-side deduplication that makes redelivered mutations —
+// client retries after a lost response, journal replay after a peer
+// crash — exactly-once in effect. The zero OpID disables deduplication:
+// the call is applied unconditionally (Insert/Delete semantics).
+type OpID struct {
+	ID    uint64 `json:"id"`
+	Stage uint8  `json:"stage"`
+}
+
+// Mutation stages carried in an OpID.
+const (
+	// StageInsert is the first stage of every mutation: fresh elements
+	// are upserted on all servers before anything is deleted, so an
+	// interrupted update never loses the superseded postings.
+	StageInsert uint8 = 1
+	// StageDelete removes the superseded elements once every server
+	// holds the fresh ones.
+	StageDelete uint8 = 2
+)
+
+// IsZero reports whether the OpID disables deduplication.
+func (o OpID) IsZero() bool { return o == OpID{} }
+
 // API is the complete external interface of one index server. Every call
 // carries a context.Context: implementations must observe cancellation so
 // that a client fanning out to n servers can abandon stragglers once k
@@ -43,6 +70,15 @@ type API interface {
 	Insert(ctx context.Context, tok auth.Token, ops []InsertOp) error
 	// Delete authenticates the caller and removes elements by global ID.
 	Delete(ctx context.Context, tok auth.Token, ops []DeleteOp) error
+	// Apply authenticates the caller and applies one stage of a
+	// journaled mutation: inserts are upserted by (list, global ID),
+	// then deletes remove elements conditionally — an element already
+	// absent is not an error, because an earlier delivery of the same
+	// stage may have removed it. A non-zero op ID makes the call
+	// idempotent: a server that already applied (caller, op) with an
+	// identical payload acknowledges without re-applying or re-counting
+	// stats, so redelivered mutations are exactly-once in effect.
+	Apply(ctx context.Context, tok auth.Token, op OpID, inserts []InsertOp, deletes []DeleteOp) error
 	// GetPostingLists authenticates the caller and returns, for each
 	// requested list, the shares belonging to groups the caller is a
 	// member of (paper §5.4.2).
@@ -57,4 +93,7 @@ const (
 	ListIDBytes     = 4
 	ShareBytes      = posting.WireBytes
 	ListHeaderBytes = 4
+	// OpIDBytes is the wire cost of the operation-ID header on an Apply
+	// call: 8 bytes ID + 1 byte stage.
+	OpIDBytes = 9
 )

@@ -23,11 +23,21 @@ import (
 const (
 	pathInsert = "/v1/insert"
 	pathDelete = "/v1/delete"
+	pathApply  = "/v1/apply"
 	pathLookup = "/v1/lookup"
 	pathXCoord = "/v1/xcoord"
 
 	authHeader = "Authorization"
 )
+
+// applyRequest is the wire form of one Apply call: the op-ID header and
+// both payload halves in one body, so a mutation stage is one round trip
+// and the server sees the whole stage atomically.
+type applyRequest struct {
+	Op      OpID       `json:"op"`
+	Inserts []InsertOp `json:"inserts,omitempty"`
+	Deletes []DeleteOp `json:"deletes,omitempty"`
+}
 
 // NewHTTPHandler exposes an index server implementation over HTTP.
 func NewHTTPHandler(api API) http.Handler {
@@ -52,6 +62,17 @@ func NewHTTPHandler(api API) http.Handler {
 			return
 		}
 		if err := api.Delete(r.Context(), token(r), ops); err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, "ok")
+	})
+	mux.HandleFunc(pathApply, func(w http.ResponseWriter, r *http.Request) {
+		var req applyRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if err := api.Apply(r.Context(), token(r), req.Op, req.Inserts, req.Deletes); err != nil {
 			httpError(w, err)
 			return
 		}
@@ -173,6 +194,12 @@ func (c *HTTPClient) Insert(ctx context.Context, tok auth.Token, ops []InsertOp)
 func (c *HTTPClient) Delete(ctx context.Context, tok auth.Token, ops []DeleteOp) error {
 	var ok string
 	return c.post(ctx, pathDelete, tok, ops, &ok)
+}
+
+// Apply posts one mutation stage.
+func (c *HTTPClient) Apply(ctx context.Context, tok auth.Token, op OpID, inserts []InsertOp, deletes []DeleteOp) error {
+	var ok string
+	return c.post(ctx, pathApply, tok, applyRequest{Op: op, Inserts: inserts, Deletes: deletes}, &ok)
 }
 
 // GetPostingLists posts a lookup and decodes the share map.

@@ -48,6 +48,14 @@ func (l *Latency) Delete(ctx context.Context, tok auth.Token, ops []DeleteOp) er
 	return l.api.Delete(ctx, tok, ops)
 }
 
+// Apply waits out the simulated RTT, then forwards.
+func (l *Latency) Apply(ctx context.Context, tok auth.Token, op OpID, inserts []InsertOp, deletes []DeleteOp) error {
+	if err := l.wait(ctx); err != nil {
+		return err
+	}
+	return l.api.Apply(ctx, tok, op, inserts, deletes)
+}
+
 // GetPostingLists waits out the simulated RTT, then forwards.
 func (l *Latency) GetPostingLists(ctx context.Context, tok auth.Token, lists []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error) {
 	if err := l.wait(ctx); err != nil {

@@ -42,6 +42,15 @@ func (l *Local) Delete(ctx context.Context, tok auth.Token, ops []DeleteOp) erro
 	return l.api.Delete(ctx, tok, ops)
 }
 
+// Apply forwards to the wrapped server and charges request bytes: the
+// op-ID header plus both payload halves.
+func (l *Local) Apply(ctx context.Context, tok auth.Token, op OpID, inserts []InsertOp, deletes []DeleteOp) error {
+	l.charge(int64(len(tok))+OpIDBytes+
+		int64(len(inserts))*(ListIDBytes+ShareBytes)+
+		int64(len(deletes))*(ListIDBytes+8), 1)
+	return l.api.Apply(ctx, tok, op, inserts, deletes)
+}
+
 // GetPostingLists forwards to the wrapped server and charges request and
 // response bytes.
 func (l *Local) GetPostingLists(ctx context.Context, tok auth.Token, lists []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error) {

@@ -96,12 +96,51 @@
 // their share streams stay reproducible. Proactive resharing rides the
 // same pipeline: a refresh delta is a Shamir share of zero, so delta
 // generation is a SplitBatch over a zero-secret vector.
+//
+// # Mutation pipeline & recovery
+//
+// Every peer mutation — IndexDocument, UpdateDocument, DeleteDocument,
+// Batch.Flush — runs as one journaled operation with a unique ID and a
+// two-stage protocol: the fresh elements are inserted on every server
+// first, and only then are the superseded elements deleted, so an
+// interruption at any point leaves the old postings intact (at worst
+// both generations exist transiently). The complete encrypted payload
+// is built before the first byte is sent; a payload-construction
+// failure leaves the index untouched.
+//
+// With the JournalDir option set, each peer persists its operations to
+// a journal (fsynced before the first send) along with one record per
+// per-server acknowledgement. After a crash, reopening the peer on the
+// same journal restores its document state from the completed
+// operations, and peer.Recover resumes the in-flight ones: servers that
+// acknowledged before the crash are skipped, the rest receive the
+// journaled payload byte-identically. Every send carries the operation
+// ID and stage; index servers keep a bounded per-caller window of
+// applied operations and acknowledge redeliveries without re-applying
+// or re-counting stats. Inserts upsert by (list, global ID) and the
+// mutation path's deletes treat absence as success, so even an
+// operation evicted from a server's window re-applies convergently:
+// retries and replays are exactly-once in effect, with no coordination
+// beyond the operation ID. peer.CompactJournal bounds journal growth by
+// rewriting it to one snapshot per live document, like the durable
+// server's WAL compaction.
+//
+// Guarantees, precisely: a mutation whose call returned nil is applied
+// on every server exactly once; a mutation that failed or was
+// interrupted is either absent everywhere or completes exactly once
+// after Recover (or any later mutation, which drains pending
+// operations first); no interleaving of crashes, retries, and
+// redeliveries orphans an element, because nothing is deleted before
+// the replacement is acknowledged everywhere and every delete is
+// journaled before it is issued.
 package zerber
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -184,6 +223,13 @@ type Options struct {
 	// per CPU; 1 encrypts serially. Peers created with a deterministic
 	// seed always encrypt serially so their output is reproducible.
 	EncryptWorkers int
+	// JournalDir, when non-empty, gives every peer a crash-safe
+	// mutation journal at <JournalDir>/<peer name>.journal: mutations
+	// are persisted before the first network send and replayed to
+	// convergence by peer.Recover after a crash (see "Mutation pipeline
+	// & recovery" above). Empty disables journaling; mutations are then
+	// retryable within the process but lost with it.
+	JournalDir string
 }
 
 // Cluster is a complete in-process Zerber deployment: n index servers,
@@ -358,6 +404,12 @@ func (c *Cluster) NewPeer(name string, seed int64) (*peer.Peer, error) {
 		Table:          c.table,
 		Vocab:          c.voc,
 		EncryptWorkers: c.opts.EncryptWorkers,
+	}
+	if c.opts.JournalDir != "" {
+		if err := os.MkdirAll(c.opts.JournalDir, 0o755); err != nil {
+			return nil, fmt.Errorf("zerber: journal directory: %w", err)
+		}
+		cfg.JournalPath = filepath.Join(c.opts.JournalDir, name+".journal")
 	}
 	if seed != 0 {
 		cfg.Rand = newSeededReader(seed)
