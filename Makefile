@@ -3,19 +3,52 @@
 
 GO ?= go
 BENCHTIME ?= 0.5s
+FUZZTIME ?= 10s
 
-.PHONY: build test race bench benchstore benchjson lint fmt ci
+.PHONY: build test test-full race fuzz cover bench benchstore benchjson lint fmt ci
 
 build:
 	$(GO) build ./...
 
 # -shuffle=on randomizes test (and subtest) execution order to surface
 # hidden order dependencies; the seed is printed on failure for replay.
+# This is tier 1: unit + oracle tests plus the short simulation tier
+# (see TESTING.md for the tier map).
 test:
 	$(GO) test -shuffle=on ./...
 
+# The deep tier, run by the nightly workflow: thousands of randomized
+# simulation programs, 20 oracle trials, and the long equivalence
+# sweeps. ZERBER_TEST_FULL=1 is what the tiered tests key on.
+test-full:
+	ZERBER_TEST_FULL=1 $(GO) test -count=1 -timeout=30m -shuffle=on ./...
+
+# The race tier runs -short so the detector's ~10-20x slowdown stays off
+# the critical path; the full-size suite runs race-free in `test` and at
+# full depth in the nightly `test-full`.
 race:
-	$(GO) test -race -shuffle=on ./...
+	$(GO) test -race -short -shuffle=on ./...
+
+# Fuzz smoke: every fuzz target for FUZZTIME (default 10s) each. Go
+# allows one -fuzz pattern per package invocation, hence one line per
+# target. CI runs this with a shorter budget; use `make fuzz
+# FUZZTIME=5m` for a real session.
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME) ./internal/wal
+	$(GO) test -run='^$$' -fuzz='^FuzzJournalDecode$$' -fuzztime=$(FUZZTIME) ./internal/journal
+	$(GO) test -run='^$$' -fuzz='^FuzzApplyRequest$$' -fuzztime=$(FUZZTIME) ./internal/transport
+	$(GO) test -run='^$$' -fuzz='^FuzzTokenize$$' -fuzztime=$(FUZZTIME) ./internal/textproc
+	$(GO) test -run='^$$' -fuzz='^FuzzSnippet$$' -fuzztime=$(FUZZTIME) ./internal/textproc
+
+# Coverage: per-package summary plus a ratcheting floor. CI fails if
+# total statement coverage drops below the number committed in
+# COVERAGE.txt; raising code coverage lets the floor be raised in the
+# same change. This runs the full tier-1 suite (with -shuffle, like
+# `test`), so CI uses it AS the test step rather than paying for the
+# suite twice.
+cover:
+	$(GO) test -count=1 -shuffle=on -coverprofile=cover.out ./...
+	$(GO) run ./cmd/zerber-cover -profile cover.out -baseline COVERAGE.txt
 
 # One iteration per benchmark: a smoke run proving the benchmarks still
 # compile and execute, not a measurement.
@@ -62,4 +95,4 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: build lint test race bench
+ci: build lint cover race bench

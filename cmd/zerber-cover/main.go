@@ -1,0 +1,135 @@
+// zerber-cover summarizes a Go coverage profile per package and
+// enforces the committed coverage baseline.
+//
+// Usage:
+//
+//	go test -coverprofile=cover.out ./...
+//	go run ./cmd/zerber-cover -profile cover.out -baseline COVERAGE.txt
+//
+// It prints a per-package statement-coverage table plus the total, and
+// exits non-zero if the total falls below the floor recorded in the
+// baseline file (a single number, in percent). CI runs this so coverage
+// can only ratchet: lowering the floor requires editing COVERAGE.txt in
+// the same change that explains why.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type pkgCov struct {
+	stmts, covered int
+}
+
+func main() {
+	profile := flag.String("profile", "cover.out", "coverage profile written by go test -coverprofile")
+	baseline := flag.String("baseline", "", "file holding the minimum total coverage percentage (empty: report only)")
+	flag.Parse()
+
+	byPkg, err := parseProfile(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zerber-cover:", err)
+		os.Exit(1)
+	}
+
+	pkgs := make([]string, 0, len(byPkg))
+	for p := range byPkg {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+	var total pkgCov
+	for _, p := range pkgs {
+		c := byPkg[p]
+		total.stmts += c.stmts
+		total.covered += c.covered
+		fmt.Printf("%-40s %6.1f%%  (%d/%d statements)\n", p, pct(c), c.covered, c.stmts)
+	}
+	fmt.Printf("%-40s %6.1f%%  (%d/%d statements)\n", "TOTAL", pct(total), total.covered, total.stmts)
+
+	if *baseline == "" {
+		return
+	}
+	floor, err := readBaseline(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zerber-cover:", err)
+		os.Exit(1)
+	}
+	if got := pct(total); got < floor {
+		fmt.Fprintf(os.Stderr, "zerber-cover: total coverage %.1f%% fell below the %.1f%% baseline (%s)\n",
+			got, floor, *baseline)
+		os.Exit(1)
+	}
+	fmt.Printf("baseline: %.1f%% (ok)\n", floor)
+}
+
+func pct(c pkgCov) float64 {
+	if c.stmts == 0 {
+		return 0
+	}
+	return 100 * float64(c.covered) / float64(c.stmts)
+}
+
+// parseProfile aggregates a coverage profile by package directory.
+// Profile lines are "file.go:startL.startC,endL.endC numStmts hitCount".
+func parseProfile(path string) (map[string]pkgCov, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]pkgCov)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 || !strings.Contains(fields[0], ":") {
+			return nil, fmt.Errorf("malformed profile line %q", line)
+		}
+		file := fields[0][:strings.LastIndex(fields[0], ":")]
+		pkg := file
+		if i := strings.LastIndex(file, "/"); i >= 0 {
+			pkg = file[:i]
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("malformed statement count in %q", line)
+		}
+		hits, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("malformed hit count in %q", line)
+		}
+		c := out[pkg]
+		c.stmts += stmts
+		if hits > 0 {
+			c.covered += stmts
+		}
+		out[pkg] = c
+	}
+	return out, sc.Err()
+}
+
+func readBaseline(path string) (float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	// The file may carry comment lines; the floor is the first line that
+	// parses as a number.
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return strconv.ParseFloat(line, 64)
+	}
+	return 0, fmt.Errorf("no baseline number in %s", path)
+}

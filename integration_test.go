@@ -20,10 +20,13 @@ import (
 )
 
 // TestHTTPClusterEndToEnd exercises the full multi-process deployment
-// shape over real HTTP: three index servers behind transport.NewHTTPHandler,
+// shape over real HTTP: index servers behind transport.NewHTTPHandler,
 // a peer and a client connected via transport.DialHTTP, shared auth key,
-// group churn, update, and delete.
+// group churn, update, and delete. The server count is tiered: 3 under
+// -short, 5 by default, 9 in the nightly full tier — k stays 2, so the
+// wider clusters exercise share fan-out and first-k retrieval at size.
 func TestHTTPClusterEndToEnd(t *testing.T) {
+	numServers := tierCount(3, 5, 9)
 	svc, err := auth.NewService(time.Minute)
 	if err != nil {
 		t.Fatal(err)
@@ -45,10 +48,10 @@ func TestHTTPClusterEndToEnd(t *testing.T) {
 	}
 	voc := vocab.NewFromTerms(table.ListedTerms())
 
-	// Three real HTTP servers (sharing the verification key, each with
-	// its own x-coordinate), as in the cmd/zerber-server deployment.
+	// Real HTTP servers (sharing the verification key, each with its
+	// own x-coordinate), as in the cmd/zerber-server deployment.
 	var apis []transport.API
-	for i := 0; i < 3; i++ {
+	for i := 0; i < numServers; i++ {
 		srv := server.New(server.Config{
 			Name: fmt.Sprintf("http-ix%d", i), X: field.Element(i + 1),
 			Auth: auth.NewServiceWithKey(svc.Key(), time.Minute), Groups: groups,
@@ -130,7 +133,9 @@ func TestHTTPClusterEndToEnd(t *testing.T) {
 // TestHTTPDurableCluster runs the HTTP handler over crash-recoverable
 // servers and restarts them mid-test — the complete production shape:
 // HTTP transport + WAL durability + Shamir sharing + merging + ACLs.
+// Server count tiered like TestHTTPClusterEndToEnd.
 func TestHTTPDurableCluster(t *testing.T) {
+	numServers := tierCount(3, 3, 7)
 	svc, err := auth.NewService(time.Minute)
 	if err != nil {
 		t.Fatal(err)
@@ -163,7 +168,7 @@ func TestHTTPDurableCluster(t *testing.T) {
 	var apis []transport.API
 	var handles []*durable.Server
 	var servers []*httptest.Server
-	for i := 0; i < 3; i++ {
+	for i := 0; i < numServers; i++ {
 		ds, ts := open(i)
 		handles = append(handles, ds)
 		servers = append(servers, ts)
@@ -194,7 +199,7 @@ func TestHTTPDurableCluster(t *testing.T) {
 		}
 	}
 	apis = apis[:0]
-	for i := 0; i < 3; i++ {
+	for i := 0; i < numServers; i++ {
 		ds, ts := open(i)
 		defer ts.Close()
 		defer ds.Close()

@@ -187,18 +187,25 @@ func replay(path string) ([]*State, int64, error) {
 		return nil, 0, fmt.Errorf("journal: %w", err)
 	}
 	defer f.Close()
+	states, validBytes := foldStream(bufio.NewReader(f))
+	return states, validBytes, nil
+}
 
-	r := bufio.NewReader(f)
+// foldStream folds a journal byte stream into operation states and
+// reports how many bytes formed the valid prefix. It never fails: a
+// torn, truncated, or corrupt frame — the normal result of a crash
+// mid-append, or arbitrary fuzzer input — simply ends the prefix, and
+// everything before it is the consistent journal.
+func foldStream(r io.Reader) ([]*State, int64) {
+	br := bufio.NewReader(r)
 	byID := make(map[uint64]*State)
 	var order []*State
 	var validBytes int64
 	for {
-		payload, err := wal.ReadFrame(r)
-		if errors.Is(err, io.EOF) {
-			break
-		}
+		payload, err := wal.ReadFrame(br)
 		if err != nil {
-			// Torn tail or corruption: everything before this frame is
+			// io.EOF is the clean end; anything else is a torn tail or
+			// corruption. Either way everything before this frame is
 			// the consistent prefix.
 			break
 		}
@@ -207,7 +214,7 @@ func replay(path string) ([]*State, int64, error) {
 		}
 		validBytes += wal.FrameSize(payload)
 	}
-	return order, validBytes, nil
+	return order, validBytes
 }
 
 // fold applies one record payload to the replay state.

@@ -54,6 +54,10 @@ type mutOp struct {
 	// first send, so the durability invariant — payload on disk before
 	// any byte reaches a server — survives transient journal failures.
 	journaled bool
+	// restored marks an op loaded from the journal by peer.New — the
+	// recovery path, as opposed to a live mutation retried in-process.
+	// Only the simulation hooks read it.
+	restored bool
 	// Live-commit cache, nil for ops replayed from the journal: the
 	// documents this op installs with their refs and term counts,
 	// parallel slices. applyLocal prefers these over re-deriving the
@@ -245,6 +249,9 @@ func (p *Peer) dispatch(tok auth.Token, m *mutOp) error {
 			if err != nil {
 				return fmt.Errorf("peer %s: op %d: %w", p.cfg.Name, m.op.ID, err)
 			}
+			if err := p.simBeforeStage(m.op.ID, transport.StageInsert, i); err != nil {
+				return err
+			}
 			if err := s.Apply(context.Background(), tok, oid, ops, nil); err != nil {
 				p.syncJournal()
 				return fmt.Errorf("peer %s: op %d insert stage: %w", p.cfg.Name, m.op.ID, err)
@@ -258,12 +265,20 @@ func (p *Peer) dispatch(tok auth.Token, m *mutOp) error {
 	// The delete stage starts only once every server holds the fresh
 	// elements: an interruption above leaves both generations present
 	// (transiently) rather than the old one partially destroyed.
+	if m.restored && p.cfg.Sim != nil && p.cfg.Sim.SkipDeleteReplay {
+		// Simulation-only bug shape (see SimHooks): recovery pretends
+		// the delete stage already ran, orphaning superseded elements.
+		m.deleteAcks = all
+	}
 	if len(m.op.Dels) > 0 && m.deleteAcks != all {
 		dels := deleteOpsOf(&m.op)
 		oid := transport.OpID{ID: m.op.ID, Stage: transport.StageDelete}
 		for i, s := range p.cfg.Servers {
 			if m.deleteAcks&(1<<i) != 0 {
 				continue
+			}
+			if err := p.simBeforeStage(m.op.ID, transport.StageDelete, i); err != nil {
+				return err
 			}
 			if err := s.Apply(context.Background(), tok, oid, nil, dels); err != nil {
 				p.syncJournal()
@@ -369,11 +384,49 @@ func (p *Peer) Recover(tok auth.Token) (int, error) {
 	return before - len(p.pending), err
 }
 
+// simBeforeStage runs the simulation kill-point hook, if configured.
+func (p *Peer) simBeforeStage(opID uint64, stage uint8, server int) error {
+	if p.cfg.Sim == nil || p.cfg.Sim.BeforeStage == nil {
+		return nil
+	}
+	return p.cfg.Sim.BeforeStage(opID, stage, server)
+}
+
 // PendingOps reports how many journaled mutations await completion.
 func (p *Peer) PendingOps() int {
 	p.pmu.Lock()
 	defer p.pmu.Unlock()
 	return len(p.pending)
+}
+
+// PendingOpIDs returns the operation IDs of the mutations awaiting
+// completion, in dispatch order. The model checker uses the IDs to tell
+// "the previous operation is still pending" apart from "the previous
+// operation completed and a new one is pending" after a failed call.
+func (p *Peer) PendingOpIDs() []uint64 {
+	p.pmu.Lock()
+	defer p.pmu.Unlock()
+	out := make([]uint64, len(p.pending))
+	for i, m := range p.pending {
+		out[i] = m.op.ID
+	}
+	return out
+}
+
+// ElementGIDs returns, for every committed element reference the peer
+// tracks, the hosting document: gid -> docID. At a quiescent point (no
+// pending operations) this is exactly the element set every index
+// server must hold — the model checker's zero-orphans invariant.
+func (p *Peer) ElementGIDs() map[posting.GlobalID]uint32 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make(map[posting.GlobalID]uint32)
+	for id, refs := range p.refs {
+		for _, ref := range refs {
+			out[ref.gid] = id
+		}
+	}
+	return out
 }
 
 // Close flushes and closes the peer's journal, if any. The peer stays

@@ -82,6 +82,27 @@ type Config struct {
 	// means mutations are tracked in memory only (retryable within the
 	// process, lost on crash).
 	JournalPath string
+	// Sim injects simulation-only behavior (kill points, re-enabled bug
+	// shapes) into the mutation engine. It must be nil outside the model
+	// checker (internal/sim) and its tests.
+	Sim *SimHooks
+}
+
+// SimHooks are the mutation engine's simulation hooks: injection points
+// the deterministic cluster simulator uses to place crashes at exact
+// protocol positions and to prove its checker is not vacuous. They are
+// test instrumentation, never part of the production configuration.
+type SimHooks struct {
+	// BeforeStage runs immediately before one stage of one mutation is
+	// sent to one server; a non-nil error aborts the dispatch there —
+	// a deterministic kill point between any two protocol steps.
+	BeforeStage func(opID uint64, stage uint8, server int) error
+	// SkipDeleteReplay re-enables a known bug shape for the checker's
+	// mutation-smoke test: operations restored from the journal skip
+	// their delete stage during recovery, orphaning the superseded
+	// elements exactly as an unjournaled update interrupted between
+	// stages would.
+	SkipDeleteReplay bool
 }
 
 // Peer is one document owner's machine. It is safe for concurrent use.
@@ -148,6 +169,7 @@ func New(cfg Config) (*Peer, error) {
 				p.pending = append(p.pending, &mutOp{
 					op: st.Op, insertAcks: st.InsertAcks, deleteAcks: st.DeleteAcks,
 					journaled: true, // it came from the journal
+					restored:  true,
 				})
 			}
 		}
@@ -409,6 +431,14 @@ func (st *staged) truncate(n int) {
 
 func (st *staged) reset() { st.truncate(0) }
 
+// drop discards the first n staged elements (a committed prefix).
+func (st *staged) drop(n int) {
+	st.elems = st.elems[n:]
+	st.gids = st.gids[n:]
+	st.lids = st.lids[n:]
+	st.groups = st.groups[n:]
+}
+
 // encryptChunk is the target element count per encryption task. Chunks
 // small enough to spread one large document across the worker pool,
 // large enough that per-task scratch allocation stays negligible.
@@ -585,7 +615,13 @@ func (b *Batch) Flush(tok auth.Token) error {
 	if b.m != nil && !p.isPending(b.m) {
 		// A later mutation's drain already completed the batch's
 		// operation; only elements staged since (if any) still need an
-		// operation of their own.
+		// operation of their own. The committed prefix is dropped
+		// entirely: the completed operation already installed those
+		// documents, and they may have been mutated again since (the
+		// drain that completed the operation ran inside a newer
+		// mutation) — re-committing their batch-era state from here
+		// would resurrect stale content and refs. Found by the model
+		// checker (internal/sim), pinned by TestBatchRetryAfterDocMutated.
 		b.m = nil
 		if b.opDocs == len(b.docs) && b.opElems == len(b.st.elems) {
 			b.docs, b.counts, b.refs = nil, nil, nil
@@ -593,6 +629,11 @@ func (b *Batch) Flush(tok auth.Token) error {
 			b.st.reset()
 			return nil
 		}
+		b.docs = b.docs[b.opDocs:]
+		b.counts = b.counts[b.opDocs:]
+		b.refs = b.refs[b.opDocs:]
+		b.st.drop(b.opElems)
+		b.opElems, b.opDocs = 0, 0
 	}
 	if b.m == nil {
 		if len(b.docs) == 0 {

@@ -472,6 +472,63 @@ func TestBatchDocOnlyExtensionIsJournaled(t *testing.T) {
 	}
 }
 
+// TestBatchRetryAfterDocMutated pins a bug found by the model checker
+// (internal/sim, seed 753 shrunk to this sequence): a batch's flush
+// fails, the batched document is then mutated directly (which drains
+// and completes the batch's journaled operation before applying the
+// update), and the same batch object is flushed again with another
+// document staged. The retry's local commit used to span the already
+// committed prefix of the batch, resurrecting the document's stale
+// batch-era content and refs over the newer update.
+func TestBatchRetryAfterDocMutated(t *testing.T) {
+	tc := newCluster(t, 3, corpusTerms)
+	tc.groups.Add("alice", 1)
+	tok := tc.svc.Issue("alice")
+
+	flaky := &failStageOnce{API: tc.apis[1], stage: transport.StageInsert}
+	apis := []transport.API{tc.apis[0], flaky, tc.apis[2]}
+	p, err := New(Config{
+		Name: "site", Servers: apis, K: 2, Table: tc.table, Vocab: tc.voc,
+		Rand: rand.New(rand.NewSource(91)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := p.NewBatch()
+	if err := b.Add(Document{ID: 9, Content: "martha imclone layoff", Group: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(tok); err == nil {
+		t.Fatal("first flush must surface the injected outage")
+	}
+	// Mutating the document drains the batch's pending operation, then
+	// applies the update on top of it.
+	if err := p.IndexDocument(tok, Document{ID: 9, Content: "martha budget", Group: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// The batch retry with a fresh document must not touch document 9.
+	if err := b.Add(Document{ID: 10, Content: "merger", Group: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(tok); err != nil {
+		t.Fatalf("retried flush: %v", err)
+	}
+
+	if doc, _ := p.Document(9); doc.Content != "martha budget" {
+		t.Fatalf("doc 9 content %q: batch retry resurrected stale state", doc.Content)
+	}
+	if _, ok := p.Document(10); !ok {
+		t.Fatal("batched doc 10 lost")
+	}
+	// Local refs and server state must agree exactly: the stale commit
+	// also used to leave refs pointing at deleted elements.
+	expected := make(map[posting.GlobalID]string)
+	for gid, doc := range p.ElementGIDs() {
+		expected[gid] = fmt.Sprintf("doc%d", doc)
+	}
+	assertExactlyExpected(t, tc, expected)
+}
+
 // TestJournalRestoresLocalState exercises the journal as the peer's
 // local persistence: documents, refs, and the local inverted index
 // survive a restart, including deletions and compaction.

@@ -238,6 +238,12 @@ func (s *Server) Apply(ctx context.Context, tok auth.Token, op transport.OpID, i
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("%s: %w", s.cfg.Name, err)
 	}
+	if !op.IsZero() && op.Stage != transport.StageInsert && op.Stage != transport.StageDelete {
+		// An unknown stage would still dedup and apply, but it cannot
+		// have come from a correct peer: reject it before any mutation
+		// rather than let a corrupted or adversarial frame through.
+		return fmt.Errorf("%s: op %d: unknown mutation stage %d", s.cfg.Name, op.ID, op.Stage)
+	}
 	user, err := s.cfg.Auth.Verify(tok)
 	if err != nil {
 		return fmt.Errorf("%s: %w", s.cfg.Name, err)

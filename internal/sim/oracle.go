@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"sort"
+
+	"zerber/internal/auth"
+	"zerber/internal/invindex"
+	"zerber/internal/textproc"
+)
+
+// Oracle is the trusted reference a Zerber cluster is checked against:
+// a plain centralized inverted index plus an access-control-list check,
+// exactly the system the paper's §2 correctness bar names ("identical
+// to that of a trusted centralized ordinary inverted index that
+// incorporates an access control list check"). The differential oracle
+// test (oracle_test.go) and the model checker both drive one Oracle in
+// lockstep with the real cluster and compare answer sets.
+type Oracle struct {
+	idx        *invindex.Index
+	docGroup   map[uint32]auth.GroupID
+	membership map[auth.UserID]map[auth.GroupID]bool
+}
+
+// NewOracle returns an empty oracle.
+func NewOracle() *Oracle {
+	return &Oracle{
+		idx:        invindex.New(),
+		docGroup:   make(map[uint32]auth.GroupID),
+		membership: make(map[auth.UserID]map[auth.GroupID]bool),
+	}
+}
+
+// AddUser mirrors the cluster-side group-table addition.
+func (o *Oracle) AddUser(user auth.UserID, group auth.GroupID) {
+	m := o.membership[user]
+	if m == nil {
+		m = make(map[auth.GroupID]bool)
+		o.membership[user] = m
+	}
+	m[group] = true
+}
+
+// RemoveUser mirrors a membership revocation.
+func (o *Oracle) RemoveUser(user auth.UserID, group auth.GroupID) {
+	delete(o.membership[user], group)
+}
+
+// Member reports whether user is currently in group.
+func (o *Oracle) Member(user auth.UserID, group auth.GroupID) bool {
+	return o.membership[user][group]
+}
+
+// Index adds or replaces a document: the oracle twin of
+// peer.IndexDocument / peer.UpdateDocument / a batched flush.
+func (o *Oracle) Index(docID uint32, content string, group auth.GroupID) {
+	o.idx.Add(docID, textproc.TermCounts(content))
+	o.docGroup[docID] = group
+}
+
+// Remove deletes a document: the oracle twin of peer.DeleteDocument.
+func (o *Oracle) Remove(docID uint32) {
+	o.idx.Remove(docID)
+	delete(o.docGroup, docID)
+}
+
+// Live reports whether a document is currently indexed.
+func (o *Oracle) Live(docID uint32) bool {
+	_, ok := o.docGroup[docID]
+	return ok
+}
+
+// GroupOf returns a live document's group.
+func (o *Oracle) GroupOf(docID uint32) (auth.GroupID, bool) {
+	g, ok := o.docGroup[docID]
+	return g, ok
+}
+
+// NumDocs returns the number of live documents.
+func (o *Oracle) NumDocs() int { return len(o.docGroup) }
+
+// DocIDs returns the live document IDs in ascending order.
+func (o *Oracle) DocIDs() []uint32 {
+	out := make([]uint32, 0, len(o.docGroup))
+	for id := range o.docGroup {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Expected returns the answer set the cluster must produce for a
+// disjunctive keyword query by user: every live document containing at
+// least one query term and belonging to a group the user is in.
+func (o *Oracle) Expected(user auth.UserID, query []string) map[uint32]bool {
+	member := o.membership[user]
+	out := make(map[uint32]bool)
+	for _, term := range query {
+		for _, p := range o.idx.Lookup(term) {
+			if member[o.docGroup[p.DocID]] {
+				out[p.DocID] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,753 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"zerber/internal/auth"
+	"zerber/internal/client"
+	"zerber/internal/confidential"
+	"zerber/internal/dht"
+	"zerber/internal/field"
+	"zerber/internal/merging"
+	"zerber/internal/peer"
+	"zerber/internal/posting"
+	"zerber/internal/proactive"
+	"zerber/internal/server"
+	"zerber/internal/store"
+	"zerber/internal/transport"
+	"zerber/internal/vocab"
+)
+
+// StepError wraps a checker failure with the step that surfaced it.
+type StepError struct {
+	Step int
+	Op   Op
+	Err  error
+}
+
+func (e *StepError) Error() string {
+	return fmt.Sprintf("step %d (%s): %v", e.Step, e.Op.Kind, e.Err)
+}
+
+// Unwrap exposes the underlying failure.
+func (e *StepError) Unwrap() error { return e.Err }
+
+// oracleMut is one queued oracle effect: the state change a begun but
+// not yet completed peer mutation will have once it converges.
+type oracleMut struct {
+	remove  bool
+	doc     uint32
+	content string
+	group   auth.GroupID
+}
+
+// healAttempts bounds recovery retries under transient faults before
+// the runner declares the cluster unable to converge — itself a checked
+// failure, since every fault in the plan is survivable by design.
+const healAttempts = 100
+
+// runner holds one simulation's live cluster and checker state.
+type runner struct {
+	cfg Config
+	dir string
+
+	svc    *auth.Service
+	groups *auth.GroupTable
+	table  *merging.Table
+	voc    *vocab.Vocabulary
+
+	// nodes[i] are the physical servers of logical server i: one for a
+	// plain server, cfg.DHTNodes for a slot.
+	nodes [][]*server.Server
+	core  *faultCore
+	apis  []transport.API
+
+	peer     *peer.Peer
+	batch    *peer.Batch
+	client   *client.Client
+	oracle   *Oracle
+	ownerTok auth.Token
+	userID   []auth.UserID
+	userTok  []auth.Token
+
+	// queued are the oracle effects of the single begun-but-incomplete
+	// peer operation (the engine never has more than one in flight);
+	// queuedID is its operation ID, queuedIsBatch whether it belongs to
+	// the peer's batch. batchStaged are effects staged in the batch but
+	// not yet part of any journaled operation — lost if the peer
+	// crashes before a flush attempt.
+	queued        []oracleMut
+	queuedID      uint64
+	queuedIsBatch bool
+	batchStaged   []oracleMut
+
+	restarts int
+	step     int
+}
+
+// Run replays a program against a fresh cluster built from cfg and
+// returns the first checker failure, or nil if every step, the final
+// convergence, and the journal-restore comparison pass. Runs are
+// deterministic in (cfg, prog).
+func Run(cfg Config, prog Program) error {
+	cfg = cfg.withDefaults()
+	r, err := newRunner(cfg)
+	if err != nil {
+		return fmt.Errorf("sim: building cluster: %w", err)
+	}
+	defer r.close()
+	for i, op := range prog {
+		r.step = i
+		if err := r.exec(op); err != nil {
+			return &StepError{Step: i, Op: op, Err: err}
+		}
+		if err := r.quickInvariants(); err != nil {
+			return &StepError{Step: i, Op: op, Err: err}
+		}
+	}
+	final := Op{Kind: KindHeal}
+	r.step = len(prog)
+	if err := r.execHeal(); err != nil {
+		return &StepError{Step: len(prog), Op: final, Err: err}
+	}
+	if err := r.checkJournalRestore(); err != nil {
+		return &StepError{Step: len(prog), Op: final, Err: err}
+	}
+	return nil
+}
+
+func newRunner(cfg Config) (*runner, error) {
+	dir, err := os.MkdirTemp("", "zerber-sim-*")
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{cfg: cfg, dir: dir, oracle: NewOracle()}
+
+	r.svc, err = auth.NewService(time.Hour)
+	if err != nil {
+		r.close()
+		return nil, err
+	}
+	r.groups = auth.NewGroupTable()
+	dfs := make(map[string]int, len(cfg.Vocabulary))
+	for i, term := range cfg.Vocabulary {
+		dfs[term] = len(cfg.Vocabulary) - i
+	}
+	dist, err := confidential.NewDistribution(dfs)
+	if err != nil {
+		r.close()
+		return nil, err
+	}
+	r.table, err = merging.Build(dist, merging.Options{
+		Heuristic: merging.UDM, M: 4, Seed: cfg.Seed,
+	})
+	if err != nil {
+		r.close()
+		return nil, err
+	}
+	r.voc = vocab.NewFromTerms(cfg.Vocabulary)
+
+	r.core = newFaultCore(cfg.Seed, cfg.Faults, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		x := field.Element(i + 1)
+		var api transport.API
+		if cfg.DHTNodes > 1 {
+			slot, err := dht.NewSlot(x, 0)
+			if err != nil {
+				r.close()
+				return nil, err
+			}
+			var slotNodes []*server.Server
+			for j := 0; j < cfg.DHTNodes; j++ {
+				s := server.New(server.Config{
+					Name:   fmt.Sprintf("sim-ix%d-n%d", i, j),
+					X:      x,
+					Auth:   r.svc,
+					Groups: r.groups,
+					Store:  store.New(cfg.StoreShards),
+				})
+				// Node names must match across slots so every slot's
+				// ring partitions the lists identically.
+				if err := slot.AddNode(fmt.Sprintf("n%d", j), s); err != nil {
+					r.close()
+					return nil, err
+				}
+				slotNodes = append(slotNodes, s)
+			}
+			r.nodes = append(r.nodes, slotNodes)
+			api = slot
+		} else {
+			s := server.New(server.Config{
+				Name:   fmt.Sprintf("sim-ix%d", i),
+				X:      x,
+				Auth:   r.svc,
+				Groups: r.groups,
+				Store:  store.New(cfg.StoreShards),
+			})
+			r.nodes = append(r.nodes, []*server.Server{s})
+			api = s
+		}
+		r.apis = append(r.apis, newTransport(r.core, i, api))
+	}
+
+	// The owner belongs to every group (mutations must always be
+	// authorized — a permanently unauthorized mutation could never
+	// converge); searchers start spread over the groups and churn.
+	owner := auth.UserID("owner")
+	for g := 1; g <= cfg.Groups; g++ {
+		r.groups.Add(owner, auth.GroupID(g))
+		r.oracle.AddUser(owner, auth.GroupID(g))
+	}
+	r.ownerTok = r.svc.Issue(owner)
+	for u := 0; u < cfg.Users; u++ {
+		id := auth.UserID(fmt.Sprintf("u%d", u))
+		g := auth.GroupID(u%cfg.Groups + 1)
+		r.groups.Add(id, g)
+		r.oracle.AddUser(id, g)
+		r.userID = append(r.userID, id)
+		r.userTok = append(r.userTok, r.svc.Issue(id))
+	}
+
+	if err := r.openPeer(); err != nil {
+		r.close()
+		return nil, err
+	}
+	r.client, err = client.New(r.apis, cfg.K, r.table, r.voc)
+	if err != nil {
+		r.close()
+		return nil, err
+	}
+	// Sequential fan-out and a single decrypt worker keep the whole run
+	// deterministic under one seed.
+	r.client.SetTuning(client.Tuning{Fanout: 1, DecryptWorkers: 1})
+	return r, nil
+}
+
+// openPeer (re)opens the peer on the simulation's journal. Each restart
+// gets a fresh deterministic randomness stream, like a real process
+// restart with a new DRBG.
+func (r *runner) openPeer() error {
+	r.restarts++
+	cfg := peer.Config{
+		Name:        "sim-site",
+		Servers:     r.apis,
+		K:           r.cfg.K,
+		Table:       r.table,
+		Vocab:       r.voc,
+		Rand:        rand.New(rand.NewSource(r.cfg.Seed ^ 0x7ee2 + int64(r.restarts)<<32)),
+		JournalPath: filepath.Join(r.dir, "site.journal"),
+	}
+	if r.cfg.SkipDeleteReplay {
+		cfg.Sim = &peer.SimHooks{SkipDeleteReplay: true}
+	}
+	p, err := peer.New(cfg)
+	if err != nil {
+		return fmt.Errorf("sim: reopening peer: %w", err)
+	}
+	r.peer = p
+	return nil
+}
+
+func (r *runner) close() {
+	if r.peer != nil {
+		r.peer.Close()
+	}
+	os.RemoveAll(r.dir)
+}
+
+// crashRestart models a peer process crash: the in-memory peer (and any
+// batch with its never-journaled staged documents) is gone; the journal
+// survives and the reopened peer resumes from it.
+func (r *runner) crashRestart() error {
+	r.peer.Close()
+	r.batch = nil
+	r.batchStaged = nil
+	if err := r.openPeer(); err != nil {
+		return err
+	}
+	ids := r.peer.PendingOpIDs()
+	if len(r.queued) > 0 {
+		if len(ids) != 1 || ids[0] != r.queuedID {
+			return fmt.Errorf("journal after crash restored ops %v, checker expected pending op %d", ids, r.queuedID)
+		}
+	} else if len(ids) != 0 {
+		return fmt.Errorf("journal after crash restored unexpected pending ops %v", ids)
+	}
+	// Best-effort immediate recovery; convergence is enforced at heals.
+	_, err := r.peer.Recover(r.ownerTok)
+	if r.core.takeKilled() {
+		return r.crashRestart()
+	}
+	if err == nil {
+		return r.settle()
+	}
+	return nil
+}
+
+// settle records that the peer reached a quiescent point: every queued
+// oracle effect is now committed cluster state.
+func (r *runner) settle() error {
+	if n := r.peer.PendingOps(); n != 0 {
+		return fmt.Errorf("mutation path reported convergence with %d ops still pending", n)
+	}
+	r.flushQueued()
+	return nil
+}
+
+func (r *runner) flushQueued() {
+	for _, m := range r.queued {
+		if m.remove {
+			r.oracle.Remove(m.doc)
+		} else {
+			r.oracle.Index(m.doc, m.content, m.group)
+		}
+	}
+	r.queued = nil
+	r.queuedID = 0
+	r.queuedIsBatch = false
+}
+
+// reconcile aligns the oracle queue with the peer's pending state after
+// a mutation call. newMuts are the call's own oracle effects;
+// fromBatch marks a Batch.Flush (whose op keeps its ID across retries
+// and absorbs everything staged since).
+func (r *runner) reconcile(callErr error, newMuts []oracleMut, fromBatch bool) error {
+	ids := r.peer.PendingOpIDs()
+	if len(ids) > 1 {
+		return fmt.Errorf("peer reports %d pending ops, the engine should never exceed 1", len(ids))
+	}
+	if callErr == nil {
+		if len(ids) != 0 {
+			return fmt.Errorf("mutation returned nil with op %d still pending", ids[0])
+		}
+		r.flushQueued()
+		for _, m := range newMuts {
+			if m.remove {
+				r.oracle.Remove(m.doc)
+			} else {
+				r.oracle.Index(m.doc, m.content, m.group)
+			}
+		}
+		if fromBatch {
+			r.batchStaged = nil
+		}
+		return nil
+	}
+	switch {
+	case len(ids) == 0:
+		// Nothing pending despite the error: any previously queued op
+		// completed during the pre-mutation drain, and the new
+		// operation was never begun (e.g. a delete that found the
+		// document unknown, or a payload rejected before dispatch).
+		r.flushQueued()
+	case len(r.queued) > 0 && ids[0] == r.queuedID:
+		if fromBatch && r.queuedIsBatch {
+			// A retried flush extended the same journaled operation
+			// with everything staged since the last attempt.
+			r.queued = append(r.queued, newMuts...)
+			r.batchStaged = nil
+		}
+		// Otherwise the old operation is still pending and the new one
+		// was never begun: its effects are dropped (for a flush they
+		// stay in batchStaged — the documents remain staged in the
+		// batch and a later flush will carry them).
+	default:
+		// The old operation (if any) completed; the pending one is the
+		// operation this call begat.
+		r.flushQueued()
+		r.queued = append([]oracleMut(nil), newMuts...)
+		r.queuedID = ids[0]
+		r.queuedIsBatch = fromBatch
+		if fromBatch {
+			r.batchStaged = nil
+		}
+	}
+	return nil
+}
+
+// docInFlight reports whether doc has queued oracle effects (a begun
+// but incomplete operation touches it); batch-staged effects are
+// tracked separately by docStaged.
+func (r *runner) docInFlight(doc uint32) bool {
+	for _, m := range r.queued {
+		if m.doc == doc {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *runner) docStaged(doc uint32) bool {
+	for _, m := range r.batchStaged {
+		if m.doc == doc {
+			return true
+		}
+	}
+	return false
+}
+
+// effectiveGroup pins a document mutation to the group the document
+// already has — the peer's update contract keeps unchanged elements'
+// stored group tags, so an update must not move groups.
+func (r *runner) effectiveGroup(doc uint32, proposed auth.GroupID) auth.GroupID {
+	for i := len(r.queued) - 1; i >= 0; i-- {
+		if r.queued[i].doc == doc && !r.queued[i].remove {
+			return r.queued[i].group
+		}
+		if r.queued[i].doc == doc && r.queued[i].remove {
+			return proposed
+		}
+	}
+	if g, ok := r.oracle.GroupOf(doc); ok {
+		return g
+	}
+	return proposed
+}
+
+// exec runs one program operation.
+func (r *runner) exec(op Op) error {
+	switch op.Kind {
+	case KindIndex:
+		if r.docStaged(op.Doc) {
+			return nil // the batch owns this document until it flushes
+		}
+		group := r.effectiveGroup(op.Doc, auth.GroupID(op.Group))
+		doc := peer.Document{ID: op.Doc, Content: op.Content, Group: group}
+		err := r.peer.IndexDocument(r.ownerTok, doc)
+		killed := r.core.takeKilled()
+		if rerr := r.reconcile(err, []oracleMut{{doc: op.Doc, content: op.Content, group: group}}, false); rerr != nil {
+			return rerr
+		}
+		if killed {
+			return r.crashRestart()
+		}
+		return nil
+
+	case KindDelete:
+		if r.docStaged(op.Doc) {
+			return nil
+		}
+		if !r.oracle.Live(op.Doc) && !r.docInFlight(op.Doc) {
+			return nil // deleting a never-indexed document is a no-op
+		}
+		err := r.peer.DeleteDocument(r.ownerTok, op.Doc)
+		killed := r.core.takeKilled()
+		// peer.ErrUnknownDoc needs no special case: it leaves nothing
+		// pending, so reconcile flushes the drained prefix and drops
+		// the delete's effect.
+		if rerr := r.reconcile(err, []oracleMut{{remove: true, doc: op.Doc}}, false); rerr != nil {
+			return rerr
+		}
+		if killed {
+			return r.crashRestart()
+		}
+		return nil
+
+	case KindBatchAdd:
+		if r.oracle.Live(op.Doc) || r.docInFlight(op.Doc) || r.docStaged(op.Doc) {
+			return nil // batches must stage only fresh documents
+		}
+		if r.batch == nil {
+			r.batch = r.peer.NewBatch()
+		}
+		doc := peer.Document{ID: op.Doc, Content: op.Content, Group: auth.GroupID(op.Group)}
+		if err := r.batch.Add(doc); err != nil {
+			return fmt.Errorf("batch add: %v", err)
+		}
+		r.batchStaged = append(r.batchStaged, oracleMut{doc: op.Doc, content: op.Content, group: auth.GroupID(op.Group)})
+		return nil
+
+	case KindBatchFlush:
+		if r.batch == nil {
+			return nil
+		}
+		if len(r.batchStaged) == 0 && !(r.queuedIsBatch && len(r.queued) > 0) {
+			// Nothing staged and no in-flight batch operation of our
+			// own: Flush short-circuits to nil without draining other
+			// pending work, so it is a no-op to the checker too.
+			return nil
+		}
+		muts := append([]oracleMut(nil), r.batchStaged...)
+		err := r.batch.Flush(r.ownerTok)
+		killed := r.core.takeKilled()
+		if rerr := r.reconcile(err, muts, true); rerr != nil {
+			return rerr
+		}
+		if killed {
+			return r.crashRestart()
+		}
+		return nil
+
+	case KindSearch:
+		return r.execSearch(op)
+
+	case KindGroupAdd:
+		id := r.userID[op.User%len(r.userID)]
+		r.groups.Add(id, auth.GroupID(op.Group))
+		r.oracle.AddUser(id, auth.GroupID(op.Group))
+		return nil
+
+	case KindGroupRemove:
+		id := r.userID[op.User%len(r.userID)]
+		r.groups.Remove(id, auth.GroupID(op.Group))
+		r.oracle.RemoveUser(id, auth.GroupID(op.Group))
+		return nil
+
+	case KindServerDown:
+		if r.core.downCount() < r.cfg.N-r.cfg.K {
+			r.core.setDown(op.Server%r.cfg.N, true)
+		}
+		return nil
+
+	case KindServerUp:
+		r.core.setDown(op.Server%r.cfg.N, false)
+		return nil
+
+	case KindReshare:
+		return r.execReshare()
+
+	case KindCompact:
+		if err := r.peer.CompactJournal(); err != nil {
+			return fmt.Errorf("journal compaction failed: %v", err)
+		}
+		return nil
+
+	case KindCrash:
+		return r.crashRestart()
+
+	case KindHeal:
+		return r.execHeal()
+	}
+	return fmt.Errorf("unknown op kind %d", op.Kind)
+}
+
+func (r *runner) quiescent() bool {
+	return len(r.queued) == 0 && r.peer.PendingOps() == 0
+}
+
+func (r *runner) execSearch(op Op) error {
+	if r.core.downCount() > r.cfg.N-r.cfg.K {
+		return nil // fewer than k servers reachable; retrieval cannot work
+	}
+	uid := op.User % len(r.userID)
+	got, _, err := r.client.Search(r.userTok[uid], op.Query, 1000)
+	if err != nil {
+		return fmt.Errorf("search %v by %s failed: %v", op.Query, r.userID[uid], err)
+	}
+	if !r.quiescent() {
+		// Mid-mutation both document generations may legitimately be
+		// visible; answer sets are compared only at quiescent points.
+		return nil
+	}
+	gotSet := make(map[uint32]bool, len(got))
+	for _, res := range got {
+		gotSet[res.DocID] = true
+	}
+	return r.compareSets(r.userID[uid], op.Query, gotSet)
+}
+
+func (r *runner) compareSets(user auth.UserID, query []string, gotSet map[uint32]bool) error {
+	wantSet := r.oracle.Expected(user, query)
+	for d := range wantSet {
+		if !gotSet[d] {
+			return fmt.Errorf("user %s query %v: doc %d missing (cluster %v, oracle %v)",
+				user, query, d, setKeys(gotSet), setKeys(wantSet))
+		}
+	}
+	for d := range gotSet {
+		if !wantSet[d] {
+			return fmt.Errorf("user %s query %v: doc %d must not match (cluster %v, oracle %v)",
+				user, query, d, setKeys(gotSet), setKeys(wantSet))
+		}
+	}
+	return nil
+}
+
+func (r *runner) execReshare() error {
+	rng := rand.New(rand.NewSource(r.cfg.Seed ^ 0x4e5a4e + int64(r.step)))
+	quiet := r.quiescent()
+	// With DHT slots, resharing runs per aligned node group: every
+	// slot's ring partitions lists identically, so node j of each slot
+	// holds the same element inventory.
+	for j := range r.nodes[0] {
+		group := make([]*server.Server, len(r.nodes))
+		for i := range r.nodes {
+			group[i] = r.nodes[i][j]
+		}
+		if _, err := proactive.Reshare(group, r.cfg.K, rng); err != nil {
+			if quiet {
+				return fmt.Errorf("reshare refused on a quiescent cluster: %v", err)
+			}
+			return nil // inventories legitimately diverge mid-mutation
+		}
+	}
+	return nil
+}
+
+// execHeal brings every server back, drives the pending mutation to
+// convergence, and runs the full checker.
+func (r *runner) execHeal() error {
+	r.core.clearDown()
+	for attempt := 0; r.peer.PendingOps() > 0 || attempt == 0; attempt++ {
+		if attempt > healAttempts {
+			return fmt.Errorf("cluster failed to converge after %d recovery attempts", attempt)
+		}
+		_, err := r.peer.Recover(r.ownerTok)
+		if r.core.takeKilled() {
+			if err := r.crashRestart(); err != nil {
+				return err
+			}
+			continue
+		}
+		if err == nil {
+			break
+		}
+	}
+	if err := r.settle(); err != nil {
+		return err
+	}
+	return r.fullCheck()
+}
+
+// quickInvariants are the checks that hold at every step, even with a
+// mutation in flight: the storage-engine contract, per-node stats
+// consistency, and the runner's own queue discipline.
+func (r *runner) quickInvariants() error {
+	for i, slotNodes := range r.nodes {
+		for j, s := range slotNodes {
+			if err := store.CheckInvariants(s.Store()); err != nil {
+				return fmt.Errorf("server %d node %d: %v", i, j, err)
+			}
+			stats := s.StatsSnapshot()
+			if live := stats.Inserts - stats.Deletes; live != int64(s.TotalElements()) {
+				return fmt.Errorf("server %d node %d: stats inserts-deletes = %d but %d elements stored (redelivery counted twice?)",
+					i, j, live, s.TotalElements())
+			}
+		}
+	}
+	if (len(r.queued) == 0) != (r.peer.PendingOps() == 0) {
+		return fmt.Errorf("checker bookkeeping diverged: %d queued oracle effects, %d pending peer ops",
+			len(r.queued), r.peer.PendingOps())
+	}
+	return nil
+}
+
+// fullCheck runs the quiescent-point checker: answer-set equivalence
+// against the oracle for every user and term, zero orphaned global IDs
+// on every server, and local/oracle document agreement.
+func (r *runner) fullCheck() error {
+	// Answer sets, exhaustively per term (and per user): the
+	// decision-table-style completeness check — every cell of the
+	// user x term matrix, not a sampled subset.
+	toks := append([]auth.Token{r.ownerTok}, r.userTok...)
+	names := append([]auth.UserID{"owner"}, r.userID...)
+	for ui, tok := range toks {
+		for _, term := range r.cfg.Vocabulary {
+			got, _, err := r.client.Search(tok, []string{term}, 1000)
+			if err != nil {
+				return fmt.Errorf("quiescent search %q by %s failed: %v", term, names[ui], err)
+			}
+			gotSet := make(map[uint32]bool, len(got))
+			for _, res := range got {
+				gotSet[res.DocID] = true
+			}
+			if err := r.compareSets(names[ui], []string{term}, gotSet); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Zero orphans: every logical server holds exactly the committed
+	// element set — nothing lost, nothing left behind by an interrupted
+	// update, nothing duplicated across a slot's nodes.
+	expected := r.peer.ElementGIDs()
+	for i, slotNodes := range r.nodes {
+		seen := make(map[posting.GlobalID]bool, len(expected))
+		for j, s := range slotNodes {
+			for lid := range s.ListLengths() {
+				for _, sh := range s.Store().List(lid) {
+					if _, want := expected[sh.GlobalID]; !want {
+						return fmt.Errorf("server %d node %d: orphaned element %d in list %d",
+							i, j, sh.GlobalID, lid)
+					}
+					if seen[sh.GlobalID] {
+						return fmt.Errorf("server %d: element %d stored on two nodes", i, sh.GlobalID)
+					}
+					seen[sh.GlobalID] = true
+				}
+			}
+		}
+		if len(seen) != len(expected) {
+			return fmt.Errorf("server %d holds %d elements, peer expects %d", i, len(seen), len(expected))
+		}
+	}
+
+	// Peer/oracle document agreement.
+	if got, want := r.peer.NumDocs(), r.oracle.NumDocs(); got != want {
+		return fmt.Errorf("peer hosts %d documents, oracle %d", got, want)
+	}
+	for _, id := range r.oracle.DocIDs() {
+		doc, ok := r.peer.Document(id)
+		if !ok {
+			return fmt.Errorf("document %d live in the oracle but unknown to the peer", id)
+		}
+		if g, _ := r.oracle.GroupOf(id); g != doc.Group {
+			return fmt.Errorf("document %d group %d on the peer, %d in the oracle", id, doc.Group, g)
+		}
+	}
+	return nil
+}
+
+// checkJournalRestore is the end-of-run journal/state convergence
+// check: a fault-free restart from the journal must reproduce the
+// peer's exact document and element state.
+func (r *runner) checkJournalRestore() error {
+	beforeDocs := r.peer.DocIDs()
+	beforeGids := r.peer.ElementGIDs()
+	contents := make(map[uint32]string, len(beforeDocs))
+	for _, id := range beforeDocs {
+		doc, _ := r.peer.Document(id)
+		contents[id] = doc.Content
+	}
+	r.peer.Close()
+	if err := r.openPeer(); err != nil {
+		return err
+	}
+	if n := r.peer.PendingOps(); n != 0 {
+		return fmt.Errorf("restore after convergence found %d pending ops", n)
+	}
+	afterDocs := r.peer.DocIDs()
+	if len(afterDocs) != len(beforeDocs) {
+		return fmt.Errorf("journal restore: %d documents, had %d", len(afterDocs), len(beforeDocs))
+	}
+	for _, id := range afterDocs {
+		doc, _ := r.peer.Document(id)
+		if doc.Content != contents[id] {
+			return fmt.Errorf("journal restore: document %d content diverged", id)
+		}
+	}
+	afterGids := r.peer.ElementGIDs()
+	if len(afterGids) != len(beforeGids) {
+		return fmt.Errorf("journal restore: %d element refs, had %d", len(afterGids), len(beforeGids))
+	}
+	for gid, doc := range beforeGids {
+		if afterGids[gid] != doc {
+			return fmt.Errorf("journal restore: element %d moved from doc %d to %d", gid, doc, afterGids[gid])
+		}
+	}
+	return nil
+}
+
+func setKeys(set map[uint32]bool) []uint32 {
+	out := make([]uint32, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

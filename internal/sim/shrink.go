@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Failure is one checker failure with everything needed to reproduce
+// it: the configuration (whose Seed pins program, faults, and
+// randomness), the full generated program, the shrunk minimal trace,
+// and the error.
+type Failure struct {
+	Cfg     Config
+	Program Program
+	Shrunk  Program
+	Err     error
+}
+
+// Report renders the failure as the message a failing test prints: the
+// seed, the error, and the shrunk trace as a pasteable Go literal with
+// the one-line replay recipe. The recipe embeds the complete Config —
+// every field, not just the common ones — so a failure under any
+// cluster shape reproduces from the printed line alone.
+func (f *Failure) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim failure: seed %d, engine %s: %v\n", f.Cfg.Seed, f.Cfg.engineName(), f.Err)
+	fmt.Fprintf(&b, "shrunk from %d to %d ops; reproduce with:\n\n", len(f.Program), len(f.Shrunk))
+	fmt.Fprintf(&b, "\terr := sim.Run(%#v, %s)\n", f.Cfg, indentLiteral(f.Shrunk.GoString()))
+	return b.String()
+}
+
+func indentLiteral(s string) string {
+	return strings.ReplaceAll(s, "\n", "\n\t")
+}
+
+// shrinkBudget bounds the number of candidate re-runs one shrink may
+// spend, so a slow failure still reports promptly.
+const shrinkBudget = 150
+
+// Shrink minimizes a failing program by delta debugging: it repeatedly
+// removes chunks of operations (halving the chunk size down to single
+// ops) and keeps any candidate that still fails under the same
+// configuration. Because every op is total and self-contained, any
+// subsequence is a valid program, so the result is a locally minimal
+// trace that still triggers the failure deterministically.
+func Shrink(cfg Config, prog Program) Program {
+	budget := shrinkBudget
+	fails := func(p Program) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		return Run(cfg, p) != nil
+	}
+	cur := prog
+	for chunk := (len(cur) + 1) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start < len(cur); {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := make(Program, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if len(cand) < len(cur) && fails(cand) {
+				cur = cand
+				// Re-test from the same offset: the next chunk slid in.
+			} else {
+				start += chunk
+			}
+			if budget <= 0 {
+				return cur
+			}
+		}
+	}
+	return cur
+}
+
+// FindFailure generates and runs programs for consecutive seeds
+// starting at cfg.Seed until one fails, then shrinks it. It returns nil
+// if all programs pass — for the mutation-smoke test, that means the
+// checker failed its own test.
+func FindFailure(cfg Config, programs int) *Failure {
+	for i := 0; i < programs; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		prog := Generate(c)
+		err := Run(c, prog)
+		if err == nil {
+			continue
+		}
+		shrunk := Shrink(c, prog)
+		// Shrinking re-runs the program, so the reported error is the
+		// shrunk trace's (it may differ in detail from the original).
+		if serr := Run(c, shrunk); serr != nil {
+			err = serr
+		}
+		return &Failure{Cfg: c, Program: prog, Shrunk: shrunk, Err: err}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"zerber/internal/posting"
+)
+
+// CheckInvariants verifies the observable half of the Store contract on
+// a quiescent store — the structural facts every engine must maintain
+// for the server's policy layer and the r-confidentiality leak budget to
+// stay sound:
+//
+//   - counter consistency: TotalElements equals the sum of ListLengths,
+//     and each ListLen matches both ListLengths and the actual List;
+//   - keyed addressing: no global ID appears twice within a list;
+//   - no phantom lists: every reported list is non-empty (an emptied
+//     list must disappear from the adversary view entirely);
+//   - inventory consistency: Keys reports exactly the stored
+//     (list, global ID) pairs, per-list in ascending ID order.
+//
+// The model checker (internal/sim) runs this after every simulation
+// step; it is only meaningful while no writer is concurrently mutating
+// the store, since the multi-list read methods need not present one
+// atomic snapshot.
+func CheckInvariants(s Store) error {
+	lengths := s.ListLengths()
+	total := 0
+	for lid, n := range lengths {
+		if n <= 0 {
+			return fmt.Errorf("store: list %d reported with length %d (empty lists must vanish)", lid, n)
+		}
+		total += n
+	}
+	if got := s.TotalElements(); got != total {
+		return fmt.Errorf("store: TotalElements = %d, sum of list lengths = %d", got, total)
+	}
+
+	keys := s.Keys()
+	if len(keys) != len(lengths) {
+		return fmt.Errorf("store: Keys reports %d lists, ListLengths %d", len(keys), len(lengths))
+	}
+	for lid, n := range lengths {
+		if got := s.ListLen(lid); got != n {
+			return fmt.Errorf("store: list %d: ListLen = %d, ListLengths = %d", lid, got, n)
+		}
+		shares := s.List(lid)
+		if len(shares) != n {
+			return fmt.Errorf("store: list %d: List returns %d shares, length reported %d", lid, len(shares), n)
+		}
+		seen := make(map[posting.GlobalID]bool, len(shares))
+		for _, sh := range shares {
+			if seen[sh.GlobalID] {
+				return fmt.Errorf("store: list %d: global ID %d stored twice", lid, sh.GlobalID)
+			}
+			seen[sh.GlobalID] = true
+		}
+		ids, ok := keys[lid]
+		if !ok {
+			return fmt.Errorf("store: list %d missing from Keys", lid)
+		}
+		if len(ids) != n {
+			return fmt.Errorf("store: list %d: Keys reports %d IDs, length %d", lid, len(ids), n)
+		}
+		if !sort.SliceIsSorted(ids, func(i, j int) bool { return ids[i] < ids[j] }) {
+			return fmt.Errorf("store: list %d: Keys IDs not in ascending order", lid)
+		}
+		for _, id := range ids {
+			if !seen[id] {
+				return fmt.Errorf("store: list %d: Keys reports ID %d not in List", lid, id)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,10 @@
+package transport
+
+// SetBodyLimit lowers the request-body cap for the error-path tests and
+// returns a restore function. It lives in export_test.go so production
+// builds expose no mutable knob.
+func SetBodyLimit(n int64) (restore func()) {
+	old := bodyLimit
+	bodyLimit = n
+	return func() { bodyLimit = old }
+}

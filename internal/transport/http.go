@@ -100,14 +100,27 @@ func NewHTTPHandler(api API) http.Handler {
 
 func token(r *http.Request) auth.Token { return auth.Token(r.Header.Get(authHeader)) }
 
+// bodyLimit caps a request body's size. A body that exceeds it is
+// rejected with 413 before any decoding — previously the reader silently
+// truncated at the cap, which turned an oversized payload into a
+// confusing "unexpected end of JSON input". It is a variable only so the
+// error-path tests can exercise the limit without allocating 64 MiB
+// (SetBodyLimit in export_test.go).
+var bodyLimit int64 = 64 << 20
+
 func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return false
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	body, err := io.ReadAll(io.LimitReader(r.Body, bodyLimit+1))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	if int64(len(body)) > bodyLimit {
+		http.Error(w, fmt.Sprintf("request body exceeds %d bytes", bodyLimit),
+			http.StatusRequestEntityTooLarge)
 		return false
 	}
 	if err := json.Unmarshal(body, v); err != nil {

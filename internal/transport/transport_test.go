@@ -16,7 +16,7 @@ import (
 	"zerber/internal/transport"
 )
 
-func newServer(t *testing.T) (*server.Server, auth.Token) {
+func newServer(t testing.TB) (*server.Server, auth.Token) {
 	t.Helper()
 	svc, err := auth.NewService(time.Minute)
 	if err != nil {

@@ -7,17 +7,18 @@ import (
 	"testing"
 
 	"zerber"
-	"zerber/internal/invindex"
 	"zerber/internal/peer"
-	"zerber/internal/textproc"
+	"zerber/internal/sim"
 )
 
 // TestDifferentialAgainstPlainIndex is a randomized oracle test of the
 // paper's §2 correctness bar: Zerber's answer set must be "identical to
 // that of a trusted centralized ordinary inverted index that incorporates
 // an access control list check". We generate random corpora, memberships
-// and queries, maintain a plain index + ACL oracle, and compare result
-// sets after every mutation.
+// and queries, maintain the reference system (sim.Oracle — the same
+// plain index + ACL oracle the model checker uses), and compare result
+// sets after every mutation. Trial counts follow the test tiers: 2 under
+// -short, 5 by default, 20 under ZERBER_TEST_FULL=1 (make test-full).
 func TestDifferentialAgainstPlainIndex(t *testing.T) {
 	vocabulary := []string{
 		"martha", "imclone", "layoff", "merger", "budget", "meeting",
@@ -26,7 +27,8 @@ func TestDifferentialAgainstPlainIndex(t *testing.T) {
 	users := []zerber.UserID{"u0", "u1", "u2"}
 	numGroups := 3
 
-	for trial := 0; trial < 5; trial++ {
+	trials := tierCount(2, 5, 20)
+	for trial := 0; trial < trials; trial++ {
 		rng := rand.New(rand.NewSource(int64(100 + trial)))
 
 		dfs := make(map[string]int)
@@ -41,22 +43,24 @@ func TestDifferentialAgainstPlainIndex(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		// Random memberships (every user in at least one group).
-		membership := make(map[zerber.UserID]map[zerber.GroupID]bool)
+		// Random memberships (every user in at least one group), mirrored
+		// into the oracle.
+		oracle := sim.NewOracle()
 		for _, u := range users {
-			membership[u] = map[zerber.GroupID]bool{}
+			joined := 0
 			for g := 1; g <= numGroups; g++ {
-				if rng.Intn(2) == 0 || len(membership[u]) == 0 && g == numGroups {
+				if rng.Intn(2) == 0 || joined == 0 && g == numGroups {
 					c.AddUser(u, zerber.GroupID(g))
-					membership[u][zerber.GroupID(g)] = true
+					oracle.AddUser(u, zerber.GroupID(g))
+					joined++
 				}
 			}
 		}
 		owner := users[0]
 		for g := 1; g <= numGroups; g++ {
-			if !membership[owner][zerber.GroupID(g)] {
+			if !oracle.Member(owner, zerber.GroupID(g)) {
 				c.AddUser(owner, zerber.GroupID(g))
-				membership[owner][zerber.GroupID(g)] = true
+				oracle.AddUser(owner, zerber.GroupID(g))
 			}
 		}
 		ownerTok := c.IssueToken(owner)
@@ -70,9 +74,6 @@ func TestDifferentialAgainstPlainIndex(t *testing.T) {
 			t.Fatal(err)
 		}
 
-		// Oracle state: plain inverted index + docID -> group.
-		oracle := invindex.New()
-		docGroup := make(map[uint32]zerber.GroupID)
 		live := map[uint32]bool{}
 
 		randDoc := func(id uint32) peer.Document {
@@ -103,14 +104,7 @@ func TestDifferentialAgainstPlainIndex(t *testing.T) {
 				for _, r := range got {
 					gotSet[r.DocID] = true
 				}
-				wantSet := map[uint32]bool{}
-				for _, term := range query {
-					for _, p := range oracle.Lookup(term) {
-						if membership[u][docGroup[p.DocID]] {
-							wantSet[p.DocID] = true
-						}
-					}
-				}
+				wantSet := oracle.Expected(u, query)
 				if len(gotSet) != len(wantSet) {
 					t.Fatalf("trial %d %s: user %s query %v: zerber=%v oracle=%v",
 						trial, step, u, query, keysOf(gotSet), keysOf(wantSet))
@@ -135,17 +129,17 @@ func TestDifferentialAgainstPlainIndex(t *testing.T) {
 				if err := site.IndexDocument(ownerTok, doc); err != nil {
 					t.Fatal(err)
 				}
-				oracle.Add(doc.ID, textproc.TermCounts(doc.Content))
-				docGroup[doc.ID] = doc.Group
+				oracle.Index(doc.ID, doc.Content, doc.Group)
 				live[doc.ID] = true
 			case op == 2: // update
 				id := anyOf(rng, live)
 				doc := randDoc(id)
-				doc.Group = docGroup[id] // group stays
+				g, _ := oracle.GroupOf(id)
+				doc.Group = g // group stays
 				if err := site.UpdateDocument(ownerTok, doc); err != nil {
 					t.Fatal(err)
 				}
-				oracle.Add(id, textproc.TermCounts(doc.Content))
+				oracle.Index(id, doc.Content, g)
 			case op == 3: // delete
 				id := anyOf(rng, live)
 				if err := site.DeleteDocument(ownerTok, id); err != nil {
@@ -153,7 +147,6 @@ func TestDifferentialAgainstPlainIndex(t *testing.T) {
 				}
 				oracle.Remove(id)
 				delete(live, id)
-				delete(docGroup, id)
 			}
 			if step%5 == 4 {
 				check(fmt.Sprintf("step %d", step))

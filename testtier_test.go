@@ -1,0 +1,23 @@
+package zerber_test
+
+import (
+	"os"
+	"testing"
+)
+
+// tierCount picks an iteration budget by test tier:
+//
+//   - `go test -short ./...` — the smoke tier (make race uses it so the
+//     race detector's overhead stays off the critical path);
+//   - `go test ./...` — tier 1, the default gate;
+//   - ZERBER_TEST_FULL=1 — the deep tier `make test-full` runs in the
+//     nightly workflow.
+func tierCount(short, normal, full int) int {
+	if os.Getenv("ZERBER_TEST_FULL") != "" {
+		return full
+	}
+	if testing.Short() {
+		return short
+	}
+	return normal
+}

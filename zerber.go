@@ -133,6 +133,36 @@
 // redeliveries orphans an element, because nothing is deleted before
 // the replacement is acknowledged everywhere and every delete is
 // journaled before it is issued.
+//
+// # Simulation & invariants
+//
+// The guarantees above only matter in combination — a crash during a
+// retried batch flush while a server is partitioned exercises the
+// journal, the dedup window, and the storage engine at once — so they
+// are verified by a model checker rather than hand-picked scenarios.
+// internal/sim drives the full stack through seed-reproducible random
+// operation programs under a fault-injecting transport (outages,
+// dropped and duplicated deliveries, delayed out-of-order
+// redeliveries, lost responses, peer kills mid-protocol) and checks,
+// at every quiescent point, four invariants against the paper's §2
+// reference system (a plain centralized inverted index with an ACL
+// check):
+//
+//   - answer-set equivalence: for every user and every term, retrieval
+//     returns exactly the oracle's document set;
+//   - zero orphans: every index server holds exactly the peers'
+//     committed element set — interrupted updates leave nothing behind
+//     and lose nothing;
+//   - journal/state convergence: restarting a peer from its journal
+//     reproduces its documents and element references exactly;
+//   - stats and storage consistency: activity counters match stored
+//     state even under redelivery, and every storage engine upholds
+//     the store.Store contract (store.CheckInvariants).
+//
+// A failing simulation prints its seed and a delta-debugged minimal
+// operation trace that reproduces the failure deterministically when
+// pasted into a test. TESTING.md documents the tiers and the
+// reproduction workflow.
 package zerber
 
 import (
