@@ -4,8 +4,10 @@
 GO ?= go
 BENCHTIME ?= 0.5s
 FUZZTIME ?= 10s
+COMMIT ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
-.PHONY: build test test-full race fuzz cover bench benchstore benchjson lint fmt ci
+.PHONY: build test test-full race fuzz cover bench benchstore benchjson \
+	loadsmoke loadfull loadbaseline loadbaseline-full lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -77,10 +79,45 @@ benchjson:
 		-benchmem -benchtime=$(BENCHTIME) -count=1 \
 		./internal/field/ ./internal/shamir/ ./internal/posting/ ./internal/peer/ \
 		> bench_index.out.tmp
-	$(GO) run ./cmd/zerber-benchjson < bench_index.out.tmp > bench_index.json.tmp
+	$(GO) run ./cmd/zerber-benchjson -commit $(COMMIT) -scale benchtime-$(BENCHTIME) \
+		< bench_index.out.tmp > bench_index.json.tmp
 	mv bench_index.json.tmp BENCH_index.json
 	@rm -f bench_index.out.tmp
 	@cat BENCH_index.json
+
+# Closed-loop load harness (cmd/zerber-loadgen): a real multi-server
+# cluster served over the HTTP transport, with concurrent searchers
+# replaying the Zipfian query model while peers index/update/delete and
+# group churn + proactive resharing run in the background. Artifacts are
+# written through temp files for the same no-truncation reason as
+# benchjson. `compare` exits nonzero on a REGRESS verdict, failing the
+# job; LOAD_baseline.json is the committed reference (see TESTING.md for
+# when and how to re-record it).
+loadsmoke:
+	$(GO) run ./cmd/zerber-loadgen run -scale smoke -commit $(COMMIT) \
+		-out load_smoke.json.tmp
+	mv load_smoke.json.tmp LOAD_smoke.json
+	$(GO) run ./cmd/zerber-loadgen compare -out LOAD_verdict.json \
+		LOAD_baseline.json LOAD_smoke.json
+
+loadfull:
+	$(GO) run ./cmd/zerber-loadgen run -scale full -commit $(COMMIT) \
+		-out load_full.json.tmp
+	mv load_full.json.tmp LOAD_full.json
+	$(GO) run ./cmd/zerber-loadgen compare -out LOAD_verdict.json \
+		LOAD_baseline_full.json LOAD_full.json
+
+# Baseline refresh: re-record the committed reference artifacts after an
+# intentional performance change (then commit the updated files).
+loadbaseline:
+	$(GO) run ./cmd/zerber-loadgen run -scale smoke -commit $(COMMIT) \
+		-out load_baseline.json.tmp
+	mv load_baseline.json.tmp LOAD_baseline.json
+
+loadbaseline-full:
+	$(GO) run ./cmd/zerber-loadgen run -scale full -commit $(COMMIT) \
+		-out load_baseline.json.tmp
+	mv load_baseline.json.tmp LOAD_baseline_full.json
 
 lint:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \

@@ -1,27 +1,37 @@
 // Command zerber-benchjson converts `go test -bench -benchmem` output on
-// stdin into a JSON object on stdout, keyed by benchmark name (with the
-// -GOMAXPROCS suffix stripped):
+// stdin into a schema-versioned JSON artifact on stdout:
 //
 //	{
-//	  "BenchmarkEncryptBatch": {"ns_per_op": 184200, "bytes_per_op": 524728, "allocs_per_op": 7},
-//	  ...
+//	  "schema": "zerber-bench/v1",
+//	  "meta": {"commit": "abc1234", "scale": "benchtime-0.5s", ...},
+//	  "results": {
+//	    "BenchmarkEncryptBatch": {"ns_per_op": 184200, "bytes_per_op": 524728, "allocs_per_op": 7},
+//	    ...
+//	  }
 //	}
 //
-// It backs `make benchjson`, which records the indexing-pipeline
-// benchmarks as BENCH_index.json so the performance trajectory of the
-// write path is tracked alongside the code. Non-benchmark lines are
-// ignored; benchmarks that appear multiple times (e.g. -count > 1) keep
-// the last measurement.
+// The meta block uses the same fields as the load-harness artifact
+// (internal/load.Meta) — commit SHA, scale, Go runtime — so bench and
+// load artifacts are comparable across runs. -commit and -scale stamp
+// the provenance; benchmark names have their -GOMAXPROCS suffix
+// stripped. It backs `make benchjson`, which records the
+// indexing-pipeline benchmarks as BENCH_index.json so the performance
+// trajectory of the write path is tracked alongside the code.
+// Non-benchmark lines are ignored; benchmarks that appear multiple
+// times (e.g. -count > 1) keep the last measurement.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+
+	"zerber/internal/load"
 )
 
 // measurement is one benchmark result row.
@@ -67,6 +77,12 @@ func parseLine(line string) (name string, m measurement, ok bool) {
 }
 
 func main() {
+	var (
+		commit = flag.String("commit", "", "commit SHA recorded in the artifact meta")
+		scale  = flag.String("scale", "bench", "scale label recorded in the artifact meta (e.g. benchtime-0.5s)")
+	)
+	flag.Parse()
+
 	results := make(map[string]measurement)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -83,6 +99,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "zerber-benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	meta, err := json.Marshal(load.NewMeta(*commit, *scale, 0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zerber-benchjson: %v\n", err)
+		os.Exit(1)
+	}
 	// Deterministic key order for committed artifacts.
 	names := make([]string, 0, len(results))
 	for n := range results {
@@ -91,18 +112,21 @@ func main() {
 	sort.Strings(names)
 	var sb strings.Builder
 	sb.WriteString("{\n")
+	fmt.Fprintf(&sb, "  \"schema\": %q,\n", load.BenchSchema)
+	fmt.Fprintf(&sb, "  \"meta\": %s,\n", meta)
+	sb.WriteString("  \"results\": {\n")
 	for i, n := range names {
 		row, err := json.Marshal(results[n])
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "zerber-benchjson: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(&sb, "  %q: %s", n, row)
+		fmt.Fprintf(&sb, "    %q: %s", n, row)
 		if i < len(names)-1 {
 			sb.WriteString(",")
 		}
 		sb.WriteString("\n")
 	}
-	sb.WriteString("}\n")
+	sb.WriteString("  }\n}\n")
 	os.Stdout.WriteString(sb.String())
 }

@@ -1,0 +1,170 @@
+// Command zerber-loadgen drives a real multi-server Zerber cluster over
+// the HTTP transport under sustained mixed traffic and judges runs
+// against each other.
+//
+// Two subcommands:
+//
+//	zerber-loadgen run -scale smoke|full [-seed N] [-duration D]
+//	                   [-commit SHA] [-out FILE] [-q]
+//
+// runs one closed-loop load session (internal/load): N concurrent users
+// issuing Zipfian searches while peers index/update/delete documents
+// and group churn plus proactive resharing run in the background. The
+// schema-versioned JSON artifact goes to -out (atomically, via temp
+// file + rename) or stdout.
+//
+//	zerber-loadgen compare [-out FILE] [threshold flags] BASELINE CANDIDATE
+//
+// diffs two artifacts metric by metric and renders a PASS / NEUTRAL /
+// REGRESS verdict table (markdown) on stdout — appended to
+// $GITHUB_STEP_SUMMARY when that variable is set, so CI runs show the
+// table on the workflow summary page — and exits nonzero on REGRESS.
+// -out additionally records the verdict as a JSON artifact. Thresholds
+// default to noise-tolerant values suited to cross-machine comparison
+// (see load.DefaultThresholds); tighten them with flags when baseline
+// and candidate ran on the same hardware.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"zerber/internal/load"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "run":
+		runCmd(os.Args[2:])
+	case "compare":
+		compareCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: zerber-loadgen run|compare [flags]  (see -h of each subcommand)")
+	os.Exit(2)
+}
+
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var (
+		scale    = fs.String("scale", "smoke", "scale tier: smoke (CI) or full (nightly)")
+		seed     = fs.Int64("seed", 0, "workload seed override (0 = tier default)")
+		duration = fs.Duration("duration", 0, "measured-phase duration override (0 = tier default)")
+		commit   = fs.String("commit", "", "commit SHA recorded in the artifact meta")
+		out      = fs.String("out", "", "artifact path (empty = stdout)")
+		quiet    = fs.Bool("q", false, "suppress progress logging")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	cfg, err := load.ConfigFor(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *duration != 0 {
+		cfg.Duration = *duration
+	}
+	cfg.Commit = *commit
+	if !*quiet {
+		cfg.Logf = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}
+	}
+
+	start := time.Now()
+	report, err := load.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := report.Encode()
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := load.WriteFileAtomic(*out, data); err != nil {
+		fatal(fmt.Errorf("writing %s: %w", *out, err))
+	}
+	fmt.Fprintf(os.Stderr, "zerber-loadgen: %s run complete in %v\n",
+		cfg.Scale, time.Since(start).Round(time.Millisecond))
+}
+
+func compareCmd(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	var th load.Thresholds
+	var (
+		out = fs.String("out", "", "verdict artifact path (JSON; empty = none)")
+	)
+	fs.Float64Var(&th.LatencyRegress, "regress-latency", 0, "latency ratio at or above which REGRESS (0 = default)")
+	fs.Float64Var(&th.LatencyPass, "pass-latency", 0, "latency ratio at or below which PASS (0 = default)")
+	fs.Float64Var(&th.ThroughputRegress, "regress-throughput", 0, "throughput ratio at or below which REGRESS (0 = default)")
+	fs.Float64Var(&th.ThroughputPass, "pass-throughput", 0, "throughput ratio at or above which PASS (0 = default)")
+	fs.Float64Var(&th.ErrorRateSlack, "error-slack", 0, "tolerated error-rate increase over baseline (0 = default)")
+	fs.Int64Var(&th.MinOps, "min-ops", 0, "minimum successful ops per side before a kind is judged (0 = default)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: zerber-loadgen compare [flags] BASELINE.json CANDIDATE.json")
+		os.Exit(2)
+	}
+
+	base, err := load.ReadReport(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cand, err := load.ReadReport(fs.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	rows, overall, err := load.Compare(base, cand, th)
+	if err != nil {
+		fatal(err)
+	}
+
+	table := load.RenderTable(base, cand, rows, overall)
+	fmt.Print(table)
+	if path := os.Getenv("GITHUB_STEP_SUMMARY"); path != "" {
+		if f, ferr := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644); ferr == nil {
+			fmt.Fprintf(f, "%s\n", table)
+			f.Close()
+		}
+	}
+	if *out != "" {
+		v := load.VerdictReport{
+			Schema:    load.VerdictSchema,
+			Overall:   overall,
+			Baseline:  base.Meta,
+			Candidate: cand.Meta,
+			Metrics:   rows,
+		}
+		data, err := v.Encode()
+		if err != nil {
+			fatal(err)
+		}
+		if err := load.WriteFileAtomic(*out, data); err != nil {
+			fatal(fmt.Errorf("writing %s: %w", *out, err))
+		}
+	}
+	if overall == load.Regress {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "zerber-loadgen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+package load
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// recorder collects one operation kind's latency samples and error
+// count from concurrent workers. Exact samples are kept (a few hundred
+// thousand float64s at most for the full tier), so percentiles need no
+// bucketing approximation.
+type recorder struct {
+	mu   sync.Mutex
+	ms   []float64 // successful-op latencies, milliseconds
+	errs int64
+}
+
+// done records one completed operation.
+func (r *recorder) done(d time.Duration, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err != nil {
+		r.errs++
+		return
+	}
+	r.ms = append(r.ms, d.Seconds()*1000)
+}
+
+// metrics finalizes the recorder into the artifact's OpMetrics form.
+func (r *recorder) metrics(elapsed time.Duration) OpMetrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sort.Float64s(r.ms)
+	m := OpMetrics{Ops: int64(len(r.ms)), Errors: r.errs}
+	if elapsed > 0 {
+		m.PerSec = float64(len(r.ms)) / elapsed.Seconds()
+	}
+	if n := len(r.ms); n > 0 {
+		sum := 0.0
+		for _, v := range r.ms {
+			sum += v
+		}
+		m.LatencyMs = Latency{
+			P50:  percentile(r.ms, 0.50),
+			P90:  percentile(r.ms, 0.90),
+			P99:  percentile(r.ms, 0.99),
+			Mean: sum / float64(n),
+			Max:  r.ms[n-1],
+		}
+	}
+	return m
+}
+
+// percentile returns the nearest-rank q-quantile of an ascending-sorted
+// slice (q in (0,1]).
+func percentile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,57 @@
+package load
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPercentileBoundaries(t *testing.T) {
+	cases := []struct {
+		sorted []float64
+		q      float64
+		want   float64
+	}{
+		{nil, 0.5, 0},
+		{[]float64{7}, 0.5, 7},
+		{[]float64{7}, 0.99, 7},
+		{[]float64{1, 2, 3, 4}, 0.5, 2},
+		{[]float64{1, 2, 3, 4}, 0.99, 4},
+		{[]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.9, 9},
+		{[]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.91, 10},
+	}
+	for _, tc := range cases {
+		if got := percentile(tc.sorted, tc.q); got != tc.want {
+			t.Errorf("percentile(%v, %v) = %v, want %v", tc.sorted, tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestRecorderMetrics(t *testing.T) {
+	var r recorder
+	for i := 1; i <= 100; i++ {
+		r.done(time.Duration(i)*time.Millisecond, nil)
+	}
+	r.done(time.Second, errors.New("boom"))
+	m := r.metrics(10 * time.Second)
+
+	if m.Ops != 100 || m.Errors != 1 {
+		t.Fatalf("ops=%d errors=%d, want 100/1", m.Ops, m.Errors)
+	}
+	if m.PerSec != 10 {
+		t.Errorf("throughput = %v, want 10", m.PerSec)
+	}
+	if m.LatencyMs.P50 != 50 || m.LatencyMs.P99 != 99 || m.LatencyMs.Max != 100 {
+		t.Errorf("latency = %+v, want p50=50 p99=99 max=100", m.LatencyMs)
+	}
+	if m.LatencyMs.Mean != 50.5 {
+		t.Errorf("mean = %v, want 50.5", m.LatencyMs.Mean)
+	}
+	// The failed op's duration must not pollute the latency samples.
+	if m.LatencyMs.Max >= 1000 {
+		t.Error("error-op latency leaked into samples")
+	}
+	if got := m.ErrorRate(); got <= 0 || got >= 0.02 {
+		t.Errorf("error rate = %v, want ~1/101", got)
+	}
+}

@@ -1,0 +1,180 @@
+// Package load is the closed-loop load harness: it drives a real
+// multi-server Zerber cluster over the HTTP transport with concurrent
+// simulated users — Zipfian searches sampled from the workload's
+// query-frequency model while peers index, update, and delete documents
+// and group churn plus proactive resharing run in the background — and
+// records throughput, latency percentiles, and error counts as a
+// schema-versioned JSON artifact.
+//
+// The package also implements the baseline-vs-candidate comparator
+// behind `zerber-loadgen compare`: per-metric PASS / NEUTRAL / REGRESS
+// verdicts with noise-tolerant thresholds (verdict.go), the gate CI runs
+// against the committed LOAD_baseline.json. The pipeline shape — run
+// both modes, emit JSON artifacts, diff metrics, apply verdict rules —
+// follows the evaluation harness exemplar in SNIPPETS.md.
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// Artifact schema identifiers. A reader rejects any artifact whose
+// schema field it does not recognize, so a format change is a new
+// version string, never a silent reinterpretation.
+const (
+	// Schema identifies a load-run artifact (LOAD_baseline.json and the
+	// per-run LOAD_smoke.json / LOAD_full.json).
+	Schema = "zerber-load/v1"
+	// BenchSchema identifies the microbenchmark artifact
+	// (BENCH_index.json, written by cmd/zerber-benchjson).
+	BenchSchema = "zerber-bench/v1"
+	// VerdictSchema identifies a comparator verdict artifact.
+	VerdictSchema = "zerber-verdict/v1"
+)
+
+// Meta stamps an artifact with the provenance needed to compare runs:
+// the commit the tree was at, the scale tier, the workload seed, and
+// the Go runtime it ran under. The bench artifact uses the same fields,
+// so bench and load artifacts are comparable across runs.
+type Meta struct {
+	Commit     string `json:"commit"`
+	Scale      string `json:"scale"`
+	Seed       int64  `json:"seed,omitempty"`
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+}
+
+// NewMeta fills a Meta from the current runtime. An empty commit is
+// recorded as "unknown" rather than an empty field.
+func NewMeta(commit, scale string, seed int64) Meta {
+	if commit == "" {
+		commit = "unknown"
+	}
+	return Meta{
+		Commit:     commit,
+		Scale:      scale,
+		Seed:       seed,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Latency is one operation kind's latency distribution in milliseconds.
+type Latency struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// OpMetrics is one operation kind's measurement: successful operation
+// count, error count, sustained throughput, and the latency
+// distribution of the successes.
+type OpMetrics struct {
+	Ops       int64   `json:"ops"`
+	Errors    int64   `json:"errors"`
+	PerSec    float64 `json:"throughput_per_sec"`
+	LatencyMs Latency `json:"latency_ms"`
+}
+
+// ErrorRate returns errors as a fraction of attempted operations.
+func (m OpMetrics) ErrorRate() float64 {
+	total := m.Ops + m.Errors
+	if total == 0 {
+		return 0
+	}
+	return float64(m.Errors) / float64(total)
+}
+
+// ClusterInfo records the measured deployment's shape.
+type ClusterInfo struct {
+	Servers    int  `json:"servers"`
+	K          int  `json:"k"`
+	Peers      int  `json:"peers"`
+	Searchers  int  `json:"searchers"`
+	CorpusDocs int  `json:"corpus_docs"`
+	LiveDocs   int  `json:"live_docs"`
+	Journaled  bool `json:"journaled"`
+}
+
+// Report is the versioned load-run artifact.
+type Report struct {
+	Schema      string               `json:"schema"`
+	Meta        Meta                 `json:"meta"`
+	Cluster     ClusterInfo          `json:"cluster"`
+	DurationSec float64              `json:"duration_sec"`
+	Ops         map[string]OpMetrics `json:"ops"`
+}
+
+// Encode renders the report as indented JSON with a trailing newline.
+// encoding/json sorts map keys, so the artifact is byte-deterministic
+// for a given report.
+func (r *Report) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("load: encoding report: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeReport parses and validates one load artifact.
+func DecodeReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("load: malformed artifact: %w", err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("load: unsupported artifact schema %q (want %q)", r.Schema, Schema)
+	}
+	if len(r.Ops) == 0 {
+		return nil, fmt.Errorf("load: artifact has no op metrics")
+	}
+	return &r, nil
+}
+
+// ReadReport loads and validates a load artifact from disk.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("load: reading artifact: %w", err)
+	}
+	r, err := DecodeReport(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// WriteFileAtomic writes data to path through a temp file in the same
+// directory plus rename, so a failed run can never truncate an existing
+// artifact — the same no-truncation discipline as `make benchjson`.
+func WriteFileAtomic(path string, data []byte) error {
+	dir, base := splitPath(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func splitPath(path string) (dir, base string) {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i], path[i+1:]
+		}
+	}
+	return ".", path
+}

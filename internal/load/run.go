@@ -1,0 +1,480 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"zerber"
+	"zerber/internal/client"
+	"zerber/internal/corpus"
+	"zerber/internal/peer"
+	"zerber/internal/transport"
+	"zerber/internal/workload"
+)
+
+// Run executes one closed-loop load run: it builds a synthetic corpus
+// and query log, wires a real multi-server cluster whose index servers
+// listen on loopback HTTP, preloads the steady-state document set, and
+// then drives Duration of mixed traffic — concurrent Zipfian searches,
+// per-peer index/update/delete mutations, group-membership churn, and
+// periodic proactive resharing — recording per-operation latencies and
+// errors into a versioned Report.
+//
+// Proactive resharing snapshots and compares the servers' element
+// inventories, so a mutation landing mid-round would abort it (and a
+// delta applied to some servers but not others would destroy shares);
+// the harness therefore serializes resharing against mutations with a
+// maintenance lock, while searches keep flowing throughout — resharing
+// preserves the shared secrets, so queries keep working (§5.1).
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	// Workload inputs: the ODP-like corpus and a query log whose term
+	// frequencies are Zipfian and imperfectly correlated with document
+	// frequencies (§7.4.3).
+	corp := corpus.SyntheticODP(corpus.ODPConfig{
+		Seed:       cfg.Seed,
+		NumDocs:    cfg.CorpusDocs,
+		VocabSize:  cfg.VocabSize,
+		NumGroups:  cfg.Groups,
+		MeanDocLen: cfg.MeanDocLen,
+	})
+	qlog := corpus.SyntheticQueryLog(corpus.QueryLogConfig{
+		Seed:       cfg.Seed + 1,
+		NumQueries: cfg.Queries,
+	}, corp.Vocab)
+	logf("load: corpus %d docs, %d terms, %d postings; query log %d queries (%d distinct terms)",
+		len(corp.Docs), len(corp.Vocab), corp.TotalPostings(), len(qlog.Queries), len(qlog.TermFreq))
+
+	cluster, err := zerber.NewCluster(corp.DocFreqs(), zerber.Options{
+		N:           cfg.Servers,
+		K:           cfg.K,
+		Seed:        cfg.Seed,
+		StoreShards: cfg.StoreShards,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("load: building cluster: %w", err)
+	}
+
+	rng := mrand.New(mrand.NewSource(cfg.Seed + 2))
+
+	// Writers: one per peer, member of every group so any document can
+	// be indexed. Searchers: each joins about half the groups, so
+	// access-control filtering is exercised on every query. Churn users
+	// are a disjoint set whose memberships flap in the background.
+	writerToks := make([]zerber.Token, cfg.Peers)
+	for i := range writerToks {
+		user := zerber.UserID(fmt.Sprintf("writer-%d", i))
+		for g := 1; g <= cfg.Groups; g++ {
+			cluster.AddUser(user, zerber.GroupID(g))
+		}
+		writerToks[i] = cluster.IssueToken(user)
+	}
+	searcherToks := make([]zerber.Token, cfg.Searchers)
+	for i := range searcherToks {
+		user := zerber.UserID(fmt.Sprintf("searcher-%d", i))
+		joined := 0
+		for g := 1; g <= cfg.Groups; g++ {
+			if rng.Float64() < 0.5 {
+				cluster.AddUser(user, zerber.GroupID(g))
+				joined++
+			}
+		}
+		if joined == 0 {
+			cluster.AddUser(user, zerber.GroupID(rng.Intn(cfg.Groups)+1))
+		}
+		searcherToks[i] = cluster.IssueToken(user)
+	}
+	const churnUsers = 4
+
+	// The cluster's index servers listen on loopback; every peer and
+	// searcher operation below crosses the real HTTP transport.
+	apis, shutdown, err := serveHTTP(cluster)
+	if err != nil {
+		return nil, err
+	}
+	defer shutdown()
+
+	journalDir := ""
+	if cfg.Journal {
+		journalDir, err = os.MkdirTemp("", "zerber-load-*")
+		if err != nil {
+			return nil, fmt.Errorf("load: journal dir: %w", err)
+		}
+		defer os.RemoveAll(journalDir)
+	}
+
+	// One mutator per peer, each owning a disjoint partition of the
+	// corpus (document IDs are cluster-unique, §5.4.2).
+	mutators := make([]*mutator, cfg.Peers)
+	for i := range mutators {
+		pcfg := peer.Config{
+			Name:    fmt.Sprintf("site%d", i),
+			Servers: apis,
+			K:       cfg.K,
+			Table:   cluster.Table(),
+			Vocab:   cluster.Vocab(),
+		}
+		if journalDir != "" {
+			pcfg.JournalPath = fmt.Sprintf("%s/site%d.journal", journalDir, i)
+		}
+		p, err := peer.New(pcfg)
+		if err != nil {
+			return nil, fmt.Errorf("load: creating peer %d: %w", i, err)
+		}
+		var docs []corpus.Doc
+		for j := i; j < len(corp.Docs); j += cfg.Peers {
+			docs = append(docs, corp.Docs[j])
+		}
+		mutators[i] = &mutator{
+			p:      p,
+			tok:    writerToks[i],
+			docs:   docs,
+			vocab:  corp.Vocab,
+			target: cfg.LiveDocs / cfg.Peers,
+			rng:    mrand.New(mrand.NewSource(cfg.Seed + 100 + int64(i))),
+			rev:    make(map[int]int),
+		}
+	}
+
+	logf("load: preloading %d documents across %d peers over HTTP", cfg.LiveDocs, cfg.Peers)
+	preStart := time.Now()
+	for i, m := range mutators {
+		if err := m.preload(); err != nil {
+			return nil, fmt.Errorf("load: preloading peer %d: %w", i, err)
+		}
+	}
+	logf("load: preload done in %v", time.Since(preStart).Round(time.Millisecond))
+
+	cl, err := client.New(apis, cfg.K, cluster.Table(), cluster.Vocab())
+	if err != nil {
+		return nil, fmt.Errorf("load: building search client: %w", err)
+	}
+
+	recs := map[string]*recorder{
+		"search": {}, "index": {}, "update": {}, "delete": {},
+		"churn": {}, "reshare": {},
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration)
+	defer cancel()
+	var wg sync.WaitGroup
+	var maint sync.RWMutex // mutations (read side) vs resharing (write side)
+	start := time.Now()
+
+	// Searchers: each samples the query log's frequency model with its
+	// own deterministic stream.
+	for i := 0; i < cfg.Searchers; i++ {
+		sampler := workload.NewQuerySampler(qlog.Queries, cfg.Seed+200+int64(i))
+		tok := searcherToks[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				q := sampler.Next()
+				t0 := time.Now()
+				_, _, err := cl.SearchContext(ctx, tok, q, cfg.TopK)
+				if ctx.Err() != nil {
+					return // shutdown-aborted call: not a measurement
+				}
+				recs["search"].done(time.Since(t0), err)
+			}
+		}()
+	}
+
+	// Mutators: sustained index/update/delete churn around the
+	// steady-state document count.
+	for _, m := range mutators {
+		m := m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				maint.RLock()
+				kind, d, err := m.step()
+				maint.RUnlock()
+				if ctx.Err() != nil && err != nil {
+					return
+				}
+				recs[kind].done(d, err)
+			}
+		}()
+	}
+
+	// Group churn: memberships of the churn users flap on the shared
+	// group table, taking effect immediately (§4).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		crng := mrand.New(mrand.NewSource(cfg.Seed + 300))
+		member := make(map[int]map[zerber.GroupID]bool, churnUsers)
+		ticker := time.NewTicker(cfg.ChurnInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				u := crng.Intn(churnUsers)
+				g := zerber.GroupID(crng.Intn(cfg.Groups) + 1)
+				user := zerber.UserID(fmt.Sprintf("churn-%d", u))
+				if member[u] == nil {
+					member[u] = make(map[zerber.GroupID]bool)
+				}
+				t0 := time.Now()
+				if member[u][g] {
+					cluster.RemoveUser(user, g)
+				} else {
+					cluster.AddUser(user, g)
+				}
+				member[u][g] = !member[u][g]
+				recs["churn"].done(time.Since(t0), nil)
+			}
+		}
+	}()
+
+	// Proactive resharing: periodic rounds under the maintenance lock
+	// (see the function comment).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(cfg.ReshareInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				maint.Lock()
+				t0 := time.Now()
+				n, err := cluster.ProactiveReshare()
+				d := time.Since(t0)
+				maint.Unlock()
+				recs["reshare"].done(d, err)
+				if err != nil {
+					logf("load: reshare round failed: %v", err)
+				} else {
+					logf("load: reshared %d elements in %v", n, d.Round(time.Millisecond))
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	ops := make(map[string]OpMetrics, len(recs))
+	for kind, r := range recs {
+		ops[kind] = r.metrics(elapsed)
+	}
+	report := &Report{
+		Schema: Schema,
+		Meta:   NewMeta(cfg.Commit, cfg.Scale, cfg.Seed),
+		Cluster: ClusterInfo{
+			Servers:    cfg.Servers,
+			K:          cfg.K,
+			Peers:      cfg.Peers,
+			Searchers:  cfg.Searchers,
+			CorpusDocs: cfg.CorpusDocs,
+			LiveDocs:   cfg.LiveDocs,
+			Journaled:  cfg.Journal,
+		},
+		DurationSec: elapsed.Seconds(),
+		Ops:         ops,
+	}
+	logf("load: %s", Summary(report))
+	return report, nil
+}
+
+// Summary renders a one-line human digest of a report.
+func Summary(r *Report) string {
+	kinds := make([]string, 0, len(r.Ops))
+	for k := range r.Ops {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		m := r.Ops[k]
+		parts = append(parts, fmt.Sprintf("%s %.1f/s p99=%.1fms errs=%d",
+			k, m.PerSec, m.LatencyMs.P99, m.Errors))
+	}
+	return fmt.Sprintf("%.1fs: %s", r.DurationSec, strings.Join(parts, "; "))
+}
+
+// serveHTTP puts every index server behind a loopback HTTP listener and
+// dials it back through the wire client, so all traffic pays real JSON
+// encoding and TCP round trips.
+func serveHTTP(cluster *zerber.Cluster) ([]transport.API, func(), error) {
+	var servers []*http.Server
+	shutdown := func() {
+		for _, hs := range servers {
+			hs.Close()
+		}
+	}
+	var apis []transport.API
+	for i, s := range cluster.Servers() {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			shutdown()
+			return nil, nil, fmt.Errorf("load: listening for server %d: %w", i, err)
+		}
+		hs := &http.Server{Handler: transport.NewHTTPHandler(s)}
+		servers = append(servers, hs)
+		go hs.Serve(ln)
+		api, err := transport.DialHTTP("http://"+ln.Addr().String(), 30*time.Second)
+		if err != nil {
+			shutdown()
+			return nil, nil, fmt.Errorf("load: dialing server %d: %w", i, err)
+		}
+		apis = append(apis, api)
+	}
+	return apis, shutdown, nil
+}
+
+// mutator drives one peer's document lifecycle. Peer mutations
+// serialize internally, so one goroutine per peer is the natural
+// parallelism.
+type mutator struct {
+	p      *peer.Peer
+	tok    zerber.Token
+	docs   []corpus.Doc
+	vocab  []string
+	target int
+	rng    *mrand.Rand
+
+	live []int // indexes into docs currently in the central index
+	free []int // indexes released by delete, reusable once docs is exhausted
+	next int   // next never-indexed doc
+	rev  map[int]int
+}
+
+// preload indexes the steady-state document set (not measured).
+func (m *mutator) preload() error {
+	for len(m.live) < m.target {
+		i, ok := m.takeUnindexed()
+		if !ok {
+			return errors.New("mutator ran out of documents during preload")
+		}
+		if _, err := m.index(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// step performs one mutation chosen to hold the live count near target:
+// below target it indexes, at target it mixes updates with occasional
+// deletes (which later index operations refill).
+func (m *mutator) step() (kind string, d time.Duration, err error) {
+	t0 := time.Now()
+	if len(m.live) < m.target {
+		if i, ok := m.takeUnindexed(); ok {
+			_, err = m.index(i)
+			return "index", time.Since(t0), err
+		}
+	}
+	if len(m.live) > m.target/2 && m.rng.Float64() < 0.3 {
+		err = m.delete()
+		return "delete", time.Since(t0), err
+	}
+	err = m.update()
+	return "update", time.Since(t0), err
+}
+
+func (m *mutator) takeUnindexed() (int, bool) {
+	if m.next < len(m.docs) {
+		m.next++
+		return m.next - 1, true
+	}
+	if n := len(m.free); n > 0 {
+		i := m.free[n-1]
+		m.free = m.free[:n-1]
+		return i, true
+	}
+	return 0, false
+}
+
+func (m *mutator) index(i int) (uint32, error) {
+	d := m.docs[i]
+	err := m.p.IndexDocument(m.tok, peer.Document{
+		ID:      d.ID,
+		Name:    fmt.Sprintf("doc-%d", d.ID),
+		Content: m.content(i),
+		Group:   zerber.GroupID(d.Group),
+	})
+	// On error the peer may still have committed the document via a
+	// pending-op drain; trust its view over ours.
+	if _, indexed := m.p.Document(d.ID); indexed {
+		m.live = append(m.live, i)
+	} else {
+		m.free = append(m.free, i)
+	}
+	return d.ID, err
+}
+
+func (m *mutator) delete() error {
+	j := m.rng.Intn(len(m.live))
+	i := m.live[j]
+	err := m.p.DeleteDocument(m.tok, m.docs[i].ID)
+	if _, indexed := m.p.Document(m.docs[i].ID); !indexed {
+		m.live[j] = m.live[len(m.live)-1]
+		m.live = m.live[:len(m.live)-1]
+		m.free = append(m.free, i)
+		delete(m.rev, i)
+	}
+	return err
+}
+
+func (m *mutator) update() error {
+	i := m.live[m.rng.Intn(len(m.live))]
+	m.rev[i]++
+	d := m.docs[i]
+	return m.p.UpdateDocument(m.tok, peer.Document{
+		ID:      d.ID,
+		Name:    fmt.Sprintf("doc-%d", d.ID),
+		Content: m.content(i),
+		Group:   zerber.GroupID(d.Group),
+	})
+}
+
+// content renders a document's term bag as indexable text, with a small
+// random tail of extra vocabulary terms so each update changes a
+// realistic fraction of the document's postings.
+func (m *mutator) content(i int) string {
+	d := m.docs[i]
+	terms := make([]string, 0, len(d.Counts))
+	for t := range d.Counts {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	var sb strings.Builder
+	for _, t := range terms {
+		for c := d.Counts[t]; c > 0; c-- {
+			sb.WriteString(t)
+			sb.WriteByte(' ')
+		}
+	}
+	if m.rev[i] > 0 {
+		for e := 0; e < 3; e++ {
+			sb.WriteString(m.vocab[m.rng.Intn(len(m.vocab))])
+			sb.WriteByte(' ')
+		}
+	}
+	return sb.String()
+}

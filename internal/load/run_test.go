@@ -1,0 +1,85 @@
+package load
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunSmokeTiny drives the full closed loop — real HTTP cluster,
+// concurrent searchers, mutating peers, group churn, proactive reshare —
+// at a tiny scale and checks the artifact it emits.
+func TestRunSmokeTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end load run; skipped in -short mode")
+	}
+	cfg := SmokeConfig()
+	cfg.Duration = 800 * time.Millisecond
+	cfg.Peers = 2
+	cfg.Searchers = 2
+	cfg.CorpusDocs = 100
+	cfg.VocabSize = 1000
+	cfg.Queries = 500
+	cfg.LiveDocs = 40
+	cfg.ChurnInterval = 50 * time.Millisecond
+	cfg.ReshareInterval = 300 * time.Millisecond
+	cfg.Commit = "testcommit"
+	cfg.Logf = t.Logf
+
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Schema != Schema {
+		t.Errorf("schema = %q, want %q", rep.Schema, Schema)
+	}
+	if rep.Meta.Commit != "testcommit" || rep.Meta.Scale != "smoke" {
+		t.Errorf("meta = %+v, want commit=testcommit scale=smoke", rep.Meta)
+	}
+	for _, kind := range []string{"search", "index", "update", "delete", "churn", "reshare"} {
+		if _, ok := rep.Ops[kind]; !ok {
+			t.Errorf("op kind %q missing from report", kind)
+		}
+	}
+	if rep.Ops["search"].Ops == 0 {
+		t.Error("no searches completed")
+	}
+	if rep.Ops["search"].Errors != 0 {
+		t.Errorf("search errors = %d, want 0", rep.Ops["search"].Errors)
+	}
+	mutations := rep.Ops["index"].Ops + rep.Ops["update"].Ops + rep.Ops["delete"].Ops
+	if mutations == 0 {
+		t.Error("no mutations completed")
+	}
+	for _, kind := range []string{"index", "update", "delete", "churn", "reshare"} {
+		if n := rep.Ops[kind].Errors; n != 0 {
+			t.Errorf("%s errors = %d, want 0", kind, n)
+		}
+	}
+	if rep.Cluster.Servers != cfg.Servers || rep.Cluster.K != cfg.K {
+		t.Errorf("cluster info = %+v, want servers=%d k=%d", rep.Cluster, cfg.Servers, cfg.K)
+	}
+	if rep.DurationSec <= 0 {
+		t.Errorf("duration_sec = %v, want > 0", rep.DurationSec)
+	}
+
+	// Round-trip the artifact and compare it against itself: a run
+	// compared to itself must never be judged a regression.
+	data, err := rep.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	back, err := DecodeReport(data)
+	if err != nil {
+		t.Fatalf("DecodeReport: %v", err)
+	}
+	rows, overall, err := Compare(back, back, DefaultThresholds())
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if overall == Regress {
+		t.Errorf("self-compare verdict = %v, want not REGRESS", overall)
+	}
+	if len(rows) == 0 {
+		t.Error("self-compare produced no metric rows")
+	}
+}

@@ -1,0 +1,268 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Verdict is one comparison outcome.
+type Verdict string
+
+// Verdict values, ordered from best to worst.
+const (
+	Pass    Verdict = "PASS"
+	Neutral Verdict = "NEUTRAL"
+	Regress Verdict = "REGRESS"
+)
+
+// Thresholds are the comparator's noise-tolerance knobs. All ratios are
+// candidate/baseline. The defaults are deliberately loose: the committed
+// baseline is typically recorded on different hardware than the CI
+// runner, so the gate is meant to catch collapses (a path serializing, a
+// retry loop, an error storm), not single-digit-percent drift — the
+// nightly tier, comparing runs on like hardware, can run with tighter
+// flags.
+type Thresholds struct {
+	// LatencyRegress flags a latency metric whose ratio is >= this
+	// factor (default 2.0: the candidate is at least twice as slow).
+	LatencyRegress float64
+	// LatencyPass marks a latency metric whose ratio is <= this factor
+	// (default 0.8: at least 20% faster).
+	LatencyPass float64
+	// ThroughputRegress flags a throughput ratio <= this factor
+	// (default 0.5: the candidate sustains at most half the baseline).
+	ThroughputRegress float64
+	// ThroughputPass marks a throughput ratio >= this factor
+	// (default 1.25).
+	ThroughputPass float64
+	// ErrorRateSlack is how far the candidate's error rate may exceed
+	// the baseline's before the op kind regresses (default 0.01).
+	ErrorRateSlack float64
+	// MinOps: an op kind with fewer successful operations than this on
+	// either side is reported NEUTRAL with an "insufficient samples"
+	// note instead of being judged (default 20). Background kinds like
+	// churn and reshare usually land here on short runs.
+	MinOps int64
+}
+
+// DefaultThresholds returns the CI gate's noise-tolerant defaults.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		LatencyRegress:    2.0,
+		LatencyPass:       0.8,
+		ThroughputRegress: 0.5,
+		ThroughputPass:    1.25,
+		ErrorRateSlack:    0.01,
+		MinOps:            20,
+	}
+}
+
+func (t *Thresholds) fill() {
+	d := DefaultThresholds()
+	if t.LatencyRegress == 0 {
+		t.LatencyRegress = d.LatencyRegress
+	}
+	if t.LatencyPass == 0 {
+		t.LatencyPass = d.LatencyPass
+	}
+	if t.ThroughputRegress == 0 {
+		t.ThroughputRegress = d.ThroughputRegress
+	}
+	if t.ThroughputPass == 0 {
+		t.ThroughputPass = d.ThroughputPass
+	}
+	if t.ErrorRateSlack == 0 {
+		t.ErrorRateSlack = d.ErrorRateSlack
+	}
+	if t.MinOps == 0 {
+		t.MinOps = d.MinOps
+	}
+}
+
+// MetricVerdict is one row of the comparison: a metric, both values,
+// the candidate/baseline ratio, and the verdict.
+type MetricVerdict struct {
+	Metric    string  `json:"metric"`
+	Baseline  float64 `json:"baseline"`
+	Candidate float64 `json:"candidate"`
+	Ratio     float64 `json:"ratio"`
+	Verdict   Verdict `json:"verdict"`
+	Note      string  `json:"note,omitempty"`
+}
+
+// VerdictReport is the comparator's own JSON artifact, uploaded
+// alongside the run artifacts so a CI run's verdict is downloadable.
+type VerdictReport struct {
+	Schema    string          `json:"schema"`
+	Overall   Verdict         `json:"overall"`
+	Baseline  Meta            `json:"baseline"`
+	Candidate Meta            `json:"candidate"`
+	Metrics   []MetricVerdict `json:"metrics"`
+}
+
+// Encode renders the verdict artifact as indented JSON.
+func (v *VerdictReport) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("load: encoding verdict: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Compare judges a candidate run against a baseline run, metric by
+// metric, and returns the rows plus the overall verdict: REGRESS if any
+// row regressed, else PASS if any row passed, else NEUTRAL. It errors
+// on artifacts that are not comparable — different schemas or different
+// scale tiers — rather than producing a misleading table.
+func Compare(base, cand *Report, th Thresholds) ([]MetricVerdict, Verdict, error) {
+	if base.Schema != Schema || cand.Schema != Schema {
+		return nil, Neutral, fmt.Errorf("load: cannot compare schemas %q vs %q (want %q)",
+			base.Schema, cand.Schema, Schema)
+	}
+	if base.Meta.Scale != cand.Meta.Scale {
+		return nil, Neutral, fmt.Errorf("load: cannot compare scale %q baseline against scale %q candidate",
+			base.Meta.Scale, cand.Meta.Scale)
+	}
+	th.fill()
+
+	kinds := make([]string, 0, len(base.Ops))
+	for k := range base.Ops {
+		kinds = append(kinds, k)
+	}
+	for k := range cand.Ops {
+		if _, ok := base.Ops[k]; !ok {
+			kinds = append(kinds, k)
+		}
+	}
+	sort.Strings(kinds)
+
+	var rows []MetricVerdict
+	for _, kind := range kinds {
+		b, inBase := base.Ops[kind]
+		c, inCand := cand.Ops[kind]
+		switch {
+		case !inCand:
+			rows = append(rows, MetricVerdict{
+				Metric: kind, Baseline: float64(b.Ops), Verdict: Regress,
+				Note: "op kind missing from candidate",
+			})
+			continue
+		case !inBase:
+			rows = append(rows, MetricVerdict{
+				Metric: kind, Candidate: float64(c.Ops), Verdict: Neutral,
+				Note: "op kind not in baseline",
+			})
+			continue
+		}
+		if b.Ops < th.MinOps || c.Ops < th.MinOps {
+			rows = append(rows, MetricVerdict{
+				Metric: kind, Baseline: float64(b.Ops), Candidate: float64(c.Ops),
+				Verdict: Neutral, Note: fmt.Sprintf("insufficient samples (< %d ops)", th.MinOps),
+			})
+			continue
+		}
+		rows = append(rows,
+			judgeMoreIsBetter(kind+".throughput_per_sec", b.PerSec, c.PerSec, th.ThroughputPass, th.ThroughputRegress),
+			judgeLessIsBetter(kind+".latency_ms.p50", b.LatencyMs.P50, c.LatencyMs.P50, th.LatencyPass, th.LatencyRegress),
+			judgeLessIsBetter(kind+".latency_ms.p99", b.LatencyMs.P99, c.LatencyMs.P99, th.LatencyPass, th.LatencyRegress),
+			judgeErrorRate(kind+".error_rate", b.ErrorRate(), c.ErrorRate(), th.ErrorRateSlack),
+		)
+	}
+
+	overall := Neutral
+	for _, r := range rows {
+		if r.Verdict == Regress {
+			overall = Regress
+			break
+		}
+		if r.Verdict == Pass {
+			overall = Pass
+		}
+	}
+	return rows, overall, nil
+}
+
+// judgeMoreIsBetter compares a metric where larger is better
+// (throughput): PASS at or above passRatio, REGRESS at or below
+// regressRatio.
+func judgeMoreIsBetter(metric string, b, c, passRatio, regressRatio float64) MetricVerdict {
+	row := MetricVerdict{Metric: metric, Baseline: b, Candidate: c, Verdict: Neutral}
+	if b <= 0 {
+		row.Note = "baseline is zero; not judged"
+		return row
+	}
+	row.Ratio = c / b
+	switch {
+	case row.Ratio <= regressRatio:
+		row.Verdict = Regress
+	case row.Ratio >= passRatio:
+		row.Verdict = Pass
+	}
+	return row
+}
+
+// judgeLessIsBetter compares a metric where smaller is better
+// (latency): PASS at or below passRatio, REGRESS at or above
+// regressRatio.
+func judgeLessIsBetter(metric string, b, c, passRatio, regressRatio float64) MetricVerdict {
+	row := MetricVerdict{Metric: metric, Baseline: b, Candidate: c, Verdict: Neutral}
+	if b <= 0 {
+		row.Note = "baseline is zero; not judged"
+		return row
+	}
+	row.Ratio = c / b
+	switch {
+	case row.Ratio >= regressRatio:
+		row.Verdict = Regress
+	case row.Ratio <= passRatio:
+		row.Verdict = Pass
+	}
+	return row
+}
+
+// judgeErrorRate regresses when the candidate's error rate exceeds the
+// baseline's by more than slack; an error rate dropping from above
+// slack to zero passes.
+func judgeErrorRate(metric string, b, c, slack float64) MetricVerdict {
+	row := MetricVerdict{Metric: metric, Baseline: b, Candidate: c, Verdict: Neutral}
+	switch {
+	case c > b+slack:
+		row.Verdict = Regress
+	case c == 0 && b > slack:
+		row.Verdict = Pass
+	}
+	return row
+}
+
+// RenderTable renders the comparison as a GitHub-flavored markdown
+// table (readable as plain text too), the form `zerber-loadgen compare`
+// prints and appends to $GITHUB_STEP_SUMMARY.
+func RenderTable(base, cand *Report, rows []MetricVerdict, overall Verdict) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### Load verdict: %s\n\n", overall)
+	fmt.Fprintf(&sb, "Scale `%s`: baseline `%s` (seed %d, %s, GOMAXPROCS=%d) vs candidate `%s` (seed %d, %s, GOMAXPROCS=%d)\n\n",
+		base.Meta.Scale,
+		base.Meta.Commit, base.Meta.Seed, base.Meta.GoVersion, base.Meta.GoMaxProcs,
+		cand.Meta.Commit, cand.Meta.Seed, cand.Meta.GoVersion, cand.Meta.GoMaxProcs)
+	sb.WriteString("| metric | baseline | candidate | ratio | verdict |\n")
+	sb.WriteString("|---|---:|---:|---:|---|\n")
+	for _, r := range rows {
+		verdict := string(r.Verdict)
+		if r.Note != "" {
+			verdict += " — " + r.Note
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %s | %s | %s |\n",
+			r.Metric, fnum(r.Baseline), fnum(r.Candidate), fnum(r.Ratio), verdict)
+	}
+	return sb.String()
+}
+
+func fnum(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	return strconv.FormatFloat(v, 'g', 4, 64)
+}

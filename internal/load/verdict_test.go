@@ -1,0 +1,222 @@
+package load
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// mkReport builds a minimal comparable report with one "search" op kind.
+func mkReport(scale string, ops int64, errs int64, perSec, p50, p99 float64) *Report {
+	return &Report{
+		Schema: Schema,
+		Meta:   NewMeta("test", scale, 1),
+		Ops: map[string]OpMetrics{
+			"search": {
+				Ops: ops, Errors: errs, PerSec: perSec,
+				LatencyMs: Latency{P50: p50, P90: p50, P99: p99, Mean: p50, Max: p99},
+			},
+		},
+	}
+}
+
+func findRow(t *testing.T, rows []MetricVerdict, metric string) MetricVerdict {
+	t.Helper()
+	for _, r := range rows {
+		if r.Metric == metric {
+			return r
+		}
+	}
+	t.Fatalf("no row for metric %q in %+v", metric, rows)
+	return MetricVerdict{}
+}
+
+// TestCompareBoundaries drives each judged metric across its PASS /
+// NEUTRAL / REGRESS thresholds (defaults: latency regress at 2.0x, pass
+// at 0.8x; throughput regress at 0.5x, pass at 1.25x; thresholds are
+// inclusive).
+func TestCompareBoundaries(t *testing.T) {
+	base := mkReport("smoke", 1000, 0, 100, 10, 50)
+	cases := []struct {
+		name    string
+		cand    *Report
+		metric  string
+		want    Verdict
+		overall Verdict
+	}{
+		{"identical is neutral", mkReport("smoke", 1000, 0, 100, 10, 50), "search.throughput_per_sec", Neutral, Neutral},
+		{"throughput at regress bound", mkReport("smoke", 500, 0, 50, 10, 50), "search.throughput_per_sec", Regress, Regress},
+		{"throughput just above regress bound", mkReport("smoke", 501, 0, 50.1, 10, 50), "search.throughput_per_sec", Neutral, Neutral},
+		{"throughput at pass bound", mkReport("smoke", 1250, 0, 125, 10, 50), "search.throughput_per_sec", Pass, Pass},
+		{"throughput just below pass bound", mkReport("smoke", 1249, 0, 124.9, 10, 50), "search.throughput_per_sec", Neutral, Neutral},
+		{"p50 at regress bound", mkReport("smoke", 1000, 0, 100, 20, 50), "search.latency_ms.p50", Regress, Regress},
+		{"p50 just below regress bound", mkReport("smoke", 1000, 0, 100, 19.9, 50), "search.latency_ms.p50", Neutral, Neutral},
+		{"p50 at pass bound", mkReport("smoke", 1000, 0, 100, 8, 50), "search.latency_ms.p50", Pass, Pass},
+		{"p99 regress", mkReport("smoke", 1000, 0, 100, 10, 101), "search.latency_ms.p99", Regress, Regress},
+		{"p99 pass", mkReport("smoke", 1000, 0, 100, 10, 40), "search.latency_ms.p99", Pass, Pass},
+		{"error storm regresses", mkReport("smoke", 1000, 100, 100, 10, 50), "search.error_rate", Regress, Regress},
+		{"error rate within slack is neutral", mkReport("smoke", 1000, 5, 100, 10, 50), "search.error_rate", Neutral, Neutral},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rows, overall, err := Compare(base, tc.cand, Thresholds{})
+			if err != nil {
+				t.Fatalf("Compare: %v", err)
+			}
+			if got := findRow(t, rows, tc.metric).Verdict; got != tc.want {
+				t.Errorf("%s verdict = %s, want %s", tc.metric, got, tc.want)
+			}
+			if overall != tc.overall {
+				t.Errorf("overall = %s, want %s", overall, tc.overall)
+			}
+		})
+	}
+}
+
+// TestCompareErrorRatePass: a baseline with a real error rate dropping
+// to zero is a PASS, not noise.
+func TestCompareErrorRatePass(t *testing.T) {
+	base := mkReport("smoke", 1000, 100, 100, 10, 50) // ~9% errors
+	cand := mkReport("smoke", 1000, 0, 100, 10, 50)
+	rows, overall, err := Compare(base, cand, Thresholds{})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if got := findRow(t, rows, "search.error_rate").Verdict; got != Pass {
+		t.Errorf("error_rate verdict = %s, want PASS", got)
+	}
+	if overall != Pass {
+		t.Errorf("overall = %s, want PASS", overall)
+	}
+}
+
+// TestCompareInsufficientSamples: op kinds with too few operations on
+// either side are reported NEUTRAL instead of being judged on noise.
+func TestCompareInsufficientSamples(t *testing.T) {
+	base := mkReport("smoke", 5, 0, 1, 10, 50)
+	cand := mkReport("smoke", 5, 0, 0.1, 1000, 5000) // wildly different, but 5 samples
+	rows, overall, err := Compare(base, cand, Thresholds{})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	row := findRow(t, rows, "search")
+	if row.Verdict != Neutral || !strings.Contains(row.Note, "insufficient samples") {
+		t.Errorf("got %+v, want NEUTRAL insufficient-samples row", row)
+	}
+	if overall != Neutral {
+		t.Errorf("overall = %s, want NEUTRAL", overall)
+	}
+}
+
+// TestCompareMissingOpKind: an op kind present in the baseline but
+// absent from the candidate is lost coverage, and regresses.
+func TestCompareMissingOpKind(t *testing.T) {
+	base := mkReport("smoke", 1000, 0, 100, 10, 50)
+	base.Ops["reshare"] = OpMetrics{Ops: 30, PerSec: 1, LatencyMs: Latency{P50: 5, P99: 9}}
+	cand := mkReport("smoke", 1000, 0, 100, 10, 50)
+	cand.Ops["churn"] = OpMetrics{Ops: 30, PerSec: 1}
+
+	rows, overall, err := Compare(base, cand, Thresholds{})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if got := findRow(t, rows, "reshare").Verdict; got != Regress {
+		t.Errorf("missing op kind verdict = %s, want REGRESS", got)
+	}
+	if got := findRow(t, rows, "churn").Verdict; got != Neutral {
+		t.Errorf("new op kind verdict = %s, want NEUTRAL", got)
+	}
+	if overall != Regress {
+		t.Errorf("overall = %s, want REGRESS", overall)
+	}
+}
+
+// TestCompareScaleMismatch: artifacts from different tiers are not
+// comparable and must be rejected, not silently judged.
+func TestCompareScaleMismatch(t *testing.T) {
+	base := mkReport("smoke", 1000, 0, 100, 10, 50)
+	cand := mkReport("full", 1000, 0, 100, 10, 50)
+	if _, _, err := Compare(base, cand, Thresholds{}); err == nil {
+		t.Fatal("Compare accepted mismatched scales")
+	}
+}
+
+// TestCompareSchemaMismatch: a report whose schema field was tampered
+// with after decode is rejected.
+func TestCompareSchemaMismatch(t *testing.T) {
+	base := mkReport("smoke", 1000, 0, 100, 10, 50)
+	cand := mkReport("smoke", 1000, 0, 100, 10, 50)
+	cand.Schema = "zerber-load/v999"
+	if _, _, err := Compare(base, cand, Thresholds{}); err == nil {
+		t.Fatal("Compare accepted mismatched schemas")
+	}
+}
+
+// TestReadReportGoldenFixtures exercises the decode path against
+// committed fixtures: a valid artifact, malformed JSON, a wrong-schema
+// artifact, and one with no metrics.
+func TestReadReportGoldenFixtures(t *testing.T) {
+	valid, err := ReadReport(filepath.Join("testdata", "baseline_ok.json"))
+	if err != nil {
+		t.Fatalf("valid fixture rejected: %v", err)
+	}
+	if valid.Meta.Scale != "smoke" || valid.Ops["search"].Ops != 1200 {
+		t.Errorf("valid fixture decoded wrong: %+v", valid)
+	}
+
+	for _, name := range []string{"malformed.json", "wrong_schema.json", "no_ops.json"} {
+		if _, err := ReadReport(filepath.Join("testdata", name)); err == nil {
+			t.Errorf("fixture %s was accepted, want error", name)
+		}
+	}
+	if _, err := ReadReport(filepath.Join("testdata", "does_not_exist.json")); err == nil {
+		t.Error("missing file was accepted, want error")
+	}
+}
+
+// TestCompareGoldenRegression: the committed regression fixture (half
+// the throughput, 4x the latency) must fail the gate against the
+// committed baseline fixture.
+func TestCompareGoldenRegression(t *testing.T) {
+	base, err := ReadReport(filepath.Join("testdata", "baseline_ok.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand, err := ReadReport(filepath.Join("testdata", "candidate_regress.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, overall, err := Compare(base, cand, Thresholds{})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if overall != Regress {
+		t.Fatalf("overall = %s, want REGRESS\n%s", overall, RenderTable(base, cand, rows, overall))
+	}
+	table := RenderTable(base, cand, rows, overall)
+	for _, want := range []string{"Load verdict: REGRESS", "search.throughput_per_sec", "| REGRESS |"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestVerdictReportRoundTrip pins the verdict artifact encoding.
+func TestVerdictReportRoundTrip(t *testing.T) {
+	v := VerdictReport{
+		Schema:    VerdictSchema,
+		Overall:   Pass,
+		Baseline:  NewMeta("aaa", "smoke", 1),
+		Candidate: NewMeta("bbb", "smoke", 1),
+		Metrics:   []MetricVerdict{{Metric: "search.throughput_per_sec", Baseline: 1, Candidate: 2, Ratio: 2, Verdict: Pass}},
+	}
+	data, err := v.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{VerdictSchema, `"overall": "PASS"`, "search.throughput_per_sec"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("verdict artifact missing %q:\n%s", want, data)
+		}
+	}
+}

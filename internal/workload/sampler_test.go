@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"zerber/internal/corpus"
+)
+
+// TestQuerySamplerDeterministic: the same log and seed yield the same
+// sample sequence; a different seed diverges.
+func TestQuerySamplerDeterministic(t *testing.T) {
+	log := corpus.SyntheticQueryLog(corpus.QueryLogConfig{Seed: 7, NumQueries: 500},
+		rankVocab(200))
+
+	a := NewQuerySampler(log.Queries, 42)
+	b := NewQuerySampler(log.Queries, 42)
+	c := NewQuerySampler(log.Queries, 43)
+	same, diff := true, false
+	for i := 0; i < 1000; i++ {
+		qa, qb, qc := a.Next(), b.Next(), c.Next()
+		if !reflect.DeepEqual(qa, qb) {
+			same = false
+		}
+		if !reflect.DeepEqual(qa, qc) {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed produced different sample sequences")
+	}
+	if !diff {
+		t.Error("different seeds produced identical sample sequences")
+	}
+}
+
+// TestQuerySamplerFrequencyWeighting: queries are drawn proportionally
+// to their log frequency — a 9:1 log splits draws about 9:1.
+func TestQuerySamplerFrequencyWeighting(t *testing.T) {
+	var log [][]string
+	for i := 0; i < 90; i++ {
+		log = append(log, []string{"hot"})
+	}
+	for i := 0; i < 10; i++ {
+		log = append(log, []string{"cold"})
+	}
+	// Shuffle deterministically so aggregation order isn't the split.
+	rng := rand.New(rand.NewSource(1))
+	rng.Shuffle(len(log), func(i, j int) { log[i], log[j] = log[j], log[i] })
+
+	s := NewQuerySampler(log, 5)
+	if s.Distinct() != 2 {
+		t.Fatalf("Distinct() = %d, want 2", s.Distinct())
+	}
+	hot := 0
+	const draws = 10000
+	for i := 0; i < draws; i++ {
+		if s.Next()[0] == "hot" {
+			hot++
+		}
+	}
+	if frac := float64(hot) / draws; frac < 0.85 || frac > 0.95 {
+		t.Errorf("hot fraction = %v, want ~0.9", frac)
+	}
+}
+
+// TestQuerySamplerZipfTraffic: sampling a synthetic Zipfian query log
+// concentrates traffic — the most-drawn term must dominate the
+// least-drawn drawn term by a wide margin, mirroring Fig. 6's "the most
+// frequent queries constitute nearly the whole query workload".
+func TestQuerySamplerZipfTraffic(t *testing.T) {
+	log := corpus.SyntheticQueryLog(corpus.QueryLogConfig{Seed: 11, NumQueries: 2000},
+		rankVocab(500))
+	s := NewQuerySampler(log.Queries, 3)
+	counts := make(map[string]int)
+	for i := 0; i < 5000; i++ {
+		for _, term := range s.Next() {
+			counts[term]++
+		}
+	}
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	if max < 200 {
+		t.Errorf("hottest term drawn %d times of 5000 queries; traffic not Zipf-concentrated", max)
+	}
+}
+
+func TestQuerySamplerEmptyLog(t *testing.T) {
+	s := NewQuerySampler(nil, 1)
+	if q := s.Next(); q != nil {
+		t.Errorf("Next() on empty log = %v, want nil", q)
+	}
+	if s.Distinct() != 0 {
+		t.Errorf("Distinct() = %d, want 0", s.Distinct())
+	}
+}
+
+// rankVocab builds a synthetic vocabulary in document-frequency rank
+// order for the query-log generator.
+func rankVocab(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "term" + string(rune('a'+i%26)) + string(rune('0'+(i/26)%10)) + string(rune('0'+i%10))
+	}
+	return out
+}

@@ -163,6 +163,29 @@
 // operation trace that reproduces the failure deterministically when
 // pasted into a test. TESTING.md documents the tiers and the
 // reproduction workflow.
+//
+// # Load harness & verdict gate
+//
+// The simulator proves correctness; cmd/zerber-loadgen (logic in
+// internal/load) proves the system stays fast while everything above
+// happens at once. "zerber-loadgen run" stands up a real cluster over
+// the HTTP transport — each server on its own loopback listener, so
+// every operation pays genuine JSON and TCP costs — and drives it with
+// concurrent searchers replaying the Zipfian query-frequency model
+// (internal/workload.QuerySampler over a synthetic corpus), mutating
+// peers holding a live document set near a target size, group
+// membership churn, and periodic proactive resharing. The run emits a
+// schema-versioned JSON artifact with throughput, latency percentiles,
+// error counts, and provenance (commit, scale tier, seed).
+//
+// "zerber-loadgen compare baseline.json candidate.json" turns two such
+// artifacts into a PASS/NEUTRAL/REGRESS verdict with noise-tolerant
+// thresholds and exits nonzero on REGRESS; CI runs a smoke tier per
+// commit against the committed LOAD_baseline.json and the nightly
+// workflow runs a larger full tier, so a change that collapses
+// retrieval throughput or doubles tail latency fails the pipeline
+// rather than landing silently. TESTING.md covers the tiers and the
+// baseline-refresh workflow.
 package zerber
 
 import (
