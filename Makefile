@@ -7,7 +7,8 @@ FUZZTIME ?= 10s
 COMMIT ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
 .PHONY: build test test-full race fuzz cover bench benchstore benchjson \
-	loadsmoke loadfull loadbaseline loadbaseline-full lint fmt ci
+	loadsmoke loadfull loadbaseline loadbaseline-binary loadbaseline-full \
+	lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -39,6 +40,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME) ./internal/wal
 	$(GO) test -run='^$$' -fuzz='^FuzzJournalDecode$$' -fuzztime=$(FUZZTIME) ./internal/journal
 	$(GO) test -run='^$$' -fuzz='^FuzzApplyRequest$$' -fuzztime=$(FUZZTIME) ./internal/transport
+	$(GO) test -run='^$$' -fuzz='^FuzzBinaryFrameDecode$$' -fuzztime=$(FUZZTIME) ./internal/transport
 	$(GO) test -run='^$$' -fuzz='^FuzzTokenize$$' -fuzztime=$(FUZZTIME) ./internal/textproc
 	$(GO) test -run='^$$' -fuzz='^FuzzSnippet$$' -fuzztime=$(FUZZTIME) ./internal/textproc
 
@@ -75,9 +77,10 @@ benchstore:
 # would truncate it before the parser even runs.
 benchjson:
 	$(GO) test -run='^$$' \
-		-bench='^(BenchmarkSplitBatch|BenchmarkSplitSequential|BenchmarkEncryptBatch|BenchmarkEncryptSequential|BenchmarkIndexDocument5k|BenchmarkIndexDocument5kSerial|BenchmarkUpdateDocument|BenchmarkJournaledFlush|BenchmarkUnjournaledFlush|BenchmarkFillRandDRBG|BenchmarkFillRandCryptoDirect|BenchmarkInvChain|BenchmarkInvGenericPow)$$' \
+		-bench='^(BenchmarkSplitBatch|BenchmarkSplitSequential|BenchmarkEncryptBatch|BenchmarkEncryptSequential|BenchmarkIndexDocument5k|BenchmarkIndexDocument5kSerial|BenchmarkUpdateDocument|BenchmarkJournaledFlush|BenchmarkUnjournaledFlush|BenchmarkFillRandDRBG|BenchmarkFillRandCryptoDirect|BenchmarkInvChain|BenchmarkInvGenericPow|BenchmarkEncodeGetPostingLists|BenchmarkBinaryVsJSONRoundTrip)$$' \
 		-benchmem -benchtime=$(BENCHTIME) -count=1 \
 		./internal/field/ ./internal/shamir/ ./internal/posting/ ./internal/peer/ \
+		./internal/transport/ \
 		> bench_index.out.tmp
 	$(GO) run ./cmd/zerber-benchjson -commit $(COMMIT) -scale benchtime-$(BENCHTIME) \
 		< bench_index.out.tmp > bench_index.json.tmp
@@ -99,6 +102,11 @@ loadsmoke:
 	mv load_smoke.json.tmp LOAD_smoke.json
 	$(GO) run ./cmd/zerber-loadgen compare -out LOAD_verdict.json \
 		LOAD_baseline.json LOAD_smoke.json
+	$(GO) run ./cmd/zerber-loadgen run -scale smoke -transport binary \
+		-commit $(COMMIT) -out load_smoke_binary.json.tmp
+	mv load_smoke_binary.json.tmp LOAD_smoke_binary.json
+	$(GO) run ./cmd/zerber-loadgen compare -out LOAD_verdict_binary.json \
+		LOAD_baseline_binary.json LOAD_smoke_binary.json
 
 loadfull:
 	$(GO) run ./cmd/zerber-loadgen run -scale full -commit $(COMMIT) \
@@ -113,6 +121,11 @@ loadbaseline:
 	$(GO) run ./cmd/zerber-loadgen run -scale smoke -commit $(COMMIT) \
 		-out load_baseline.json.tmp
 	mv load_baseline.json.tmp LOAD_baseline.json
+
+loadbaseline-binary:
+	$(GO) run ./cmd/zerber-loadgen run -scale smoke -transport binary \
+		-commit $(COMMIT) -out load_baseline.json.tmp
+	mv load_baseline.json.tmp LOAD_baseline_binary.json
 
 loadbaseline-full:
 	$(GO) run ./cmd/zerber-loadgen run -scale full -commit $(COMMIT) \

@@ -8,7 +8,7 @@
 //	zerber-index -build-table -m 64 -r 16 -docs ./shared -table table.json -vocab vocab.json
 //
 //	# index the documents as group 1
-//	zerber-index -servers http://h1:8291,http://h2:8291,http://h3:8291 \
+//	zerber-index -servers h1:8291,h2:8291,h3:8291 \
 //	             -k 2 -key <hex> -user alice -group 1 \
 //	             -table table.json -vocab vocab.json -docs ./shared
 //
@@ -41,7 +41,7 @@ import (
 
 func main() {
 	var (
-		servers    = flag.String("servers", "", "comma-separated index server URLs")
+		servers    = flag.String("servers", "", "comma-separated index server addresses (host:port or binary:// for the binary codec, http:// for JSON/HTTP)")
 		k          = flag.Int("k", 2, "secret-sharing threshold")
 		keyHex     = flag.String("key", "", "enterprise auth key (hex)")
 		user       = flag.String("user", "", "authenticated user")
@@ -77,7 +77,7 @@ func main() {
 
 	var apis []transport.API
 	for _, u := range strings.Split(*servers, ",") {
-		c, err := transport.DialHTTP(strings.TrimSpace(u), 10*time.Second)
+		c, err := transport.Dial(strings.TrimSpace(u), 10*time.Second)
 		if err != nil {
 			log.Fatalf("zerber-index: %v", err)
 		}

@@ -4,8 +4,8 @@
 //
 // Two subcommands:
 //
-//	zerber-loadgen run -scale smoke|full [-seed N] [-duration D]
-//	                   [-commit SHA] [-out FILE] [-q]
+//	zerber-loadgen run -scale smoke|full [-transport http|binary]
+//	                   [-seed N] [-duration D] [-commit SHA] [-out FILE] [-q]
 //
 // runs one closed-loop load session (internal/load): N concurrent users
 // issuing Zipfian searches while peers index/update/delete documents
@@ -56,12 +56,13 @@ func usage() {
 func runCmd(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	var (
-		scale    = fs.String("scale", "smoke", "scale tier: smoke (CI) or full (nightly)")
-		seed     = fs.Int64("seed", 0, "workload seed override (0 = tier default)")
-		duration = fs.Duration("duration", 0, "measured-phase duration override (0 = tier default)")
-		commit   = fs.String("commit", "", "commit SHA recorded in the artifact meta")
-		out      = fs.String("out", "", "artifact path (empty = stdout)")
-		quiet    = fs.Bool("q", false, "suppress progress logging")
+		scale     = fs.String("scale", "smoke", "scale tier: smoke (CI) or full (nightly)")
+		seed      = fs.Int64("seed", 0, "workload seed override (0 = tier default)")
+		duration  = fs.Duration("duration", 0, "measured-phase duration override (0 = tier default)")
+		transport = fs.String("transport", "http", "wire codec the cluster serves and dials: http or binary")
+		commit    = fs.String("commit", "", "commit SHA recorded in the artifact meta")
+		out       = fs.String("out", "", "artifact path (empty = stdout)")
+		quiet     = fs.Bool("q", false, "suppress progress logging")
 	)
 	fs.Parse(args)
 	if fs.NArg() != 0 {
@@ -79,6 +80,7 @@ func runCmd(args []string) {
 	if *duration != 0 {
 		cfg.Duration = *duration
 	}
+	cfg.Transport = *transport
 	cfg.Commit = *commit
 	if !*quiet {
 		cfg.Logf = func(format string, a ...any) {

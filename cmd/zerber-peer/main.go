@@ -6,7 +6,7 @@
 // Usage:
 //
 //	zerber-peer -addr :8301 \
-//	            -servers http://h1:8291,http://h2:8291,http://h3:8291 \
+//	            -servers h1:8291,h2:8291,h3:8291 \
 //	            -k 2 -key <hex> -user alice -group 1 \
 //	            -table table.json -vocab vocab.json \
 //	            -groups alice:1,bob:1 \
@@ -41,7 +41,7 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", ":8301", "snippet service listen address")
-		servers   = flag.String("servers", "", "comma-separated index server URLs")
+		servers   = flag.String("servers", "", "comma-separated index server addresses (host:port or binary:// for the binary codec, http:// for JSON/HTTP)")
 		k         = flag.Int("k", 2, "secret-sharing threshold")
 		keyHex    = flag.String("key", "", "enterprise auth key (hex)")
 		user      = flag.String("user", "", "owner user ID")
@@ -69,7 +69,7 @@ func main() {
 
 	var apis []transport.API
 	for _, u := range strings.Split(*servers, ",") {
-		c, err := transport.DialHTTP(strings.TrimSpace(u), 10*time.Second)
+		c, err := transport.Dial(strings.TrimSpace(u), 10*time.Second)
 		if err != nil {
 			log.Fatalf("zerber-peer: %v", err)
 		}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	zerber-search -servers http://h1:8291,http://h2:8291,http://h3:8291 \
+//	zerber-search -servers h1:8291,h2:8291,h3:8291 \
 //	              -k 2 -key <hex> -user alice \
 //	              -table table.json -vocab vocab.json \
 //	              martha imclone
@@ -34,7 +34,7 @@ import (
 
 func main() {
 	var (
-		servers   = flag.String("servers", "", "comma-separated index server URLs")
+		servers   = flag.String("servers", "", "comma-separated index server addresses (host:port or binary:// for the binary codec, http:// for JSON/HTTP)")
 		k         = flag.Int("k", 2, "secret-sharing threshold")
 		keyHex    = flag.String("key", "", "enterprise auth key (hex)")
 		user      = flag.String("user", "", "authenticated user")
@@ -64,7 +64,7 @@ func main() {
 
 	var apis []transport.API
 	for _, u := range strings.Split(*servers, ",") {
-		c, err := transport.DialHTTP(strings.TrimSpace(u), 10*time.Second)
+		c, err := transport.Dial(strings.TrimSpace(u), 10*time.Second)
 		if err != nil {
 			log.Fatalf("zerber-search: %v", err)
 		}

@@ -1,4 +1,4 @@
-// Command zerber-server runs one Zerber index server over HTTP.
+// Command zerber-server runs one Zerber index server.
 //
 // Each of the n servers in a deployment runs this binary on a box owned
 // by a different part of the enterprise (paper §5). All servers share the
@@ -10,6 +10,11 @@
 //	zerber-server -addr :8291 -x 1 -key 000102...1f \
 //	              -groups alice:1,alice:2,bob:2
 //
+// -transport selects the wire codec the listener serves: binary (the
+// default framed protocol; clients dial it with a bare host:port or
+// binary:// address) or http (the JSON debug transport; clients dial
+// http://). See the "Wire protocol" section of the zerber package docs.
+//
 // The key is the 32-byte hex HMAC key of the enterprise authentication
 // service (see cmd/zerber-search -issue for minting matching tokens).
 package main
@@ -19,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
@@ -42,6 +48,7 @@ func main() {
 		ttl    = flag.Duration("token-ttl", time.Hour, "token lifetime")
 		walAt  = flag.String("wal", "", "write-ahead log path for crash recovery (empty = in-memory only)")
 		shards = flag.Int("store-shards", 0, "storage engine lock stripes: 1 = single-lock baseline, 0 = GOMAXPROCS-scaled sharded default")
+		wire   = flag.String("transport", "binary", "wire codec served on -addr: binary or http")
 	)
 	flag.Parse()
 
@@ -94,7 +101,18 @@ func main() {
 	} else {
 		api = server.New(cfg)
 	}
-	log.Printf("zerber-server %s: listening on %s (x=%d, %d group memberships)",
-		*name, *addr, xe, len(strings.Split(*groups, ",")))
+	if *wire != "binary" && *wire != "http" {
+		log.Fatalf("zerber-server: unknown -transport %q (want binary or http)", *wire)
+	}
+	log.Printf("zerber-server %s: listening on %s (%s transport, x=%d, %d group memberships)",
+		*name, *addr, *wire, xe, len(strings.Split(*groups, ",")))
+	if *wire == "binary" {
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			log.Fatalf("zerber-server: %v", err)
+		}
+		transport.ServeBinary(ln, api)
+		select {} // serve until killed
+	}
 	log.Fatal(http.ListenAndServe(*addr, transport.NewHTTPHandler(api)))
 }

@@ -53,6 +53,14 @@ type Config struct {
 	// temporary directory — the production write path, fsyncs included.
 	Journal bool
 
+	// Transport selects the wire codec the loopback cluster serves and
+	// dials: "http" (the JSON debug transport, the default — matching
+	// the committed baselines recorded before the binary codec existed)
+	// or "binary" (the framed protocol over persistent pipelined TCP).
+	// Recorded in the artifact meta; Compare refuses to judge runs over
+	// different codecs against each other.
+	Transport string
+
 	// Commit is recorded in the artifact's meta block.
 	Commit string
 
@@ -138,6 +146,16 @@ func (c *Config) validate() error {
 		return fmt.Errorf("load: Groups, Queries, and TopK must be positive")
 	case c.ChurnInterval <= 0 || c.ReshareInterval <= 0:
 		return fmt.Errorf("load: ChurnInterval and ReshareInterval must be positive")
+	case c.Transport != "" && c.Transport != "http" && c.Transport != "binary":
+		return fmt.Errorf("load: unknown transport %q (want http or binary)", c.Transport)
 	}
 	return nil
+}
+
+// transportName returns the effective wire codec ("http" when unset).
+func (c *Config) transportName() string {
+	if c.Transport == "" {
+		return "http"
+	}
+	return c.Transport
 }

@@ -45,6 +45,10 @@ type Meta struct {
 	Seed       int64  `json:"seed,omitempty"`
 	GoVersion  string `json:"go_version"`
 	GoMaxProcs int    `json:"gomaxprocs"`
+	// Transport is the wire codec the run's traffic crossed ("http" or
+	// "binary"). Empty in artifacts recorded before the codec knob
+	// existed, which comparisons treat as "http".
+	Transport string `json:"transport,omitempty"`
 }
 
 // NewMeta fills a Meta from the current runtime. An empty commit is

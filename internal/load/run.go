@@ -66,6 +66,7 @@ func Run(cfg Config) (*Report, error) {
 		K:           cfg.K,
 		Seed:        cfg.Seed,
 		StoreShards: cfg.StoreShards,
+		Transport:   cfg.transportName(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("load: building cluster: %w", err)
@@ -103,8 +104,8 @@ func Run(cfg Config) (*Report, error) {
 	const churnUsers = 4
 
 	// The cluster's index servers listen on loopback; every peer and
-	// searcher operation below crosses the real HTTP transport.
-	apis, shutdown, err := serveHTTP(cluster)
+	// searcher operation below crosses the configured wire codec.
+	apis, shutdown, err := serveWire(cluster)
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +153,7 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 
-	logf("load: preloading %d documents across %d peers over HTTP", cfg.LiveDocs, cfg.Peers)
+	logf("load: preloading %d documents across %d peers over %s", cfg.LiveDocs, cfg.Peers, cfg.transportName())
 	preStart := time.Now()
 	for i, m := range mutators {
 		if err := m.preload(); err != nil {
@@ -282,9 +283,11 @@ func Run(cfg Config) (*Report, error) {
 	for kind, r := range recs {
 		ops[kind] = r.metrics(elapsed)
 	}
+	meta := NewMeta(cfg.Commit, cfg.Scale, cfg.Seed)
+	meta.Transport = cfg.transportName()
 	report := &Report{
 		Schema: Schema,
-		Meta:   NewMeta(cfg.Commit, cfg.Scale, cfg.Seed),
+		Meta:   meta,
 		Cluster: ClusterInfo{
 			Servers:    cfg.Servers,
 			K:          cfg.K,
@@ -317,9 +320,50 @@ func Summary(r *Report) string {
 	return fmt.Sprintf("%.1fs: %s", r.DurationSec, strings.Join(parts, "; "))
 }
 
-// serveHTTP puts every index server behind a loopback HTTP listener and
-// dials it back through the wire client, so all traffic pays real JSON
-// encoding and TCP round trips.
+// serveWire puts every index server behind a loopback listener speaking
+// the cluster's configured wire codec and dials it back through the
+// matching client, so all traffic pays real encoding and TCP round
+// trips.
+func serveWire(cluster *zerber.Cluster) ([]transport.API, func(), error) {
+	if cluster.Transport() == zerber.TransportBinary {
+		return serveBinary(cluster)
+	}
+	return serveHTTP(cluster)
+}
+
+// serveBinary is serveWire's binary arm: one framed listener and one
+// persistent pipelined client per server.
+func serveBinary(cluster *zerber.Cluster) ([]transport.API, func(), error) {
+	var servers []*transport.BinaryServer
+	var clients []*transport.BinaryClient
+	shutdown := func() {
+		for _, c := range clients {
+			c.Close()
+		}
+		for _, bs := range servers {
+			bs.Close()
+		}
+	}
+	var apis []transport.API
+	for i, s := range cluster.Servers() {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			shutdown()
+			return nil, nil, fmt.Errorf("load: listening for server %d: %w", i, err)
+		}
+		servers = append(servers, transport.ServeBinary(ln, s))
+		api, err := transport.DialBinary(ln.Addr().String(), 30*time.Second)
+		if err != nil {
+			shutdown()
+			return nil, nil, fmt.Errorf("load: dialing server %d: %w", i, err)
+		}
+		clients = append(clients, api)
+		apis = append(apis, api)
+	}
+	return apis, shutdown, nil
+}
+
+// serveHTTP is serveWire's JSON/HTTP debug arm.
 func serveHTTP(cluster *zerber.Cluster) ([]transport.API, func(), error) {
 	var servers []*http.Server
 	shutdown := func() {

@@ -126,6 +126,10 @@ func Compare(base, cand *Report, th Thresholds) ([]MetricVerdict, Verdict, error
 		return nil, Neutral, fmt.Errorf("load: cannot compare scale %q baseline against scale %q candidate",
 			base.Meta.Scale, cand.Meta.Scale)
 	}
+	if bt, ct := transportOf(base.Meta), transportOf(cand.Meta); bt != ct {
+		return nil, Neutral, fmt.Errorf("load: cannot compare %s-transport baseline against %s-transport candidate",
+			bt, ct)
+	}
 	th.fill()
 
 	kinds := make([]string, 0, len(base.Ops))
@@ -183,6 +187,15 @@ func Compare(base, cand *Report, th Thresholds) ([]MetricVerdict, Verdict, error
 		}
 	}
 	return rows, overall, nil
+}
+
+// transportOf maps a Meta's transport to its effective codec: artifacts
+// recorded before the knob existed carry no field and ran over HTTP.
+func transportOf(m Meta) string {
+	if m.Transport == "" {
+		return "http"
+	}
+	return m.Transport
 }
 
 // judgeMoreIsBetter compares a metric where larger is better

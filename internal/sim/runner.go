@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"path/filepath"
 	"sort"
@@ -66,6 +67,11 @@ type runner struct {
 	nodes [][]*server.Server
 	core  *faultCore
 	apis  []transport.API
+
+	// Binary-wire plumbing (cfg.BinaryWire): one loopback listener and
+	// one persistent client per logical server, torn down in close.
+	binServers []*transport.BinaryServer
+	binClients []*transport.BinaryClient
 
 	peer     *peer.Peer
 	batch    *peer.Batch
@@ -192,6 +198,13 @@ func newRunner(cfg Config) (*runner, error) {
 			r.nodes = append(r.nodes, []*server.Server{s})
 			api = s
 		}
+		if cfg.BinaryWire {
+			api, err = r.serveBinary(api)
+			if err != nil {
+				r.close()
+				return nil, err
+			}
+		}
 		r.apis = append(r.apis, newTransport(r.core, i, api))
 	}
 
@@ -253,9 +266,37 @@ func (r *runner) openPeer() error {
 	return nil
 }
 
+// serveBinary fronts api with the real binary wire: a loopback
+// listener served by transport.ServeBinary, dialed back through a
+// persistent pipelined BinaryClient. The fault injector sits above the
+// returned client, so injected faults exercise the codec path too.
+// Determinism holds because the sim's peer and client issue calls
+// sequentially (Fanout 1), so the pipelined connection carries at most
+// one request at a time.
+func (r *runner) serveBinary(api transport.API) (transport.API, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	bs := transport.ServeBinary(ln, api)
+	r.binServers = append(r.binServers, bs)
+	bc, err := transport.DialBinary(ln.Addr().String(), 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("dialing sim binary server: %w", err)
+	}
+	r.binClients = append(r.binClients, bc)
+	return bc, nil
+}
+
 func (r *runner) close() {
 	if r.peer != nil {
 		r.peer.Close()
+	}
+	for _, bc := range r.binClients {
+		bc.Close()
+	}
+	for _, bs := range r.binServers {
+		bs.Close()
 	}
 	os.RemoveAll(r.dir)
 }

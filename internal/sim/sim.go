@@ -61,6 +61,12 @@ type Config struct {
 	// test sets it: the checker must catch the bug, proving it is not
 	// vacuous.
 	SkipDeleteReplay bool
+	// BinaryWire routes every peer/client call through the binary framed
+	// protocol over real loopback TCP — transport.ServeBinary in front of
+	// each logical server, transport.DialBinary back — with the fault
+	// injector layered above the codec, so every simulated fault shape
+	// also exercises frame encode/decode and the pipelined connection.
+	BinaryWire bool
 }
 
 // defaultVocabulary keeps programs dense: few enough terms that posting
@@ -103,6 +109,9 @@ func (c Config) engineName() string {
 	}
 	if c.DHTNodes > 1 {
 		b.WriteString("+dht")
+	}
+	if c.BinaryWire {
+		b.WriteString("+bin")
 	}
 	return b.String()
 }

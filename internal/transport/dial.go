@@ -1,0 +1,23 @@
+package transport
+
+import (
+	"strings"
+	"time"
+)
+
+// Dial connects to an index server, selecting the wire codec from the
+// address scheme:
+//
+//   - "http://host:port" or "https://host:port" — the JSON/HTTP debug
+//     transport (DialHTTP);
+//   - "binary://host:port" or a bare "host:port" — the binary framed
+//     protocol over a persistent pipelined TCP connection (DialBinary).
+//
+// The cmd binaries accept both forms in one -servers list, so a
+// deployment can mix codecs while migrating.
+func Dial(addr string, timeout time.Duration) (API, error) {
+	if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
+		return DialHTTP(addr, timeout)
+	}
+	return DialBinary(addr, timeout)
+}

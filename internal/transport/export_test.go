@@ -1,5 +1,7 @@
 package transport
 
+import "time"
+
 // SetBodyLimit lowers the request-body cap for the error-path tests and
 // returns a restore function. It lives in export_test.go so production
 // builds expose no mutable knob.
@@ -7,4 +9,13 @@ func SetBodyLimit(n int64) (restore func()) {
 	old := bodyLimit
 	bodyLimit = n
 	return func() { bodyLimit = old }
+}
+
+// SetBinaryBackoff shrinks the binary client's reconnect backoff bounds
+// so the reconnect tests converge quickly, and returns a restore
+// function.
+func SetBinaryBackoff(min, max time.Duration) (restore func()) {
+	oldMin, oldMax := binBackoffMin, binBackoffMax
+	binBackoffMin, binBackoffMax = min, max
+	return func() { binBackoffMin, binBackoffMax = oldMin, oldMax }
 }

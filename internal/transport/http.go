@@ -139,16 +139,23 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 func httpError(w http.ResponseWriter, err error) {
-	// Authentication and authorization failures map to 401/403; anything
-	// else is a 400 so the client sees the message.
-	code := http.StatusBadRequest
+	http.Error(w, err.Error(), int(statusCodeOf(err)))
+}
+
+// statusCodeOf maps an API error to its HTTP-equivalent status code:
+// authentication and authorization failures are 401/403, anything else
+// a 400 so the client sees the message. Both wire codecs use this
+// mapping, so a caller observes identical error classes regardless of
+// transport.
+func statusCodeOf(err error) uint16 {
 	switch {
 	case containsAny(err.Error(), "invalid token", "expired token"):
-		code = http.StatusUnauthorized
+		return http.StatusUnauthorized
 	case containsAny(err.Error(), "not in the required group"):
-		code = http.StatusForbidden
+		return http.StatusForbidden
+	default:
+		return http.StatusBadRequest
 	}
-	http.Error(w, err.Error(), code)
 }
 
 func containsAny(s string, subs ...string) bool {
@@ -168,13 +175,24 @@ type HTTPClient struct {
 	x      field.Element
 }
 
+// httpIdleConnsPerHost sizes the client's idle connection pool. The
+// default http.Transport keeps only 2 idle connections per host, so a
+// client fanning out wider than that (peers hit every server per
+// mutation stage, searchers up to n per query) pays a TCP handshake on
+// most calls under load; 64 comfortably covers the largest fan-out any
+// committed configuration uses.
+const httpIdleConnsPerHost = 64
+
 // DialHTTP connects to an index server at baseURL (e.g.
 // "http://ix1.example:8291") and fetches its public x-coordinate.
 func DialHTTP(baseURL string, timeout time.Duration) (*HTTPClient, error) {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
-	c := &HTTPClient{base: baseURL, client: &http.Client{Timeout: timeout}}
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 4 * httpIdleConnsPerHost
+	tr.MaxIdleConnsPerHost = httpIdleConnsPerHost
+	c := &HTTPClient{base: baseURL, client: &http.Client{Timeout: timeout, Transport: tr}}
 	resp, err := c.client.Get(baseURL + pathXCoord)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dialing %s: %w", baseURL, err)

@@ -2,7 +2,6 @@ package transport_test
 
 import (
 	"context"
-	"net/http/httptest"
 	"reflect"
 	"testing"
 	"time"
@@ -50,72 +49,69 @@ func snapshot(srv *server.Server) (map[merging.ListID][]posting.EncryptedShare, 
 	return lists, srv.StatsSnapshot()
 }
 
-// TestHTTPApplyDuplicateDelivery replays the same mutation request
-// twice over the real HTTP transport — the wire shape of a client
-// retrying after a lost response — and requires identical store state
-// and stats afterwards, on every storage engine.
-func TestHTTPApplyDuplicateDelivery(t *testing.T) {
-	for _, eng := range storeEngines {
-		t.Run(eng.name, func(t *testing.T) {
-			srv, tok := newStoreServer(t, eng.shards)
-			ts := httptest.NewServer(transport.NewHTTPHandler(srv))
-			defer ts.Close()
-			c, err := transport.DialHTTP(ts.URL, time.Second)
-			if err != nil {
-				t.Fatal(err)
-			}
-			ctx := context.Background()
+// TestWireApplyDuplicateDelivery replays the same mutation request
+// twice over each real wire codec — the shape of a client retrying
+// after a lost response — and requires identical store state and stats
+// afterwards, on every storage engine.
+func TestWireApplyDuplicateDelivery(t *testing.T) {
+	for _, codec := range codecs {
+		for _, eng := range storeEngines {
+			t.Run(codec.name+"/"+eng.name, func(t *testing.T) {
+				srv, tok := newStoreServer(t, eng.shards)
+				c := codec.dial(t, srv)
+				ctx := context.Background()
 
-			// Insert stage, delivered twice.
-			insOp := transport.OpID{ID: 77, Stage: transport.StageInsert}
-			inserts := []transport.InsertOp{
-				{List: 1, Share: sampleShare(10, 111)},
-				{List: 1, Share: sampleShare(11, 222)},
-				{List: 2, Share: sampleShare(12, 333)},
-			}
-			if err := c.Apply(ctx, tok, insOp, inserts, nil); err != nil {
-				t.Fatal(err)
-			}
-			wantLists, wantStats := snapshot(srv)
-			if wantStats.Inserts != 3 {
-				t.Fatalf("first delivery counted %d inserts, want 3", wantStats.Inserts)
-			}
-			if err := c.Apply(ctx, tok, insOp, inserts, nil); err != nil {
-				t.Fatalf("redelivered insert stage: %v", err)
-			}
-			gotLists, gotStats := snapshot(srv)
-			if !reflect.DeepEqual(gotLists, wantLists) {
-				t.Errorf("store changed under duplicate insert delivery:\n got %v\nwant %v", gotLists, wantLists)
-			}
-			if gotStats != wantStats {
-				t.Errorf("stats changed under duplicate insert delivery: %+v -> %+v", wantStats, gotStats)
-			}
+				// Insert stage, delivered twice.
+				insOp := transport.OpID{ID: 77, Stage: transport.StageInsert}
+				inserts := []transport.InsertOp{
+					{List: 1, Share: sampleShare(10, 111)},
+					{List: 1, Share: sampleShare(11, 222)},
+					{List: 2, Share: sampleShare(12, 333)},
+				}
+				if err := c.Apply(ctx, tok, insOp, inserts, nil); err != nil {
+					t.Fatal(err)
+				}
+				wantLists, wantStats := snapshot(srv)
+				if wantStats.Inserts != 3 {
+					t.Fatalf("first delivery counted %d inserts, want 3", wantStats.Inserts)
+				}
+				if err := c.Apply(ctx, tok, insOp, inserts, nil); err != nil {
+					t.Fatalf("redelivered insert stage: %v", err)
+				}
+				gotLists, gotStats := snapshot(srv)
+				if !reflect.DeepEqual(gotLists, wantLists) {
+					t.Errorf("store changed under duplicate insert delivery:\n got %v\nwant %v", gotLists, wantLists)
+				}
+				if gotStats != wantStats {
+					t.Errorf("stats changed under duplicate insert delivery: %+v -> %+v", wantStats, gotStats)
+				}
 
-			// Delete stage, delivered twice: the second delivery finds
-			// the elements gone and must still acknowledge cleanly.
-			delOp := transport.OpID{ID: 77, Stage: transport.StageDelete}
-			deletes := []transport.DeleteOp{{List: 1, ID: 10}, {List: 2, ID: 12}}
-			if err := c.Apply(ctx, tok, delOp, nil, deletes); err != nil {
-				t.Fatal(err)
-			}
-			wantLists, wantStats = snapshot(srv)
-			if wantStats.Deletes != 2 {
-				t.Fatalf("first delete delivery counted %d deletes, want 2", wantStats.Deletes)
-			}
-			if err := c.Apply(ctx, tok, delOp, nil, deletes); err != nil {
-				t.Fatalf("redelivered delete stage: %v", err)
-			}
-			gotLists, gotStats = snapshot(srv)
-			if !reflect.DeepEqual(gotLists, wantLists) {
-				t.Errorf("store changed under duplicate delete delivery")
-			}
-			if gotStats != wantStats {
-				t.Errorf("stats changed under duplicate delete delivery: %+v -> %+v", wantStats, gotStats)
-			}
-			if srv.TotalElements() != 1 {
-				t.Errorf("TotalElements = %d, want 1", srv.TotalElements())
-			}
-		})
+				// Delete stage, delivered twice: the second delivery finds
+				// the elements gone and must still acknowledge cleanly.
+				delOp := transport.OpID{ID: 77, Stage: transport.StageDelete}
+				deletes := []transport.DeleteOp{{List: 1, ID: 10}, {List: 2, ID: 12}}
+				if err := c.Apply(ctx, tok, delOp, nil, deletes); err != nil {
+					t.Fatal(err)
+				}
+				wantLists, wantStats = snapshot(srv)
+				if wantStats.Deletes != 2 {
+					t.Fatalf("first delete delivery counted %d deletes, want 2", wantStats.Deletes)
+				}
+				if err := c.Apply(ctx, tok, delOp, nil, deletes); err != nil {
+					t.Fatalf("redelivered delete stage: %v", err)
+				}
+				gotLists, gotStats = snapshot(srv)
+				if !reflect.DeepEqual(gotLists, wantLists) {
+					t.Errorf("store changed under duplicate delete delivery")
+				}
+				if gotStats != wantStats {
+					t.Errorf("stats changed under duplicate delete delivery: %+v -> %+v", wantStats, gotStats)
+				}
+				if srv.TotalElements() != 1 {
+					t.Errorf("TotalElements = %d, want 1", srv.TotalElements())
+				}
+			})
+		}
 	}
 }
 

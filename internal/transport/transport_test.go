@@ -3,6 +3,7 @@ package transport_test
 import (
 	"context"
 	"errors"
+	"net"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -30,6 +31,48 @@ func newServer(t testing.TB) (*server.Server, auth.Token) {
 
 func sampleShare(gid posting.GlobalID, y uint64) posting.EncryptedShare {
 	return posting.EncryptedShare{GlobalID: gid, Group: 1, Y: field.New(y)}
+}
+
+// codecs is the wire matrix the conformance suite runs over: every test
+// that exercises client/server behavior through a real socket runs once
+// per codec, so the binary transport inherits the whole HTTP contract.
+var codecs = []struct {
+	name string
+	dial func(t testing.TB, api transport.API) transport.API
+}{
+	{"http", dialHTTPCodec},
+	{"binary", dialBinaryCodec},
+}
+
+// dialHTTPCodec serves api over a loopback HTTP server and dials back
+// through the JSON client. Cleanup tears the server down.
+func dialHTTPCodec(t testing.TB, api transport.API) transport.API {
+	t.Helper()
+	ts := httptest.NewServer(transport.NewHTTPHandler(api))
+	t.Cleanup(ts.Close)
+	c, err := transport.DialHTTP(ts.URL, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// dialBinaryCodec serves api over a loopback binary listener and dials
+// back through the framed client.
+func dialBinaryCodec(t testing.TB, api transport.API) transport.API {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := transport.ServeBinary(ln, api)
+	t.Cleanup(func() { bs.Close() })
+	c, err := transport.DialBinary(ln.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
 }
 
 func TestLocalPassThrough(t *testing.T) {
@@ -82,112 +125,110 @@ func TestLocalByteAccounting(t *testing.T) {
 	}
 }
 
-func TestHTTPRoundTrip(t *testing.T) {
-	srv, tok := newServer(t)
-	ts := httptest.NewServer(transport.NewHTTPHandler(srv))
-	defer ts.Close()
-
-	c, err := transport.DialHTTP(ts.URL, time.Second)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if c.XCoord() != field.New(42) {
-		t.Errorf("XCoord over HTTP = %d, want 42", c.XCoord())
-	}
-	if err := c.Insert(context.Background(), tok, []transport.InsertOp{
-		{List: 5, Share: sampleShare(10, 123456789012345)},
-		{List: 5, Share: sampleShare(11, 9)},
-	}); err != nil {
-		t.Fatal(err)
-	}
-	out, err := c.GetPostingLists(context.Background(), tok, []merging.ListID{5, 77})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(out[5]) != 2 {
-		t.Fatalf("lookup over HTTP: %d shares", len(out[5]))
-	}
-	// Large Y values must survive the JSON round trip exactly.
-	found := false
-	for _, sh := range out[5] {
-		if sh.GlobalID == 10 && sh.Y == field.New(123456789012345) {
-			found = true
-		}
-	}
-	if !found {
-		t.Error("share value corrupted over HTTP")
-	}
-	if len(out[77]) != 0 {
-		t.Error("unknown list must be empty over HTTP")
-	}
-	if err := c.Delete(context.Background(), tok, []transport.DeleteOp{{List: 5, ID: 10}}); err != nil {
-		t.Fatal(err)
-	}
-	if srv.TotalElements() != 1 {
-		t.Error("HTTP delete did not reach the server")
+func TestWireRoundTrip(t *testing.T) {
+	for _, codec := range codecs {
+		t.Run(codec.name, func(t *testing.T) {
+			srv, tok := newServer(t)
+			c := codec.dial(t, srv)
+			if c.XCoord() != field.New(42) {
+				t.Errorf("XCoord over %s = %d, want 42", codec.name, c.XCoord())
+			}
+			if err := c.Insert(context.Background(), tok, []transport.InsertOp{
+				{List: 5, Share: sampleShare(10, 123456789012345)},
+				{List: 5, Share: sampleShare(11, 9)},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			out, err := c.GetPostingLists(context.Background(), tok, []merging.ListID{5, 77})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out[5]) != 2 {
+				t.Fatalf("lookup over %s: %d shares", codec.name, len(out[5]))
+			}
+			// Large Y values must survive the wire round trip exactly.
+			found := false
+			for _, sh := range out[5] {
+				if sh.GlobalID == 10 && sh.Y == field.New(123456789012345) {
+					found = true
+				}
+			}
+			if !found {
+				t.Error("share value corrupted on the wire")
+			}
+			if len(out[77]) != 0 {
+				t.Error("unknown list must come back empty")
+			}
+			if err := c.Delete(context.Background(), tok, []transport.DeleteOp{{List: 5, ID: 10}}); err != nil {
+				t.Fatal(err)
+			}
+			if srv.TotalElements() != 1 {
+				t.Errorf("%s delete did not reach the server", codec.name)
+			}
+		})
 	}
 }
 
-func TestHTTPLargeYPrecision(t *testing.T) {
-	// Shares are uniform in [0, 2^61); JSON must carry them exactly.
-	srv, tok := newServer(t)
-	ts := httptest.NewServer(transport.NewHTTPHandler(srv))
-	defer ts.Close()
-	c, err := transport.DialHTTP(ts.URL, time.Second)
-	if err != nil {
-		t.Fatal(err)
-	}
-	huge := uint64(field.P - 1) // 2^61 - 2: above 2^53, so any float64 detour would corrupt it
-	if err := c.Insert(context.Background(), tok, []transport.InsertOp{{List: 1, Share: sampleShare(1, huge)}}); err != nil {
-		t.Fatal(err)
-	}
-	out, err := c.GetPostingLists(context.Background(), tok, []merging.ListID{1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := out[1][0].Y.Uint64(); got != huge {
-		t.Fatalf("Y = %d, want %d (precision lost in JSON)", got, huge)
-	}
-}
-
-func TestHTTPAuthFailures(t *testing.T) {
-	srv, _ := newServer(t)
-	ts := httptest.NewServer(transport.NewHTTPHandler(srv))
-	defer ts.Close()
-	c, err := transport.DialHTTP(ts.URL, time.Second)
-	if err != nil {
-		t.Fatal(err)
-	}
-	err = c.Insert(context.Background(), auth.Token("garbage"), []transport.InsertOp{{List: 1, Share: sampleShare(1, 1)}})
-	if err == nil {
-		t.Fatal("bad token accepted over HTTP")
-	}
-	if !strings.Contains(err.Error(), "401") {
-		t.Errorf("expected 401 in error, got: %v", err)
+func TestWireLargeYPrecision(t *testing.T) {
+	// Shares are uniform in [0, 2^61); the wire must carry them exactly.
+	for _, codec := range codecs {
+		t.Run(codec.name, func(t *testing.T) {
+			srv, tok := newServer(t)
+			c := codec.dial(t, srv)
+			huge := uint64(field.P - 1) // 2^61 - 2: above 2^53, so any float64 detour would corrupt it
+			if err := c.Insert(context.Background(), tok, []transport.InsertOp{{List: 1, Share: sampleShare(1, huge)}}); err != nil {
+				t.Fatal(err)
+			}
+			out, err := c.GetPostingLists(context.Background(), tok, []merging.ListID{1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := out[1][0].Y.Uint64(); got != huge {
+				t.Fatalf("Y = %d, want %d (precision lost on the wire)", got, huge)
+			}
+		})
 	}
 }
 
-func TestHTTPForbidden(t *testing.T) {
-	srv, tok := newServer(t)
-	ts := httptest.NewServer(transport.NewHTTPHandler(srv))
-	defer ts.Close()
-	c, err := transport.DialHTTP(ts.URL, time.Second)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// alice is in group 1 only; group 99 insert is forbidden.
-	err = c.Insert(context.Background(), tok, []transport.InsertOp{{List: 1, Share: posting.EncryptedShare{GlobalID: 1, Group: 99, Y: 1}}})
-	if err == nil {
-		t.Fatal("cross-group insert accepted over HTTP")
-	}
-	if !strings.Contains(err.Error(), "403") {
-		t.Errorf("expected 403 in error, got: %v", err)
+func TestWireAuthFailures(t *testing.T) {
+	for _, codec := range codecs {
+		t.Run(codec.name, func(t *testing.T) {
+			srv, _ := newServer(t)
+			c := codec.dial(t, srv)
+			err := c.Insert(context.Background(), auth.Token("garbage"), []transport.InsertOp{{List: 1, Share: sampleShare(1, 1)}})
+			if err == nil {
+				t.Fatalf("bad token accepted over %s", codec.name)
+			}
+			if !strings.Contains(err.Error(), "401") {
+				t.Errorf("expected 401 in error, got: %v", err)
+			}
+		})
 	}
 }
 
-func TestDialHTTPBadAddress(t *testing.T) {
+func TestWireForbidden(t *testing.T) {
+	for _, codec := range codecs {
+		t.Run(codec.name, func(t *testing.T) {
+			srv, tok := newServer(t)
+			c := codec.dial(t, srv)
+			// alice is in group 1 only; group 99 insert is forbidden.
+			err := c.Insert(context.Background(), tok, []transport.InsertOp{{List: 1, Share: posting.EncryptedShare{GlobalID: 1, Group: 99, Y: 1}}})
+			if err == nil {
+				t.Fatalf("cross-group insert accepted over %s", codec.name)
+			}
+			if !strings.Contains(err.Error(), "403") {
+				t.Errorf("expected 403 in error, got: %v", err)
+			}
+		})
+	}
+}
+
+func TestDialBadAddress(t *testing.T) {
 	if _, err := transport.DialHTTP("http://127.0.0.1:1", 200*time.Millisecond); err == nil {
-		t.Error("dialing a dead address must fail")
+		t.Error("dialing a dead HTTP address must fail")
+	}
+	if _, err := transport.DialBinary("127.0.0.1:1", 200*time.Millisecond); err == nil {
+		t.Error("dialing a dead binary address must fail")
 	}
 }
 

@@ -89,6 +89,40 @@ func TestSimMutationSmoke(t *testing.T) {
 	t.Logf("caught and shrunk the re-enabled bug:\n%s", found.Report())
 }
 
+// TestSimBinaryWire runs the randomized fault-injected tier with every
+// peer/client call routed through the binary framed protocol over real
+// loopback TCP (Config.BinaryWire): ServeBinary in front of each
+// server, a persistent pipelined DialBinary client behind the fault
+// injector. Tier 1 runs 25+ programs; every fault class exercises frame
+// encode/decode, and the oracle-equality and zero-orphan checks must
+// hold exactly as over the in-process transport.
+func TestSimBinaryWire(t *testing.T) {
+	count := tierCount(5, 25, 400)
+	for _, eng := range []struct {
+		name   string
+		shards int
+	}{{"memory", 1}, {"sharded", 0}} {
+		t.Run(eng.name, func(t *testing.T) {
+			for i := 0; i < count; i++ {
+				cfg := sim.Config{
+					Seed:        int64(700000 + i + 1),
+					StoreShards: eng.shards,
+					BinaryWire:  true,
+					Faults:      sim.DefaultFaults(),
+				}
+				prog := sim.Generate(cfg)
+				if err := sim.Run(cfg, prog); err != nil {
+					failure := &sim.Failure{
+						Cfg: cfg, Program: prog,
+						Shrunk: sim.Shrink(cfg, prog), Err: err,
+					}
+					t.Fatalf("\n%s", failure.Report())
+				}
+			}
+		})
+	}
+}
+
 // TestSimFaultFreeEquivalence runs one program per engine with fault
 // injection disabled — the pure differential check that the engines and
 // DHT routing agree with the oracle under a clean network.

@@ -164,13 +164,46 @@
 // pasted into a test. TESTING.md documents the tiers and the
 // reproduction workflow.
 //
+// # Wire protocol
+//
+// Share traffic between peers, searchers, and index servers crosses
+// one of two interchangeable codecs behind the same transport.API
+// interface, selected by the Transport option (and the -transport flag
+// of the commands):
+//
+//   - "binary" (the default) is a length-prefixed binary framing:
+//     every message is a 4-byte little-endian length, the payload, and
+//     a CRC32 — the same frame format the write-ahead log uses on
+//     disk, so torn and corrupted frames are detected identically in
+//     both places. Payloads are fixed-width field encodings (a share
+//     is exactly 20 bytes on the wire), so encoding is a single
+//     pre-sized allocation and decoding validates lengths before
+//     reading. Each client holds one persistent TCP connection per
+//     server and pipelines concurrent requests over it, tagging every
+//     frame with a request ID so responses can return in any order;
+//     a dead connection is redialed lazily with exponential backoff,
+//     which is safe because mutations are exactly-once by operation-ID
+//     dedup regardless of transport retries.
+//   - "http" is a JSON/HTTP debug transport with the identical error
+//     contract (401 authentication, 403 authorization, 400 malformed).
+//     Prefer it when wire traffic should be readable in a proxy or
+//     curl-able; it costs roughly an order of magnitude more CPU and
+//     several times more allocations per payload than the binary codec
+//     (see BENCH_index.json).
+//
+// Each listener serves exactly one codec (transport.ServeBinary or the
+// HTTP handler), and the conformance test suite, the fault-injecting
+// simulator, and the load harness all run over both codecs, so the two
+// stay behaviorally identical.
+//
 // # Load harness & verdict gate
 //
 // The simulator proves correctness; cmd/zerber-loadgen (logic in
 // internal/load) proves the system stays fast while everything above
 // happens at once. "zerber-loadgen run" stands up a real cluster over
-// the HTTP transport — each server on its own loopback listener, so
-// every operation pays genuine JSON and TCP costs — and drives it with
+// a real wire — each server on its own loopback listener serving the
+// binary or HTTP codec, so every operation pays genuine encoding and
+// TCP costs — and drives it with
 // concurrent searchers replaying the Zipfian query-frequency model
 // (internal/workload.QuerySampler over a synthetic corpus), mutating
 // peers holding a live document set near a target size, group
@@ -283,7 +316,24 @@ type Options struct {
 	// & recovery" above). Empty disables journaling; mutations are then
 	// retryable within the process but lost with it.
 	JournalDir string
+	// Transport names the wire codec deployments should put in front of
+	// the cluster's index servers: TransportBinary (the default) or
+	// TransportHTTP (the JSON debug transport). The in-process cluster
+	// itself calls servers directly; this knob is recorded for harnesses
+	// and the cmd binaries, which serve and dial accordingly (see the
+	// "Wire protocol" section above).
+	Transport string
 }
+
+// Wire codecs for Options.Transport.
+const (
+	// TransportBinary is the length-prefixed binary framed protocol over
+	// persistent pipelined TCP connections — the production transport.
+	TransportBinary = "binary"
+	// TransportHTTP is the JSON/HTTP debug transport: one POST per call,
+	// human-readable payloads, inspectable with curl.
+	TransportHTTP = "http"
+)
 
 // Cluster is a complete in-process Zerber deployment: n index servers,
 // the shared group table, the public mapping table and vocabulary, and
@@ -357,6 +407,14 @@ func NewCluster(docFreqs map[string]int, opts Options) (*Cluster, error) {
 	}
 	if opts.Heuristic == "" {
 		opts.Heuristic = DFM
+	}
+	switch opts.Transport {
+	case "":
+		opts.Transport = TransportBinary
+	case TransportBinary, TransportHTTP:
+	default:
+		return nil, fmt.Errorf("zerber: unknown transport %q (want %q or %q)",
+			opts.Transport, TransportBinary, TransportHTTP)
 	}
 
 	dist, err := confidential.NewDistribution(docFreqs)
@@ -584,6 +642,10 @@ func (c *Cluster) ProactiveReshare() (int, error) {
 
 // K returns the secret-sharing threshold.
 func (c *Cluster) K() int { return c.opts.K }
+
+// Transport returns the configured wire codec (TransportBinary or
+// TransportHTTP).
+func (c *Cluster) Transport() string { return c.opts.Transport }
 
 // N returns the number of index servers.
 func (c *Cluster) N() int { return len(c.servers) }
