@@ -34,11 +34,14 @@ import (
 	"zerber/internal/load"
 )
 
-// measurement is one benchmark result row.
+// measurement is one benchmark result row. Extra holds custom metrics
+// reported through b.ReportMetric (e.g. the migration benchmark's
+// lists/sec), keyed by their unit string.
 type measurement struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // parseLine extracts a measurement from one `go test -bench` output
@@ -71,6 +74,15 @@ func parseLine(line string) (name string, m measurement, ok bool) {
 			m.BytesPerOp = v
 		case "allocs/op":
 			m.AllocsPerOp = v
+		default:
+			// Custom b.ReportMetric units ("lists/sec", ...); the bare
+			// iteration count has no unit and is skipped.
+			if strings.Contains(fields[i+1], "/") {
+				if m.Extra == nil {
+					m.Extra = make(map[string]float64)
+				}
+				m.Extra[fields[i+1]] = v
+			}
 		}
 	}
 	return name, m, found

@@ -5,11 +5,13 @@
 // Two subcommands:
 //
 //	zerber-loadgen run -scale smoke|full [-transport http|binary]
-//	                   [-seed N] [-duration D] [-commit SHA] [-out FILE] [-q]
+//	                   [-dht-nodes N] [-seed N] [-duration D]
+//	                   [-commit SHA] [-out FILE] [-q]
 //
 // runs one closed-loop load session (internal/load): N concurrent users
 // issuing Zipfian searches while peers index/update/delete documents
-// and group churn plus proactive resharing run in the background. The
+// and group churn, node join/leave churn with its online list
+// migration, plus proactive resharing run in the background. The
 // schema-versioned JSON artifact goes to -out (atomically, via temp
 // file + rename) or stdout.
 //
@@ -60,6 +62,7 @@ func runCmd(args []string) {
 		seed      = fs.Int64("seed", 0, "workload seed override (0 = tier default)")
 		duration  = fs.Duration("duration", 0, "measured-phase duration override (0 = tier default)")
 		transport = fs.String("transport", "http", "wire codec the cluster serves and dials: http or binary")
+		dhtNodes  = fs.Int("dht-nodes", -1, "physical nodes per share slot (-1 = tier default; 0 or 1 = monolithic, disables node churn)")
 		commit    = fs.String("commit", "", "commit SHA recorded in the artifact meta")
 		out       = fs.String("out", "", "artifact path (empty = stdout)")
 		quiet     = fs.Bool("q", false, "suppress progress logging")
@@ -82,6 +85,12 @@ func runCmd(args []string) {
 	}
 	cfg.Transport = *transport
 	cfg.Commit = *commit
+	if *dhtNodes >= 0 {
+		cfg.DHTNodes = *dhtNodes
+		if cfg.DHTNodes < 2 {
+			cfg.NodeChurnEvery = 0
+		}
+	}
 	if !*quiet {
 		cfg.Logf = func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)

@@ -1,0 +1,73 @@
+package dht
+
+import (
+	"sync"
+
+	"zerber/internal/auth"
+	"zerber/internal/transport"
+)
+
+// The slot needs its own mutation-stage dedup window, above the
+// per-node windows, because node-level dedup is route-dependent: a
+// node remembers the sub-batch it was sent, and after a membership
+// change re-partitions the lists, an arbitrarily delayed redelivery of
+// an old stage routes different sub-batches to different nodes. A node
+// receiving elements of a stage it never saw re-applies them — and if
+// the elements were deleted since, they come back from the dead as
+// orphans. The slot sees every stage's full, partition-independent
+// payload, so dedup here is stable across any topology change. The
+// node windows stay: they still absorb redeliveries that race a single
+// node's retries.
+//
+// Entries are keyed by (token, op, stage) like the server windows are
+// keyed by caller: op IDs are unique per caller, not globally.
+
+// slotOpCap bounds the slot window. It must be at least as deep as any
+// realistic redelivery horizon; an evicted stage re-applies on
+// redelivery, which converges unless a deletion of the same elements
+// landed in between — the same documented hazard as the server window.
+const slotOpCap = 1024
+
+type slotOpKey struct {
+	tok   auth.Token
+	id    uint64
+	stage uint8
+}
+
+// slotOpWindow is a bounded FIFO of applied stages with their payload
+// checksums (see transport.PayloadSum for skip-vs-reapply semantics).
+type slotOpWindow struct {
+	mu   sync.Mutex
+	sums map[slotOpKey]uint32
+	fifo []slotOpKey
+	next int
+}
+
+func newSlotOpWindow() *slotOpWindow {
+	return &slotOpWindow{sums: make(map[slotOpKey]uint32)}
+}
+
+func (w *slotOpWindow) seen(tok auth.Token, op transport.OpID, sum uint32) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	prev, ok := w.sums[slotOpKey{tok, op.ID, op.Stage}]
+	return ok && prev == sum
+}
+
+func (w *slotOpWindow) record(tok auth.Token, op transport.OpID, sum uint32) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	key := slotOpKey{tok, op.ID, op.Stage}
+	if _, ok := w.sums[key]; ok {
+		w.sums[key] = sum // payload changed: update in place
+		return
+	}
+	if len(w.fifo) < slotOpCap {
+		w.fifo = append(w.fifo, key)
+	} else {
+		delete(w.sums, w.fifo[w.next])
+		w.fifo[w.next] = key
+		w.next = (w.next + 1) % slotOpCap
+	}
+	w.sums[key] = sum
+}

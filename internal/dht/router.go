@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"zerber/internal/auth"
@@ -19,12 +20,45 @@ import (
 // consistent-hashing ring. Slot implements transport.API, so a Zerber
 // peer or client can use a Slot wherever it would use a monolithic
 // index server.
+//
+// Membership is an online operation: AddNode and RemoveNode migrate
+// lists through the two-phase handoff in migrate.go while the slot
+// keeps serving. Authority over a list moves only at cutover — until
+// then (and after an aborted move) routing overrides keep reads and
+// writes on the node that actually holds the data, so a dead migration
+// target degrades the slot to "some lists not yet rebalanced"
+// (Pending > 0, retried by Rebalance) instead of wedging it.
 type Slot struct {
-	x    field.Element
+	x field.Element
+
+	// ring holds the *desired* placement. Actual routing consults the
+	// overrides below first: authority follows data, not the ring,
+	// until each list's cutover.
 	ring *Ring
 
-	mu    sync.RWMutex
-	nodes map[string]*server.Server
+	// migMu serializes membership operations (AddNode, RemoveNode,
+	// Rebalance): at most one migration engine runs per slot.
+	migMu sync.Mutex
+	pol   MigrationPolicy
+	sink  TransferSink
+	hooks *SimHooks
+
+	// mu guards the routing state. Every serving call holds the read
+	// lock across its routing decision and node dispatch, so the
+	// migration engine's state transitions (move start, cutover,
+	// abort) fence all in-flight calls: a mutation is either in the
+	// copy snapshot or in the move's dirty set, never lost.
+	mu       sync.RWMutex
+	nodes    map[string]*server.Server
+	draining map[string]bool // still serving & in nodes, but off the ring
+	epoch    Epoch
+	moves    map[merging.ListID]*listMove // in-flight copy: source is authoritative
+	stale    map[merging.ListID]string    // aborted/unfinished move: authority stays here
+	aborts   map[merging.ListID]abortRec  // undelivered target cleanups
+
+	// ops dedups mutation stages above the per-node windows, which stop
+	// working across topology changes (see opwindow.go).
+	ops *slotOpWindow
 }
 
 var _ transport.API = (*Slot)(nil)
@@ -34,208 +68,321 @@ func NewSlot(x field.Element, vnodesPerNode int) (*Slot, error) {
 	if x == 0 {
 		return nil, errors.New("dht: x-coordinate 0 is reserved for the secret")
 	}
-	return &Slot{
-		x:     x,
-		ring:  NewRing(vnodesPerNode),
-		nodes: make(map[string]*server.Server),
-	}, nil
+	s := &Slot{
+		x:        x,
+		ring:     NewRing(vnodesPerNode),
+		pol:      DefaultMigrationPolicy(),
+		nodes:    make(map[string]*server.Server),
+		draining: make(map[string]bool),
+		moves:    make(map[merging.ListID]*listMove),
+		stale:    make(map[merging.ListID]string),
+		aborts:   make(map[merging.ListID]abortRec),
+		ops:      newSlotOpWindow(),
+	}
+	s.sink = localSink{s}
+	return s, nil
 }
 
-// AddNode joins a physical node to the slot. The node's server must be
-// configured with the slot's x-coordinate (shares are bound to x, not to
-// boxes). Lists the new node now owns are migrated from their previous
-// owners.
+// ownerOfLocked resolves which node is authoritative for a list right
+// now: the source of an in-flight move, the recorded holder after an
+// aborted move, or the ring owner. Caller holds mu (read or write).
+func (s *Slot) ownerOfLocked(lid merging.ListID) (string, error) {
+	if mv, ok := s.moves[lid]; ok {
+		return mv.src, nil
+	}
+	if name, ok := s.stale[lid]; ok {
+		return name, nil
+	}
+	return s.ring.OwnerOfList(lid)
+}
+
+// AddNode joins a physical node to the slot and migrates the lists it
+// now owns from their previous holders, online. The node serves its
+// lists as each cutover lands. A per-list migration failure leaves
+// that list on its previous owner (retried by Rebalance); the
+// aggregated errors are returned but the node is a member regardless.
+// The node's server must be configured with the slot's x-coordinate
+// (shares are bound to x, not to boxes).
 func (s *Slot) AddNode(name string, srv *server.Server) error {
 	if srv.XCoord() != s.x {
 		return fmt.Errorf("dht: node %s has x=%d, slot requires x=%d", name, srv.XCoord(), s.x)
 	}
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
 	s.mu.Lock()
 	if _, dup := s.nodes[name]; dup {
 		s.mu.Unlock()
+		if s.draining[name] {
+			return fmt.Errorf("dht: node %s is still draining out of the slot", name)
+		}
 		return fmt.Errorf("dht: node %s already in slot", name)
 	}
 	s.nodes[name] = srv
+	held := s.heldAuthorityLocked()
 	s.ring.AddNode(name)
+	s.pinAuthorityLocked(held)
+	s.epoch++
+	ep := s.epoch
 	s.mu.Unlock()
-	return s.rebalance()
+	return s.rebalanceLocked(ep)
 }
 
-// RemoveNode leaves a node from the slot, first migrating its lists to
-// the remaining owners. Removing the last node fails: its data would be
-// lost.
+// heldAuthorityLocked maps every stored list to the node currently
+// authoritative for it. Caller holds mu.
+func (s *Slot) heldAuthorityLocked() map[merging.ListID]string {
+	out := make(map[merging.ListID]string)
+	for name, srv := range s.nodes {
+		for lid := range srv.ListLengths() {
+			if owner, err := s.ownerOfLocked(lid); err == nil && owner == name {
+				out[lid] = name
+			}
+		}
+	}
+	return out
+}
+
+// pinAuthorityLocked records routing overrides after a ring change so
+// that authority stays with the data: a list whose desired owner moved
+// keeps routing to its current holder until its cutover, and overrides
+// that became redundant are dropped. Caller holds mu.
+func (s *Slot) pinAuthorityLocked(held map[merging.ListID]string) {
+	for lid, holder := range held {
+		want, err := s.ring.OwnerOfList(lid)
+		if err != nil {
+			continue
+		}
+		if want != holder {
+			s.stale[lid] = holder
+		} else {
+			delete(s.stale, lid)
+		}
+	}
+}
+
+// RemoveNode takes a node off the ring and drains its lists to the
+// remaining owners, online. The node keeps serving each list until
+// that list's cutover. If any move fails, the node stays in the slot
+// in a draining state — still authoritative for what it holds — and a
+// later Rebalance (or RemoveNode again) finishes the job; the
+// aggregated errors are returned. Removing the last ring node fails:
+// its data would have nowhere to go.
 func (s *Slot) RemoveNode(name string) error {
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
 	s.mu.Lock()
-	leaving, ok := s.nodes[name]
-	if !ok {
+	if _, ok := s.nodes[name]; !ok {
 		s.mu.Unlock()
 		return fmt.Errorf("dht: node %s not in slot", name)
 	}
-	if len(s.nodes) == 1 {
-		s.mu.Unlock()
-		return errors.New("dht: cannot remove the last node of a slot")
+	if !s.draining[name] {
+		if s.ring.NumNodes() <= 1 {
+			s.mu.Unlock()
+			return errors.New("dht: cannot remove the last node of a slot")
+		}
+		// Pin authority before the ring forgets the node: each list the
+		// node holds stays routed to it until its individual cutover.
+		held := s.heldAuthorityLocked()
+		s.ring.RemoveNode(name)
+		s.draining[name] = true
+		s.pinAuthorityLocked(held)
+		s.epoch++
 	}
-	delete(s.nodes, name)
-	s.ring.RemoveNode(name)
+	ep := s.epoch
 	s.mu.Unlock()
-
-	// Hand the leaving node's shares to their new owners.
-	return s.migrateFrom(leaving)
-}
-
-// rebalance moves every stored list to its current ring owner; called
-// after membership changes.
-func (s *Slot) rebalance() error {
-	s.mu.RLock()
-	nodes := make(map[string]*server.Server, len(s.nodes))
-	for n, srv := range s.nodes {
-		nodes[n] = srv
-	}
-	s.mu.RUnlock()
-	for name, srv := range nodes {
-		if err := s.migrateMisplaced(name, srv); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// migrateMisplaced moves lists that no longer belong on srv.
-func (s *Slot) migrateMisplaced(name string, srv *server.Server) error {
-	for lid := range srv.ListLengths() {
-		owner, err := s.ring.OwnerOfList(lid)
-		if err != nil {
-			return err
-		}
-		if owner == name {
-			continue
-		}
-		if err := s.moveList(srv, owner, lid); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// migrateFrom moves all lists off a (removed) node.
-func (s *Slot) migrateFrom(leaving *server.Server) error {
-	for lid := range leaving.ListLengths() {
-		owner, err := s.ring.OwnerOfList(lid)
-		if err != nil {
-			return err
-		}
-		if err := s.moveList(leaving, owner, lid); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// moveList transplants one merged posting list between nodes through the
-// storage engines directly (node-to-node transfer inside one slot; the
-// shares stay encrypted throughout — migration never sees plaintext).
-func (s *Slot) moveList(from *server.Server, toName string, lid merging.ListID) error {
-	s.mu.RLock()
-	to := s.nodes[toName]
-	s.mu.RUnlock()
-	if to == nil {
-		return fmt.Errorf("dht: migration target %s vanished", toName)
-	}
-	to.Store().IngestList(lid, from.Store().List(lid))
-	from.Store().DropList(lid)
-	return nil
+	return s.rebalanceLocked(ep)
 }
 
 // XCoord returns the slot's public x-coordinate.
 func (s *Slot) XCoord() field.Element { return s.x }
 
-// Insert routes each op to the node owning its posting list.
+// opParts is one dispatch group of a routed mutation.
+type opParts struct {
+	ins  []transport.InsertOp
+	dels []transport.DeleteOp
+}
+
+// routeLocked splits a mutation by authoritative destination: settled
+// lists group per node, lists under an active copy group per move (the
+// source applies them and the move's dirty set records the touched
+// IDs). Caller holds mu.RLock.
+func (s *Slot) routeLocked(inserts []transport.InsertOp, deletes []transport.DeleteOp) (map[string]*opParts, map[merging.ListID]*opParts, error) {
+	normal := make(map[string]*opParts)
+	moving := make(map[merging.ListID]*opParts)
+	route := func(lid merging.ListID) (*opParts, error) {
+		if _, ok := s.moves[lid]; ok {
+			p := moving[lid]
+			if p == nil {
+				p = &opParts{}
+				moving[lid] = p
+			}
+			return p, nil
+		}
+		owner, err := s.ownerOfLocked(lid)
+		if err != nil {
+			return nil, err
+		}
+		p := normal[owner]
+		if p == nil {
+			p = &opParts{}
+			normal[owner] = p
+		}
+		return p, nil
+	}
+	for _, op := range inserts {
+		p, err := route(op.List)
+		if err != nil {
+			return nil, nil, err
+		}
+		p.ins = append(p.ins, op)
+	}
+	for _, op := range deletes {
+		p, err := route(op.List)
+		if err != nil {
+			return nil, nil, err
+		}
+		p.dels = append(p.dels, op)
+	}
+	return normal, moving, nil
+}
+
+// applyMoving dispatches one migrating list's part to the move's
+// source and records the touched IDs in the dirty set, atomically per
+// list (jmu), so drain rounds replay a consistent order.
+func (s *Slot) applyMoving(lid merging.ListID, p *opParts, call func(srv *server.Server) error) error {
+	mv := s.moves[lid]
+	srv := s.nodes[mv.src]
+	if srv == nil {
+		return fmt.Errorf("dht: owner %s vanished", mv.src)
+	}
+	mv.jmu.Lock()
+	defer mv.jmu.Unlock()
+	if err := call(srv); err != nil {
+		return err
+	}
+	for _, op := range p.ins {
+		mv.markDirty(op.Share.GlobalID)
+	}
+	for _, op := range p.dels {
+		mv.markDirty(op.ID)
+	}
+	return nil
+}
+
+// Insert routes each op to the node authoritative for its posting list.
 func (s *Slot) Insert(ctx context.Context, tok auth.Token, ops []transport.InsertOp) error {
-	grouped, err := s.groupInsert(ops)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	normal, moving, err := s.routeLocked(ops, nil)
 	if err != nil {
 		return err
 	}
-	for name, nodeOps := range grouped {
-		s.mu.RLock()
+	for name, p := range normal {
 		srv := s.nodes[name]
-		s.mu.RUnlock()
 		if srv == nil {
 			return fmt.Errorf("dht: owner %s vanished", name)
 		}
-		if err := srv.Insert(ctx, tok, nodeOps); err != nil {
+		if err := srv.Insert(ctx, tok, p.ins); err != nil {
+			return err
+		}
+	}
+	for lid, p := range moving {
+		part := p
+		if err := s.applyMoving(lid, p, func(srv *server.Server) error {
+			return srv.Insert(ctx, tok, part.ins)
+		}); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Delete routes each op to the node owning its posting list.
+// Delete routes each op to the node authoritative for its posting list.
 func (s *Slot) Delete(ctx context.Context, tok auth.Token, ops []transport.DeleteOp) error {
-	grouped := make(map[string][]transport.DeleteOp)
-	for _, op := range ops {
-		owner, err := s.ring.OwnerOfList(op.List)
-		if err != nil {
-			return err
-		}
-		grouped[owner] = append(grouped[owner], op)
-	}
-	for name, nodeOps := range grouped {
-		s.mu.RLock()
-		srv := s.nodes[name]
-		s.mu.RUnlock()
-		if srv == nil {
-			return fmt.Errorf("dht: owner %s vanished", name)
-		}
-		if err := srv.Delete(ctx, tok, nodeOps); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// Apply routes one mutation stage to the nodes owning its posting
-// lists, forwarding the op ID so each node deduplicates its own part of
-// a redelivered stage. If ring membership changes between an attempt and
-// its retry, a node can receive the same op ID with a different payload
-// slice; the nodes' payload checksums catch that and re-apply, which
-// converges because inserts upsert and Apply's deletes are conditional.
-func (s *Slot) Apply(ctx context.Context, tok auth.Token, op transport.OpID, inserts []transport.InsertOp, deletes []transport.DeleteOp) error {
-	groupedIns, err := s.groupInsert(inserts)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	normal, moving, err := s.routeLocked(nil, ops)
 	if err != nil {
 		return err
 	}
-	groupedDels := make(map[string][]transport.DeleteOp)
-	owners := make(map[string]struct{}, len(groupedIns))
-	for name := range groupedIns {
-		owners[name] = struct{}{}
-	}
-	for _, del := range deletes {
-		owner, err := s.ring.OwnerOfList(del.List)
-		if err != nil {
-			return err
-		}
-		groupedDels[owner] = append(groupedDels[owner], del)
-		owners[owner] = struct{}{}
-	}
-	for name := range owners {
-		s.mu.RLock()
+	for name, p := range normal {
 		srv := s.nodes[name]
-		s.mu.RUnlock()
 		if srv == nil {
 			return fmt.Errorf("dht: owner %s vanished", name)
 		}
-		if err := srv.Apply(ctx, tok, op, groupedIns[name], groupedDels[name]); err != nil {
+		if err := srv.Delete(ctx, tok, p.dels); err != nil {
+			return err
+		}
+	}
+	for lid, p := range moving {
+		part := p
+		if err := s.applyMoving(lid, p, func(srv *server.Server) error {
+			return srv.Delete(ctx, tok, part.dels)
+		}); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// GetPostingLists fans the request to the owners of the requested lists
-// and merges the responses.
+// Apply routes one mutation stage to the nodes authoritative for its
+// posting lists. The slot deduplicates redelivered stages itself,
+// before routing: node-level dedup remembers sub-batches, which change
+// whenever membership re-partitions the lists, so an arbitrarily
+// delayed redelivery after a topology change would reach nodes that
+// never saw the stage and re-apply it — resurrecting elements deleted
+// in between. The slot's window keys on the full, partition-independent
+// payload, so a redelivery is recognized under any topology. The op ID
+// is still forwarded: the node windows absorb redeliveries that race a
+// single node's retries within one routing generation.
+func (s *Slot) Apply(ctx context.Context, tok auth.Token, op transport.OpID, inserts []transport.InsertOp, deletes []transport.DeleteOp) error {
+	var sum uint32
+	if !op.IsZero() {
+		sum = transport.PayloadSum(inserts, deletes)
+		if s.ops.seen(tok, op, sum) {
+			return nil
+		}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	normal, moving, err := s.routeLocked(inserts, deletes)
+	if err != nil {
+		return err
+	}
+	for name, p := range normal {
+		srv := s.nodes[name]
+		if srv == nil {
+			return fmt.Errorf("dht: owner %s vanished", name)
+		}
+		if err := srv.Apply(ctx, tok, op, p.ins, p.dels); err != nil {
+			return err
+		}
+	}
+	for lid, p := range moving {
+		part := p
+		if err := s.applyMoving(lid, p, func(srv *server.Server) error {
+			return srv.Apply(ctx, tok, op, part.ins, part.dels)
+		}); err != nil {
+			return err
+		}
+	}
+	// Recorded only on full success: a partial failure must re-apply on
+	// retry, which converges (upserts + conditional deletes).
+	if !op.IsZero() {
+		s.ops.record(tok, op, sum)
+	}
+	return nil
+}
+
+// GetPostingLists fans the request to the authoritative holders of the
+// requested lists and merges the responses. Reads route like writes:
+// to the source during a copy, to the recorded holder after an aborted
+// move — a half-ingested target copy is never read.
 func (s *Slot) GetPostingLists(ctx context.Context, tok auth.Token, lists []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	grouped := make(map[string][]merging.ListID)
 	for _, lid := range lists {
-		owner, err := s.ring.OwnerOfList(lid)
+		owner, err := s.ownerOfLocked(lid)
 		if err != nil {
 			return nil, err
 		}
@@ -243,9 +390,7 @@ func (s *Slot) GetPostingLists(ctx context.Context, tok auth.Token, lists []merg
 	}
 	out := make(map[merging.ListID][]posting.EncryptedShare, len(lists))
 	for name, nodeLists := range grouped {
-		s.mu.RLock()
 		srv := s.nodes[name]
-		s.mu.RUnlock()
 		if srv == nil {
 			return nil, fmt.Errorf("dht: owner %s vanished", name)
 		}
@@ -260,19 +405,8 @@ func (s *Slot) GetPostingLists(ctx context.Context, tok auth.Token, lists []merg
 	return out, nil
 }
 
-func (s *Slot) groupInsert(ops []transport.InsertOp) (map[string][]transport.InsertOp, error) {
-	grouped := make(map[string][]transport.InsertOp)
-	for _, op := range ops {
-		owner, err := s.ring.OwnerOfList(op.List)
-		if err != nil {
-			return nil, err
-		}
-		grouped[owner] = append(grouped[owner], op)
-	}
-	return grouped, nil
-}
-
-// NumNodes returns the number of physical nodes in the slot.
+// NumNodes returns the number of physical nodes serving the slot
+// (including nodes still draining out).
 func (s *Slot) NumNodes() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -285,6 +419,33 @@ func (s *Slot) Node(name string) (*server.Server, bool) {
 	defer s.mu.RUnlock()
 	srv, ok := s.nodes[name]
 	return srv, ok
+}
+
+// NodeNames returns the sorted names of every node serving the slot,
+// including nodes still draining out.
+func (s *Slot) NodeNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.nodes))
+	for name := range s.nodes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RingOwnerOfList returns the ring's desired owner of a list — where
+// the list will live once all pending migration work has converged.
+func (s *Slot) RingOwnerOfList(lid merging.ListID) (string, error) {
+	return s.ring.OwnerOfList(lid)
+}
+
+// RingNodes returns the sorted names of the ring members — the nodes
+// new lists hash to. Draining nodes are excluded.
+func (s *Slot) RingNodes() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ring.Nodes()
 }
 
 // ListDistribution returns, per node, how many lists it currently holds.

@@ -27,6 +27,18 @@ type Config struct {
 	// default, 1 = single-lock baseline).
 	Servers, K, StoreShards int
 
+	// DHTNodes, when above 1, fronts each share slot with that many
+	// physical nodes behind a consistent-hashing router (zerber's
+	// "Membership & rebalancing"), so traffic pays real routing costs.
+	DHTNodes int
+
+	// NodeChurnEvery, when positive, paces node join/leave churn: a
+	// background worker alternately joins a fresh node to every slot and
+	// drains it back out while all other traffic keeps flowing, so the
+	// run measures serving performance during live migration. Requires
+	// DHTNodes > 1.
+	NodeChurnEvery time.Duration
+
 	// Peers is the number of document-owner sites, each driven by one
 	// mutator worker; Searchers is the number of concurrent query
 	// workers.
@@ -89,6 +101,8 @@ func SmokeConfig() Config {
 		LiveDocs:        120,
 		ChurnInterval:   200 * time.Millisecond,
 		ReshareInterval: 2 * time.Second,
+		DHTNodes:        2,
+		NodeChurnEvery:  1 * time.Second,
 		Journal:         true,
 	}
 }
@@ -113,6 +127,8 @@ func FullConfig() Config {
 		LiveDocs:        600,
 		ChurnInterval:   100 * time.Millisecond,
 		ReshareInterval: 5 * time.Second,
+		DHTNodes:        3,
+		NodeChurnEvery:  2 * time.Second,
 		Journal:         true,
 	}
 }
@@ -146,6 +162,10 @@ func (c *Config) validate() error {
 		return fmt.Errorf("load: Groups, Queries, and TopK must be positive")
 	case c.ChurnInterval <= 0 || c.ReshareInterval <= 0:
 		return fmt.Errorf("load: ChurnInterval and ReshareInterval must be positive")
+	case c.DHTNodes < 0 || c.NodeChurnEvery < 0:
+		return fmt.Errorf("load: DHTNodes and NodeChurnEvery must be non-negative")
+	case c.NodeChurnEvery > 0 && c.DHTNodes < 2:
+		return fmt.Errorf("load: node churn needs DHTNodes > 1, got %d", c.DHTNodes)
 	case c.Transport != "" && c.Transport != "http" && c.Transport != "binary":
 		return fmt.Errorf("load: unknown transport %q (want http or binary)", c.Transport)
 	}

@@ -1,9 +1,10 @@
 // Package load is the closed-loop load harness: it drives a real
-// multi-server Zerber cluster over the HTTP transport with concurrent
+// multi-server Zerber cluster over a real wire with concurrent
 // simulated users — Zipfian searches sampled from the workload's
 // query-frequency model while peers index, update, and delete documents
-// and group churn plus proactive resharing run in the background — and
-// records throughput, latency percentiles, and error counts as a
+// and group churn, node join/leave churn with its online list
+// migration, and periodic proactive resharing run in the background —
+// and records throughput, latency percentiles, and error counts as a
 // schema-versioned JSON artifact.
 //
 // The package also implements the baseline-vs-candidate comparator
@@ -96,8 +97,12 @@ func (m OpMetrics) ErrorRate() float64 {
 
 // ClusterInfo records the measured deployment's shape.
 type ClusterInfo struct {
-	Servers    int  `json:"servers"`
-	K          int  `json:"k"`
+	Servers int `json:"servers"`
+	K       int `json:"k"`
+	// DHTNodes is the physical node count behind each share slot (0 =
+	// monolithic, one server per slot). Absent in artifacts recorded
+	// before elastic membership existed.
+	DHTNodes   int  `json:"dht_nodes,omitempty"`
 	Peers      int  `json:"peers"`
 	Searchers  int  `json:"searchers"`
 	CorpusDocs int  `json:"corpus_docs"`

@@ -25,9 +25,10 @@ import (
 // and query log, wires a real multi-server cluster whose index servers
 // listen on loopback HTTP, preloads the steady-state document set, and
 // then drives Duration of mixed traffic — concurrent Zipfian searches,
-// per-peer index/update/delete mutations, group-membership churn, and
-// periodic proactive resharing — recording per-operation latencies and
-// errors into a versioned Report.
+// per-peer index/update/delete mutations, group-membership churn, node
+// join/leave churn with its online list migration, and periodic
+// proactive resharing — recording per-operation latencies and errors
+// into a versioned Report.
 //
 // Proactive resharing snapshots and compares the servers' element
 // inventories, so a mutation landing mid-round would abort it (and a
@@ -66,6 +67,7 @@ func Run(cfg Config) (*Report, error) {
 		K:           cfg.K,
 		Seed:        cfg.Seed,
 		StoreShards: cfg.StoreShards,
+		DHTNodes:    cfg.DHTNodes,
 		Transport:   cfg.transportName(),
 	})
 	if err != nil {
@@ -169,7 +171,7 @@ func Run(cfg Config) (*Report, error) {
 
 	recs := map[string]*recorder{
 		"search": {}, "index": {}, "update": {}, "delete": {},
-		"churn": {}, "reshare": {},
+		"churn": {}, "reshare": {}, "nodechurn": {},
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration)
@@ -249,8 +251,52 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}()
 
+	// Node churn: joins a fresh node to every share slot, lets the
+	// migration land under live traffic, then drains it back out. It
+	// holds the maintenance lock's read side like the mutators, so
+	// resharing — which refuses to run with migrations pending — never
+	// races a topology change.
+	if cfg.NodeChurnEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ticker := time.NewTicker(cfg.NodeChurnEvery)
+			defer ticker.Stop()
+			seq, joined := 0, ""
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					maint.RLock()
+					t0 := time.Now()
+					var err error
+					if joined == "" {
+						joined = fmt.Sprintf("x%d", seq)
+						seq++
+						err = cluster.JoinNode(joined)
+					} else {
+						err = cluster.LeaveNode(joined)
+						joined = ""
+					}
+					if err == nil {
+						_, err = cluster.Rebalance()
+					}
+					d := time.Since(t0)
+					maint.RUnlock()
+					recs["nodechurn"].done(d, err)
+					if err != nil {
+						logf("load: node churn step failed: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
 	// Proactive resharing: periodic rounds under the maintenance lock
-	// (see the function comment).
+	// (see the function comment). Under DHT the round first drives any
+	// unfinished migration work to quiescence — resharing refuses to
+	// touch a list that is mid-handoff.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -263,7 +309,11 @@ func Run(cfg Config) (*Report, error) {
 			case <-ticker.C:
 				maint.Lock()
 				t0 := time.Now()
-				n, err := cluster.ProactiveReshare()
+				err := rebalanceQuiet(cluster)
+				var n int
+				if err == nil {
+					n, err = cluster.ProactiveReshare()
+				}
 				d := time.Since(t0)
 				maint.Unlock()
 				recs["reshare"].done(d, err)
@@ -291,6 +341,7 @@ func Run(cfg Config) (*Report, error) {
 		Cluster: ClusterInfo{
 			Servers:    cfg.Servers,
 			K:          cfg.K,
+			DHTNodes:   cfg.DHTNodes,
 			Peers:      cfg.Peers,
 			Searchers:  cfg.Searchers,
 			CorpusDocs: cfg.CorpusDocs,
@@ -320,6 +371,24 @@ func Summary(r *Report) string {
 	return fmt.Sprintf("%.1fs: %s", r.DurationSec, strings.Join(parts, "; "))
 }
 
+// rebalanceQuiet retries pending migration work until every list sits
+// on its ring owner. Called with the maintenance lock held, so no new
+// churn can start mid-loop; the bound only guards against a wedged
+// engine, which would be a bug.
+func rebalanceQuiet(cluster *zerber.Cluster) error {
+	for attempt := 0; attempt < 50; attempt++ {
+		pending, err := cluster.Rebalance()
+		if err != nil {
+			return err
+		}
+		if pending == 0 {
+			return nil
+		}
+	}
+	pending, _ := cluster.Rebalance()
+	return fmt.Errorf("load: %d migrations still pending after 50 rebalance rounds", pending)
+}
+
 // serveWire puts every index server behind a loopback listener speaking
 // the cluster's configured wire codec and dials it back through the
 // matching client, so all traffic pays real encoding and TCP round
@@ -345,7 +414,7 @@ func serveBinary(cluster *zerber.Cluster) ([]transport.API, func(), error) {
 		}
 	}
 	var apis []transport.API
-	for i, s := range cluster.Servers() {
+	for i, s := range cluster.WireTargets() {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			shutdown()
@@ -372,7 +441,7 @@ func serveHTTP(cluster *zerber.Cluster) ([]transport.API, func(), error) {
 		}
 	}
 	var apis []transport.API
-	for i, s := range cluster.Servers() {
+	for i, s := range cluster.WireTargets() {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			shutdown()

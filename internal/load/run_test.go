@@ -22,6 +22,7 @@ func TestRunSmokeTiny(t *testing.T) {
 	cfg.LiveDocs = 40
 	cfg.ChurnInterval = 50 * time.Millisecond
 	cfg.ReshareInterval = 300 * time.Millisecond
+	cfg.NodeChurnEvery = 200 * time.Millisecond
 	cfg.Commit = "testcommit"
 	cfg.Logf = t.Logf
 
@@ -35,7 +36,7 @@ func TestRunSmokeTiny(t *testing.T) {
 	if rep.Meta.Commit != "testcommit" || rep.Meta.Scale != "smoke" {
 		t.Errorf("meta = %+v, want commit=testcommit scale=smoke", rep.Meta)
 	}
-	for _, kind := range []string{"search", "index", "update", "delete", "churn", "reshare"} {
+	for _, kind := range []string{"search", "index", "update", "delete", "churn", "reshare", "nodechurn"} {
 		if _, ok := rep.Ops[kind]; !ok {
 			t.Errorf("op kind %q missing from report", kind)
 		}
@@ -50,13 +51,16 @@ func TestRunSmokeTiny(t *testing.T) {
 	if mutations == 0 {
 		t.Error("no mutations completed")
 	}
-	for _, kind := range []string{"index", "update", "delete", "churn", "reshare"} {
+	for _, kind := range []string{"index", "update", "delete", "churn", "reshare", "nodechurn"} {
 		if n := rep.Ops[kind].Errors; n != 0 {
 			t.Errorf("%s errors = %d, want 0", kind, n)
 		}
 	}
-	if rep.Cluster.Servers != cfg.Servers || rep.Cluster.K != cfg.K {
-		t.Errorf("cluster info = %+v, want servers=%d k=%d", rep.Cluster, cfg.Servers, cfg.K)
+	if rep.Ops["nodechurn"].Ops == 0 {
+		t.Error("no node churn steps completed")
+	}
+	if rep.Cluster.Servers != cfg.Servers || rep.Cluster.K != cfg.K || rep.Cluster.DHTNodes != cfg.DHTNodes {
+		t.Errorf("cluster info = %+v, want servers=%d k=%d dht=%d", rep.Cluster, cfg.Servers, cfg.K, cfg.DHTNodes)
 	}
 	if rep.DurationSec <= 0 {
 		t.Errorf("duration_sec = %v, want > 0", rep.DurationSec)

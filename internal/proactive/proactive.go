@@ -27,12 +27,29 @@ import (
 	"zerber/internal/posting"
 	"zerber/internal/server"
 	"zerber/internal/shamir"
+	"zerber/internal/store"
 )
 
 // Errors returned by Reshare.
 var (
 	ErrTooFewServers = errors.New("proactive: need at least k servers")
 	ErrInconsistent  = errors.New("proactive: servers disagree on the stored element set")
+	// ErrConcurrentMutation reports that the stored element set changed
+	// while the round was running — a concurrent writer raced the
+	// resharing. The round is abandoned with every server's shares
+	// restored to their pre-round values; the caller may simply retry
+	// once the cluster is quiet.
+	ErrConcurrentMutation = errors.New("proactive: element set changed mid-round")
+)
+
+// Test hooks: the package's own tests interpose concurrent mutations at
+// the two windows a real concurrent writer could hit. Nil in production.
+var (
+	// testHookGenerated runs after delta generation, before the
+	// pre-apply inventory re-check.
+	testHookGenerated func()
+	// testHookApplied runs after server i's deltas have been applied.
+	testHookApplied func(i int)
 )
 
 // Reshare runs one resharing round over all elements stored on the
@@ -103,12 +120,66 @@ func Reshare(servers []*server.Server, k int, rng io.Reader) (int, error) {
 		count += s
 	}
 
+	if testHookGenerated != nil {
+		testHookGenerated()
+	}
+
+	// Re-verify the inventory immediately before applying: delta
+	// generation is the round's longest stretch, and a delta map keyed
+	// to a stale inventory must not reach the stores — an element
+	// deleted in between would fail one server's ApplyDeltas after
+	// earlier servers already refreshed, and an element whose stage
+	// landed on only some servers would be refreshed asymmetrically.
+	for _, s := range servers {
+		if !sameInventory(base, s.Store().Keys()) {
+			return 0, fmt.Errorf("%w: inventory on %s changed during delta generation",
+				ErrConcurrentMutation, s.Name())
+		}
+	}
+
+	// Apply per server; per-store application is all-or-nothing. If a
+	// server still fails (a writer slipped past the re-check), negate
+	// the deltas already applied so no element is left refreshed on
+	// some servers and stale on others — that asymmetry would make the
+	// element unreconstructable, which is worse than a skipped round.
 	for i, s := range servers {
 		if err := s.Store().ApplyDeltas(deltas[i]); err != nil {
-			return 0, fmt.Errorf("proactive: applying deltas on %s: %w", s.Name(), err)
+			if rberr := rollback(servers[:i], deltas[:i]); rberr != nil {
+				return 0, fmt.Errorf("proactive: applying deltas on %s: %v; rollback failed, shares inconsistent: %w",
+					s.Name(), err, rberr)
+			}
+			if errors.Is(err, store.ErrMissing) {
+				return 0, fmt.Errorf("%w: apply on %s hit a vanished element (%v); round rolled back",
+					ErrConcurrentMutation, s.Name(), err)
+			}
+			return 0, fmt.Errorf("proactive: applying deltas on %s (round rolled back): %w", s.Name(), err)
+		}
+		if testHookApplied != nil {
+			testHookApplied(i)
 		}
 	}
 	return count, nil
+}
+
+// rollback restores servers that already applied their refresh deltas
+// by applying the negated deltas. Attempted on every server even if one
+// fails; the aggregated error reports exactly which servers are stuck.
+func rollback(servers []*server.Server, deltas []map[merging.ListID]map[posting.GlobalID]field.Element) error {
+	var errs []error
+	for i, s := range servers {
+		neg := make(map[merging.ListID]map[posting.GlobalID]field.Element, len(deltas[i]))
+		for lid, m := range deltas[i] {
+			nm := make(map[posting.GlobalID]field.Element, len(m))
+			for gid, d := range m {
+				nm[gid] = field.Neg(d)
+			}
+			neg[lid] = nm
+		}
+		if err := s.Store().ApplyDeltas(neg); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", s.Name(), err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 func sameInventory(a, b map[merging.ListID][]posting.GlobalID) bool {

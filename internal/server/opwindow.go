@@ -1,8 +1,6 @@
 package server
 
 import (
-	"encoding/binary"
-	"hash/crc32"
 	"sync"
 
 	"zerber/internal/auth"
@@ -86,34 +84,8 @@ func (w *opWindow) record(user auth.UserID, op transport.OpID, sum uint32) {
 	uw.sums[key] = sum
 }
 
-// payloadSum checksums an Apply payload so the dedup window can tell a
-// redelivery (skip) from a same-ID payload change (re-apply). The sum
-// is order-independent — per-record CRCs combined by addition — because
-// peers re-shuffle the insert stage on every dispatch attempt (the
-// correlation-hiding shuffle is drawn fresh per attempt): the same
-// elements in a different order are the same payload and must dedup. A
-// tag byte separates insert from delete records, and the section
-// lengths are folded in, so the two halves cannot alias. The checksum
-// is a hint, never a correctness boundary: a false mismatch re-applies
-// (convergent), and a caller can only "spoof" a match against their own
-// operations.
+// payloadSum is transport.PayloadSum; see its doc for why the checksum
+// is order-independent and only ever a hint.
 func payloadSum(inserts []transport.InsertOp, deletes []transport.DeleteOp) uint32 {
-	var acc uint64
-	acc += uint64(len(inserts))<<32 + uint64(len(deletes))
-	var buf [25]byte
-	for _, op := range inserts {
-		buf[0] = 'i'
-		binary.LittleEndian.PutUint32(buf[1:5], uint32(op.List))
-		binary.LittleEndian.PutUint64(buf[5:13], uint64(op.Share.GlobalID))
-		binary.LittleEndian.PutUint32(buf[13:17], op.Share.Group)
-		binary.LittleEndian.PutUint64(buf[17:25], op.Share.Y.Uint64())
-		acc += uint64(crc32.ChecksumIEEE(buf[:]))
-	}
-	for _, op := range deletes {
-		buf[0] = 'd'
-		binary.LittleEndian.PutUint32(buf[1:5], uint32(op.List))
-		binary.LittleEndian.PutUint64(buf[5:13], uint64(op.ID))
-		acc += uint64(crc32.ChecksumIEEE(buf[:13]))
-	}
-	return uint32(acc) ^ uint32(acc>>32)
+	return transport.PayloadSum(inserts, deletes)
 }

@@ -50,6 +50,19 @@ const (
 	// convergence, and runs the full invariant + oracle check. The
 	// runner appends one final KindHeal to every program.
 	KindHeal
+	// KindJoinNode adds a fresh empty node to every slot's ring and
+	// rebalances online under live traffic; migration failures leave the
+	// affected lists with their previous owners for heal to retry. A
+	// no-op on non-DHT clusters or once the slot reaches its node cap.
+	KindJoinNode
+	// KindLeaveNode drains the ring node selected by Server out of every
+	// slot, online; the node keeps serving each list until its cutover
+	// lands. A no-op when it would remove the last ring node.
+	KindLeaveNode
+	// KindKillMigration arms a fuse on the migration wire: the next
+	// in-flight transfer's target dies after Server%4+1 deliveries and
+	// stays dead — stranding moves mid-copy — until heal revives it.
+	KindKillMigration
 )
 
 var kindNames = map[Kind]string{
@@ -59,6 +72,8 @@ var kindNames = map[Kind]string{
 	KindGroupRemove: "KindGroupRemove", KindServerDown: "KindServerDown",
 	KindServerUp: "KindServerUp", KindReshare: "KindReshare",
 	KindCompact: "KindCompact", KindCrash: "KindCrash", KindHeal: "KindHeal",
+	KindJoinNode: "KindJoinNode", KindLeaveNode: "KindLeaveNode",
+	KindKillMigration: "KindKillMigration",
 }
 
 // String returns the kind's Go constant name.
@@ -79,7 +94,7 @@ type Op struct {
 	Content string   // KindIndex, KindBatchAdd
 	Group   uint32   // KindIndex, KindBatchAdd, KindGroupAdd, KindGroupRemove
 	User    int      // KindSearch, KindGroupAdd, KindGroupRemove (searcher index)
-	Server  int      // KindServerDown, KindServerUp
+	Server  int      // KindServerDown, KindServerUp, KindLeaveNode, KindKillMigration
 	Query   []string // KindSearch
 }
 
@@ -147,6 +162,10 @@ func Generate(cfg Config) Program {
 		}
 		return strings.Join(terms, " ")
 	}
+	// DHT clusters draw from an extended table that folds in the churn
+	// fault class; plain clusters keep the original table so their
+	// programs stay byte-identical seed-for-seed.
+	churn := cfg.DHTNodes > 1
 	for len(prog) < cfg.Steps {
 		if len(prog) > 0 && len(prog)%9 == 8 {
 			// Periodic quiescence: converge and run the full check so
@@ -155,6 +174,53 @@ func Generate(cfg Config) Program {
 			continue
 		}
 		var op Op
+		if churn {
+			switch roll := rng.Intn(100); {
+			case roll < 24:
+				op = Op{Kind: KindIndex, Doc: 1 + uint32(rng.Intn(docSpace)),
+					Content: content(), Group: 1 + uint32(rng.Intn(cfg.Groups))}
+			case roll < 31:
+				op = Op{Kind: KindDelete, Doc: 1 + uint32(rng.Intn(docSpace))}
+			case roll < 39:
+				op = Op{Kind: KindBatchAdd, Doc: 1 + uint32(rng.Intn(docSpace)),
+					Content: content(), Group: 1 + uint32(rng.Intn(cfg.Groups))}
+			case roll < 44:
+				op = Op{Kind: KindBatchFlush}
+			case roll < 57:
+				qn := 1 + rng.Intn(3)
+				q := make([]string, qn)
+				for i := range q {
+					q[i] = cfg.Vocabulary[rng.Intn(len(cfg.Vocabulary))]
+				}
+				op = Op{Kind: KindSearch, User: rng.Intn(cfg.Users), Query: q}
+			case roll < 62:
+				op = Op{Kind: KindGroupAdd, User: rng.Intn(cfg.Users),
+					Group: 1 + uint32(rng.Intn(cfg.Groups))}
+			case roll < 66:
+				op = Op{Kind: KindGroupRemove, User: rng.Intn(cfg.Users),
+					Group: 1 + uint32(rng.Intn(cfg.Groups))}
+			case roll < 70:
+				op = Op{Kind: KindServerDown, Server: rng.Intn(cfg.N)}
+			case roll < 74:
+				op = Op{Kind: KindServerUp, Server: rng.Intn(cfg.N)}
+			case roll < 77:
+				op = Op{Kind: KindReshare}
+			case roll < 80:
+				op = Op{Kind: KindCompact}
+			case roll < 84:
+				op = Op{Kind: KindCrash}
+			case roll < 88:
+				op = Op{Kind: KindJoinNode}
+			case roll < 93:
+				op = Op{Kind: KindLeaveNode, Server: rng.Intn(8)}
+			case roll < 96:
+				op = Op{Kind: KindKillMigration, Server: rng.Intn(8)}
+			default:
+				op = Op{Kind: KindHeal}
+			}
+			prog = append(prog, op)
+			continue
+		}
 		switch roll := rng.Intn(100); {
 		case roll < 26:
 			op = Op{Kind: KindIndex, Doc: 1 + uint32(rng.Intn(docSpace)),

@@ -62,11 +62,15 @@ type runner struct {
 	table  *merging.Table
 	voc    *vocab.Vocabulary
 
-	// nodes[i] are the physical servers of logical server i: one for a
-	// plain server, cfg.DHTNodes for a slot.
-	nodes [][]*server.Server
-	core  *faultCore
-	apis  []transport.API
+	// plain[i] is logical server i when the cluster runs without DHT
+	// routing; slots[i] is its dht.Slot otherwise (nil when plain). A
+	// slot's physical node set changes under churn, so node enumeration
+	// is always dynamic (slotServers).
+	plain  []*server.Server
+	slots  []*dht.Slot
+	joined int // monotonically counts joined nodes for fresh names
+	core   *faultCore
+	apis   []transport.API
 
 	// Binary-wire plumbing (cfg.BinaryWire): one loopback listener and
 	// one persistent client per logical server, torn down in close.
@@ -168,7 +172,16 @@ func newRunner(cfg Config) (*runner, error) {
 				r.close()
 				return nil, err
 			}
-			var slotNodes []*server.Server
+			// Small chunks so a list takes several deliveries (faults can
+			// land mid-copy), immediate retries so runs stay fast, two
+			// attempts so injected drops actually abort some moves.
+			slot.SetMigrationPolicy(dht.MigrationPolicy{
+				ChunkSize: 4, Attempts: 2, Timeout: 5 * time.Second,
+			})
+			slot.SetTransferSink(&migSink{core: r.core, slot: slot})
+			if cfg.LoseCutover {
+				slot.SetSimHooks(&dht.SimHooks{LoseCutover: true})
+			}
 			for j := 0; j < cfg.DHTNodes; j++ {
 				s := server.New(server.Config{
 					Name:   fmt.Sprintf("sim-ix%d-n%d", i, j),
@@ -183,9 +196,8 @@ func newRunner(cfg Config) (*runner, error) {
 					r.close()
 					return nil, err
 				}
-				slotNodes = append(slotNodes, s)
 			}
-			r.nodes = append(r.nodes, slotNodes)
+			r.slots = append(r.slots, slot)
 			api = slot
 		} else {
 			s := server.New(server.Config{
@@ -195,7 +207,7 @@ func newRunner(cfg Config) (*runner, error) {
 				Groups: r.groups,
 				Store:  store.New(cfg.StoreShards),
 			})
-			r.nodes = append(r.nodes, []*server.Server{s})
+			r.plain = append(r.plain, s)
 			api = s
 		}
 		if cfg.BinaryWire {
@@ -563,8 +575,68 @@ func (r *runner) exec(op Op) error {
 
 	case KindHeal:
 		return r.execHeal()
+
+	case KindJoinNode:
+		return r.execJoinNode()
+
+	case KindLeaveNode:
+		return r.execLeaveNode(op)
+
+	case KindKillMigration:
+		if r.slots != nil {
+			r.core.armMigKill(1 + op.Server%4)
+		}
+		return nil
 	}
 	return fmt.Errorf("unknown op kind %d", op.Kind)
+}
+
+// maxChurnNodes caps a slot's ring under generated churn so programs
+// stay fast and leaves always have somewhere to drain to.
+const maxChurnNodes = 6
+
+// execJoinNode joins one fresh empty node (same name in every slot, so
+// the rings keep partitioning identically) and rebalances online.
+// Migration failures are tolerated: the affected lists stay with their
+// previous owners, Pending tracks them, and heal re-converges.
+func (r *runner) execJoinNode() error {
+	if r.slots == nil {
+		return nil
+	}
+	if len(r.slots[0].NodeNames()) >= maxChurnNodes {
+		return nil
+	}
+	name := fmt.Sprintf("j%d", r.joined)
+	r.joined++
+	for i, sl := range r.slots {
+		s := server.New(server.Config{
+			Name:   fmt.Sprintf("sim-ix%d-%s", i, name),
+			X:      field.Element(i + 1),
+			Auth:   r.svc,
+			Groups: r.groups,
+			Store:  store.New(r.cfg.StoreShards),
+		})
+		_ = sl.AddNode(name, s)
+	}
+	return nil
+}
+
+// execLeaveNode drains one ring node out of every slot. The node keeps
+// serving until each of its lists cuts over; failed moves leave it
+// draining for heal to finish.
+func (r *runner) execLeaveNode(op Op) error {
+	if r.slots == nil {
+		return nil
+	}
+	names := r.slots[0].RingNodes()
+	if len(names) <= 1 {
+		return nil
+	}
+	name := names[op.Server%len(names)]
+	for _, sl := range r.slots {
+		_ = sl.RemoveNode(name)
+	}
+	return nil
 }
 
 func (r *runner) quiescent() bool {
@@ -612,19 +684,52 @@ func (r *runner) compareSets(user auth.UserID, query []string, gotSet map[uint32
 func (r *runner) execReshare() error {
 	rng := rand.New(rand.NewSource(r.cfg.Seed ^ 0x4e5a4e + int64(r.step)))
 	quiet := r.quiescent()
-	// With DHT slots, resharing runs per aligned node group: every
-	// slot's ring partitions lists identically, so node j of each slot
-	// holds the same element inventory.
-	for j := range r.nodes[0] {
-		group := make([]*server.Server, len(r.nodes))
-		for i := range r.nodes {
-			group[i] = r.nodes[i][j]
+	if r.slots == nil {
+		if _, err := proactive.Reshare(r.plain, r.cfg.K, rng); err != nil {
+			if quiet {
+				return fmt.Errorf("reshare refused on a quiescent cluster: %v", err)
+			}
+			return nil // inventories legitimately diverge mid-mutation
+		}
+		return nil
+	}
+	// With DHT slots, resharing runs per aligned node group: when every
+	// slot's ring partitions lists identically, the like-named node of
+	// each slot holds the same element inventory. Churn breaks the
+	// alignment until heal (pending moves, slots draining at different
+	// speeds), and resharing is scheduled around in-flight moves, so it
+	// refuses — without error — while any membership work is pending.
+	for _, sl := range r.slots {
+		if sl.Pending() > 0 {
+			return nil
+		}
+	}
+	names := r.slots[0].NodeNames()
+	for _, sl := range r.slots[1:] {
+		other := sl.NodeNames()
+		if len(other) != len(names) {
+			return nil
+		}
+		for i := range names {
+			if other[i] != names[i] {
+				return nil
+			}
+		}
+	}
+	for _, name := range names {
+		group := make([]*server.Server, len(r.slots))
+		for i, sl := range r.slots {
+			srv, ok := sl.Node(name)
+			if !ok {
+				return nil
+			}
+			group[i] = srv
 		}
 		if _, err := proactive.Reshare(group, r.cfg.K, rng); err != nil {
 			if quiet {
 				return fmt.Errorf("reshare refused on a quiescent cluster: %v", err)
 			}
-			return nil // inventories legitimately diverge mid-mutation
+			return nil
 		}
 	}
 	return nil
@@ -649,25 +754,79 @@ func (r *runner) execHeal() error {
 			break
 		}
 	}
+	// Drive every slot's membership state to convergence: pending
+	// aborts, stale routing overrides, and draining nodes all retry
+	// under the (still fault-injecting) migration wire until nothing is
+	// left. clearDown above revived any killed migration target.
+	if r.slots != nil {
+		for attempt := 0; ; attempt++ {
+			if attempt > healAttempts {
+				pending := 0
+				for _, sl := range r.slots {
+					pending += sl.Pending()
+				}
+				return fmt.Errorf("slots failed to converge after %d rebalance attempts (%d lists still pending)", attempt, pending)
+			}
+			pending := 0
+			for _, sl := range r.slots {
+				_ = sl.Rebalance() // per-list failures stay pending and retry
+				pending += sl.Pending()
+			}
+			if pending == 0 {
+				break
+			}
+		}
+	}
 	if err := r.settle(); err != nil {
 		return err
 	}
 	return r.fullCheck()
 }
 
+// namedServer is one physical server of a logical server, with its
+// slot node name ("" for a plain server).
+type namedServer struct {
+	name string
+	srv  *server.Server
+}
+
+// slotServers returns logical server i's current physical servers in
+// deterministic name order. Under churn the set changes op to op, so
+// every checker enumerates it fresh.
+func (r *runner) slotServers(i int) []namedServer {
+	if r.slots == nil {
+		return []namedServer{{srv: r.plain[i]}}
+	}
+	var out []namedServer
+	for _, name := range r.slots[i].NodeNames() {
+		if s, ok := r.slots[i].Node(name); ok {
+			out = append(out, namedServer{name: name, srv: s})
+		}
+	}
+	return out
+}
+
 // quickInvariants are the checks that hold at every step, even with a
 // mutation in flight: the storage-engine contract, per-node stats
 // consistency, and the runner's own queue discipline.
 func (r *runner) quickInvariants() error {
-	for i, slotNodes := range r.nodes {
-		for j, s := range slotNodes {
-			if err := store.CheckInvariants(s.Store()); err != nil {
-				return fmt.Errorf("server %d node %d: %v", i, j, err)
+	for i := 0; i < r.cfg.N; i++ {
+		for _, ns := range r.slotServers(i) {
+			if err := store.CheckInvariants(ns.srv.Store()); err != nil {
+				return fmt.Errorf("server %d node %q: %v", i, ns.name, err)
 			}
-			stats := s.StatsSnapshot()
-			if live := stats.Inserts - stats.Deletes; live != int64(s.TotalElements()) {
-				return fmt.Errorf("server %d node %d: stats inserts-deletes = %d but %d elements stored (redelivery counted twice?)",
-					i, j, live, s.TotalElements())
+			if r.slots != nil {
+				// Migration's trusted IngestList/DropList primitives and
+				// node retirement move elements without touching server
+				// stats, so the per-node stats identity only holds for
+				// static plain servers; fullCheck's exact element-set
+				// equality covers slot nodes instead.
+				continue
+			}
+			stats := ns.srv.StatsSnapshot()
+			if live := stats.Inserts - stats.Deletes; live != int64(ns.srv.TotalElements()) {
+				return fmt.Errorf("server %d: stats inserts-deletes = %d but %d elements stored (redelivery counted twice?)",
+					i, live, ns.srv.TotalElements())
 			}
 		}
 	}
@@ -705,16 +864,16 @@ func (r *runner) fullCheck() error {
 
 	// Zero orphans: every logical server holds exactly the committed
 	// element set — nothing lost, nothing left behind by an interrupted
-	// update, nothing duplicated across a slot's nodes.
+	// update or migration, nothing duplicated across a slot's nodes.
 	expected := r.peer.ElementGIDs()
-	for i, slotNodes := range r.nodes {
+	for i := 0; i < r.cfg.N; i++ {
 		seen := make(map[posting.GlobalID]bool, len(expected))
-		for j, s := range slotNodes {
-			for lid := range s.ListLengths() {
-				for _, sh := range s.Store().List(lid) {
+		for _, ns := range r.slotServers(i) {
+			for lid := range ns.srv.ListLengths() {
+				for _, sh := range ns.srv.Store().List(lid) {
 					if _, want := expected[sh.GlobalID]; !want {
-						return fmt.Errorf("server %d node %d: orphaned element %d in list %d",
-							i, j, sh.GlobalID, lid)
+						return fmt.Errorf("server %d node %q: orphaned element %d in list %d",
+							i, ns.name, sh.GlobalID, lid)
 					}
 					if seen[sh.GlobalID] {
 						return fmt.Errorf("server %d: element %d stored on two nodes", i, sh.GlobalID)

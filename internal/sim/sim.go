@@ -61,6 +61,13 @@ type Config struct {
 	// test sets it: the checker must catch the bug, proving it is not
 	// vacuous.
 	SkipDeleteReplay bool
+	// LoseCutover re-enables the lost-cutover migration bug shape
+	// through dht.SimHooks: the source drops its copy of a migrated list
+	// but the routing flip is lost, leaving authority pointing at a node
+	// without the data. Only the churn-smoke test sets it: the checker
+	// must catch the unreachable data, proving the churn fault class is
+	// not vacuous.
+	LoseCutover bool
 	// BinaryWire routes every peer/client call through the binary framed
 	// protocol over real loopback TCP — transport.ServeBinary in front of
 	// each logical server, transport.DialBinary back — with the fault

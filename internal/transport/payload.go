@@ -1,0 +1,38 @@
+package transport
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// PayloadSum checksums an Apply payload so a dedup window can tell a
+// redelivery (skip) from a same-ID payload change (re-apply). The sum
+// is order-independent — per-record CRCs combined by addition — because
+// peers re-shuffle the insert stage on every dispatch attempt (the
+// correlation-hiding shuffle is drawn fresh per attempt): the same
+// elements in a different order are the same payload and must dedup. A
+// tag byte separates insert from delete records, and the section
+// lengths are folded in, so the two halves cannot alias. The checksum
+// is a hint, never a correctness boundary: a false mismatch re-applies
+// (convergent), and a caller can only "spoof" a match against their own
+// operations.
+func PayloadSum(inserts []InsertOp, deletes []DeleteOp) uint32 {
+	var acc uint64
+	acc += uint64(len(inserts))<<32 + uint64(len(deletes))
+	var buf [25]byte
+	for _, op := range inserts {
+		buf[0] = 'i'
+		binary.LittleEndian.PutUint32(buf[1:5], uint32(op.List))
+		binary.LittleEndian.PutUint64(buf[5:13], uint64(op.Share.GlobalID))
+		binary.LittleEndian.PutUint32(buf[13:17], op.Share.Group)
+		binary.LittleEndian.PutUint64(buf[17:25], op.Share.Y.Uint64())
+		acc += uint64(crc32.ChecksumIEEE(buf[:]))
+	}
+	for _, op := range deletes {
+		buf[0] = 'd'
+		binary.LittleEndian.PutUint32(buf[1:5], uint32(op.List))
+		binary.LittleEndian.PutUint64(buf[5:13], uint64(op.ID))
+		acc += uint64(crc32.ChecksumIEEE(buf[:13]))
+	}
+	return uint32(acc) ^ uint32(acc>>32)
+}

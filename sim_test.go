@@ -89,6 +89,125 @@ func TestSimMutationSmoke(t *testing.T) {
 	t.Logf("caught and shrunk the re-enabled bug:\n%s", found.Report())
 }
 
+// churnEngines is the matrix the membership-churn tiers run across:
+// both storage engines behind DHT slots, plus the binary framed wire.
+var churnEngines = []struct {
+	name   string
+	shards int
+	binary bool
+}{
+	{"memory+dht", 1, false},
+	{"sharded+dht", 0, false},
+	{"sharded+dht+bin", 0, true},
+}
+
+// TestSimChurn is the elastic-membership acceptance program: a node
+// joins mid-run, the migration target is killed mid-copy, another node
+// leaves, and documents keep being indexed, deleted, and searched
+// throughout — oracle equality and zero orphaned gids must hold on
+// every engine and over the binary wire. The fixed trace pins the
+// scenario; the randomized tier explores beyond it.
+func TestSimChurn(t *testing.T) {
+	prog := sim.Program{
+		{Kind: sim.KindIndex, Doc: 1, Content: "martha imclone layoff", Group: 1},
+		{Kind: sim.KindIndex, Doc: 2, Content: "merger budget meeting", Group: 2},
+		{Kind: sim.KindBatchAdd, Doc: 3, Content: "status review draft", Group: 1},
+		{Kind: sim.KindBatchFlush},
+		{Kind: sim.KindKillMigration, Server: 1},
+		{Kind: sim.KindJoinNode},
+		{Kind: sim.KindSearch, User: 0, Query: []string{"martha"}},
+		{Kind: sim.KindIndex, Doc: 1, Content: "suitor draft", Group: 1},
+		{Kind: sim.KindHeal},
+		{Kind: sim.KindLeaveNode, Server: 0},
+		{Kind: sim.KindSearch, User: 1, Query: []string{"merger"}},
+		{Kind: sim.KindDelete, Doc: 2},
+		{Kind: sim.KindJoinNode},
+		{Kind: sim.KindIndex, Doc: 4, Content: "layoff merger suitor", Group: 3},
+		{Kind: sim.KindSearch, User: 0, Query: []string{"layoff", "draft"}},
+		{Kind: sim.KindLeaveNode, Server: 2},
+		{Kind: sim.KindHeal},
+	}
+	seeds := tierCount(2, 5, 50)
+	for _, eng := range churnEngines {
+		t.Run(eng.name, func(t *testing.T) {
+			for i := 0; i < seeds; i++ {
+				cfg := sim.Config{
+					Seed:        int64(800000 + i),
+					StoreShards: eng.shards,
+					DHTNodes:    2,
+					BinaryWire:  eng.binary,
+					Faults:      sim.DefaultFaults(),
+				}
+				if err := sim.Run(cfg, prog); err != nil {
+					t.Fatalf("seed %d: %v", cfg.Seed, err)
+				}
+			}
+		})
+	}
+}
+
+// TestSimChurnRandomized is the churn fault class's randomized tier:
+// on DHT configurations Generate folds KindJoinNode / KindLeaveNode /
+// KindKillMigration into the op mix and Faults.Migrate drops,
+// duplicates, and reorders migration transfers, so topology changes
+// race every other fault class.
+func TestSimChurnRandomized(t *testing.T) {
+	perEngine := tierCount(4, 15, 800)
+	for ei, eng := range churnEngines {
+		t.Run(eng.name, func(t *testing.T) {
+			for i := 0; i < perEngine; i++ {
+				cfg := sim.Config{
+					Seed:        int64(850000 + ei*10000 + i),
+					StoreShards: eng.shards,
+					DHTNodes:    3,
+					BinaryWire:  eng.binary,
+					Faults:      sim.DefaultFaults(),
+				}
+				prog := sim.Generate(cfg)
+				if err := sim.Run(cfg, prog); err != nil {
+					failure := &sim.Failure{
+						Cfg: cfg, Program: prog,
+						Shrunk: sim.Shrink(cfg, prog), Err: err,
+					}
+					t.Fatalf("\n%s", failure.Report())
+				}
+			}
+		})
+	}
+}
+
+// TestSimChurnSmoke proves the churn checker is not vacuous: with the
+// lost-cutover bug shape re-enabled behind dht.SimHooks (the buggy
+// ancestor of the two-phase handoff — source drops its copy, routing
+// flip lost), the harness must catch unreachable or orphaned data
+// within the short tier's budget, shrink it to a minimal trace, and
+// reproduce it deterministically — while the same trace passes once the
+// bug is switched off.
+func TestSimChurnSmoke(t *testing.T) {
+	budget := tierCount(6, 12, 60)
+	cfg := sim.Config{
+		Seed:        9500,
+		StoreShards: 1,
+		DHTNodes:    2,
+		LoseCutover: true,
+	}
+	found := sim.FindFailure(cfg, budget)
+	if found == nil {
+		t.Fatalf("checker is vacuous: the re-enabled lost-cutover bug survived %d programs", budget)
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		if err := sim.Run(found.Cfg, found.Shrunk); err == nil {
+			t.Fatalf("shrunk trace did not reproduce on attempt %d:\n%s", attempt+1, found.Report())
+		}
+	}
+	fixed := found.Cfg
+	fixed.LoseCutover = false
+	if err := sim.Run(fixed, found.Shrunk); err != nil {
+		t.Fatalf("trace fails even without the bug — harness artifact, not detection: %v\n%s", err, found.Report())
+	}
+	t.Logf("caught and shrunk the re-enabled lost-cutover bug:\n%s", found.Report())
+}
+
 // TestSimBinaryWire runs the randomized fault-injected tier with every
 // peer/client call routed through the binary framed protocol over real
 // loopback TCP (Config.BinaryWire): ServeBinary in front of each

@@ -134,6 +134,43 @@
 // the replacement is acknowledged everywhere and every delete is
 // journaled before it is issued.
 //
+// # Membership & rebalancing
+//
+// With the DHTNodes option above 1, each of the n share slots is served
+// not by one index server but by a set of physical nodes behind a
+// dht.Slot: merged posting lists are partitioned over the nodes by a
+// consistent-hashing ring, and the slot — which implements the same
+// transport API as a monolithic server — routes every operation to the
+// node authoritative for its lists. Shares stay bound to the slot's
+// public x-coordinate, so the confidentiality analysis is unchanged:
+// the ring only decides which box inside a slot stores a list.
+//
+// Membership is an online operation: JoinNode and LeaveNode add or
+// drain a named node across every slot while the cluster keeps
+// serving. The guarantees, precisely:
+//
+//   - Authoritative until cutover: each list migrates through a
+//     two-phase handoff — a copy phase during which the source node
+//     keeps serving reads and writes (mutations landing mid-copy are
+//     recorded in a dirty set and reconciled before the switch), then
+//     a per-list atomic cutover that flips routing to the target.
+//     Reads never see a half-ingested copy.
+//   - Retry safety: every transfer delivery carries the ring epoch and
+//     a per-list sequence number; targets apply deliveries in order,
+//     acknowledge replays idempotently, and reject gaps and stale
+//     epochs, so per-transfer timeouts, bounded-backoff retries, and
+//     duplicated or reordered migration traffic cannot corrupt a list.
+//   - Graceful degradation: a dead or failing migration target aborts
+//     only that list's move — the source retains authority, the slot
+//     keeps serving with Pending > 0 rather than wedging, and
+//     Rebalance retries the remaining work (a node that cannot finish
+//     draining stays in a serving, off-ring state until it can).
+//
+// Proactive resharing coordinates with migration instead of racing it:
+// under DHT the round runs one share group per node name and refuses
+// to start while any migration is pending, so refresh deltas are never
+// applied to a list that is mid-handoff.
+//
 // # Simulation & invariants
 //
 // The guarantees above only matter in combination — a crash during a
@@ -143,10 +180,12 @@
 // internal/sim drives the full stack through seed-reproducible random
 // operation programs under a fault-injecting transport (outages,
 // dropped and duplicated deliveries, delayed out-of-order
-// redeliveries, lost responses, peer kills mid-protocol) and checks,
-// at every quiescent point, four invariants against the paper's §2
-// reference system (a plain centralized inverted index with an ACL
-// check):
+// redeliveries, lost responses, peer kills mid-protocol, and — under
+// DHT membership churn — node joins, leaves, and mid-migration kills
+// with migration traffic dropped, duplicated, and replayed) and
+// checks, at every quiescent point, four invariants against the
+// paper's §2 reference system (a plain centralized inverted index with
+// an ACL check):
 //
 //   - answer-set equivalence: for every user and every term, retrieval
 //     returns exactly the oracle's document set;
@@ -233,6 +272,7 @@ import (
 	"zerber/internal/auth"
 	"zerber/internal/client"
 	"zerber/internal/confidential"
+	"zerber/internal/dht"
 	"zerber/internal/field"
 	"zerber/internal/merging"
 	"zerber/internal/peer"
@@ -297,6 +337,12 @@ type Options struct {
 	// DecryptWorkers is the share-reconstruction worker count per query.
 	// 0 means one worker per CPU; 1 decrypts serially.
 	DecryptWorkers int
+	// DHTNodes, when greater than 1, fronts each of the N share slots
+	// with that many physical storage nodes behind a consistent-hashing
+	// router (see "Membership & rebalancing" above); JoinNode and
+	// LeaveNode then change the node set online. 0 or 1 keeps the
+	// monolithic one-server-per-slot layout.
+	DHTNodes int
 	// StoreShards selects each index server's storage engine: 1 is the
 	// legacy single-lock baseline, any other value a lock-striped
 	// sharded store with that many shards (rounded up to a power of
@@ -340,7 +386,8 @@ const (
 // the registry of document-owner peers.
 type Cluster struct {
 	opts    Options
-	servers []*server.Server
+	servers []*server.Server // monolithic layout only; nil under DHTNodes
+	slots   []*dht.Slot      // DHT layout only; nil otherwise
 	apis    []transport.API
 	authSvc *auth.Service
 	groups  *auth.GroupTable
@@ -405,6 +452,9 @@ func NewCluster(docFreqs map[string]int, opts Options) (*Cluster, error) {
 	if opts.K < 1 || opts.K > opts.N {
 		return nil, fmt.Errorf("zerber: need 1 <= K <= N, got K=%d N=%d", opts.K, opts.N)
 	}
+	if opts.DHTNodes < 0 {
+		return nil, fmt.Errorf("zerber: DHTNodes must be >= 0, got %d", opts.DHTNodes)
+	}
 	if opts.Heuristic == "" {
 		opts.Heuristic = DFM
 	}
@@ -466,6 +516,23 @@ func NewCluster(docFreqs map[string]int, opts Options) (*Cluster, error) {
 			return nil, fmt.Errorf("zerber: creating pseudonymizer: %w", err)
 		}
 	}
+	if opts.DHTNodes > 1 {
+		for i := 0; i < opts.N; i++ {
+			slot, err := dht.NewSlot(field.Element(i+1), 0)
+			if err != nil {
+				return nil, fmt.Errorf("zerber: creating slot %d: %w", i+1, err)
+			}
+			for j := 0; j < opts.DHTNodes; j++ {
+				name := fmt.Sprintf("n%d", j)
+				if err := slot.AddNode(name, c.newNodeServer(i, name)); err != nil {
+					return nil, fmt.Errorf("zerber: slot %d: adding node %s: %w", i+1, name, err)
+				}
+			}
+			c.slots = append(c.slots, slot)
+			c.apis = append(c.apis, transport.NewLocal(slot))
+		}
+		return c, nil
+	}
 	for i := 0; i < opts.N; i++ {
 		s := server.New(server.Config{
 			Name:   fmt.Sprintf("zerber-ix%d", i+1),
@@ -478,6 +545,88 @@ func NewCluster(docFreqs map[string]int, opts Options) (*Cluster, error) {
 		c.apis = append(c.apis, transport.NewLocal(s))
 	}
 	return c, nil
+}
+
+// newNodeServer builds the physical storage node named name for share
+// slot i (x-coordinate i+1). Shares are bound to x, not to boxes, so
+// every node of a slot carries the slot's x.
+func (c *Cluster) newNodeServer(i int, name string) *server.Server {
+	return server.New(server.Config{
+		Name:   fmt.Sprintf("zerber-ix%d-%s", i+1, name),
+		X:      field.Element(i + 1),
+		Auth:   c.authSvc,
+		Groups: c.groups,
+		Store:  store.New(c.opts.StoreShards),
+	})
+}
+
+// JoinNode adds a physical node named name to every share slot and
+// migrates the lists it now owns from their previous holders, online —
+// the cluster keeps serving throughout, with each list cutting over as
+// its copy completes. Per-slot migration failures are aggregated in the
+// returned error, but the node is a member regardless: Rebalance
+// retries the unfinished moves, and until each one lands the previous
+// holder stays authoritative for that list. Requires Options.DHTNodes.
+func (c *Cluster) JoinNode(name string) error {
+	if c.slots == nil {
+		return errors.New("zerber: JoinNode requires Options.DHTNodes > 1")
+	}
+	var errs []error
+	for i, sl := range c.slots {
+		if _, ok := sl.Node(name); ok {
+			errs = append(errs, fmt.Errorf("zerber: slot %d: node %s already in slot", i+1, name))
+			continue
+		}
+		if err := sl.AddNode(name, c.newNodeServer(i, name)); err != nil {
+			errs = append(errs, fmt.Errorf("zerber: slot %d: %w", i+1, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// LeaveNode takes the named node off every slot's ring and drains its
+// lists to the remaining nodes, online. The node keeps serving each of
+// its lists until that list's cutover; if some moves fail it stays in
+// a draining state — still authoritative for what it holds — and
+// Rebalance (or LeaveNode again) finishes the job. Removing a slot's
+// last node fails: its shares would have nowhere to go.
+func (c *Cluster) LeaveNode(name string) error {
+	if c.slots == nil {
+		return errors.New("zerber: LeaveNode requires Options.DHTNodes > 1")
+	}
+	var errs []error
+	for i, sl := range c.slots {
+		if err := sl.RemoveNode(name); err != nil {
+			errs = append(errs, fmt.Errorf("zerber: slot %d: %w", i+1, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Rebalance retries every slot's unfinished migration work — moves
+// parked by earlier failures and nodes still draining out — and
+// returns how many per-list items remain pending afterwards. Zero
+// means every list sits on its ring owner and all departed nodes are
+// gone. Safe to call repeatedly; a no-op without DHTNodes.
+func (c *Cluster) Rebalance() (int, error) {
+	var errs []error
+	pending := 0
+	for i, sl := range c.slots {
+		if err := sl.Rebalance(); err != nil {
+			errs = append(errs, fmt.Errorf("zerber: slot %d: %w", i+1, err))
+		}
+		pending += sl.Pending()
+	}
+	return pending, errors.Join(errs...)
+}
+
+// Nodes returns the sorted physical node names serving each slot
+// (including nodes still draining out), or nil without DHTNodes.
+func (c *Cluster) Nodes() []string {
+	if c.slots == nil {
+		return nil
+	}
+	return c.slots[0].NodeNames()
 }
 
 // ident maps a real user ID to the form the index servers see: the ID
@@ -636,8 +785,57 @@ func (c *Cluster) resolveSnippets(tok Token, query []string, ranked []ranking.Sc
 // longer be combined with current ones. Queries keep working throughout;
 // the shared secrets are unchanged. It returns the number of posting
 // elements refreshed.
+//
+// Under DHTNodes the round runs one share group per node name: the
+// nodes named name across the n slots hold the same posting lists at
+// x = 1..n, so together they form a complete k-of-n share set. The
+// round refuses to start while any migration work is pending — a list
+// mid-handoff exists on two nodes of one slot, and refreshing only one
+// copy would destroy the element — so rebalance to quiescence first.
+// A mutation racing the round is detected and rolled back cleanly
+// (proactive.ErrConcurrentMutation); retry once the cluster is quiet.
 func (c *Cluster) ProactiveReshare() (int, error) {
-	return proactive.Reshare(c.servers, c.opts.K, nil)
+	if c.slots == nil {
+		return proactive.Reshare(c.servers, c.opts.K, nil)
+	}
+	names := c.slots[0].NodeNames()
+	for i, sl := range c.slots {
+		if p := sl.Pending(); p > 0 {
+			return 0, fmt.Errorf("zerber: slot %d has %d pending migrations; rebalance before resharing", i+1, p)
+		}
+		if !equalNames(names, sl.NodeNames()) {
+			return 0, fmt.Errorf("zerber: slot %d serves a different node set; rebalance before resharing", i+1)
+		}
+	}
+	total := 0
+	for _, name := range names {
+		group := make([]*server.Server, len(c.slots))
+		for i, sl := range c.slots {
+			s, ok := sl.Node(name)
+			if !ok {
+				return total, fmt.Errorf("zerber: node %s vanished from slot %d mid-round", name, i+1)
+			}
+			group[i] = s
+		}
+		n, err := proactive.Reshare(group, c.opts.K, nil)
+		total += n
+		if err != nil {
+			return total, fmt.Errorf("zerber: resharing node %s: %w", name, err)
+		}
+	}
+	return total, nil
+}
+
+func equalNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // K returns the secret-sharing threshold.
@@ -647,8 +845,8 @@ func (c *Cluster) K() int { return c.opts.K }
 // TransportHTTP).
 func (c *Cluster) Transport() string { return c.opts.Transport }
 
-// N returns the number of index servers.
-func (c *Cluster) N() int { return len(c.servers) }
+// N returns the number of share slots (logical index servers).
+func (c *Cluster) N() int { return len(c.apis) }
 
 // RValue returns the resulting confidentiality parameter of the mapping
 // table (formula (7)).
@@ -662,7 +860,20 @@ func (c *Cluster) Vocab() *vocab.Vocabulary { return c.voc }
 
 // Servers exposes the underlying index servers for instrumentation and
 // adversary simulation; applications use Searcher and peers instead.
+// Under DHTNodes it returns every physical node, slot-major, reflecting
+// the node set at the time of the call.
 func (c *Cluster) Servers() []*server.Server {
+	if c.slots != nil {
+		var out []*server.Server
+		for _, sl := range c.slots {
+			for _, name := range sl.NodeNames() {
+				if s, ok := sl.Node(name); ok {
+					out = append(out, s)
+				}
+			}
+		}
+		return out
+	}
 	out := make([]*server.Server, len(c.servers))
 	copy(out, c.servers)
 	return out
@@ -672,5 +883,24 @@ func (c *Cluster) Servers() []*server.Server {
 func (c *Cluster) APIs() []transport.API {
 	out := make([]transport.API, len(c.apis))
 	copy(out, c.apis)
+	return out
+}
+
+// WireTargets returns the endpoints a deployment puts behind its wire
+// listeners, one per share slot: the index servers themselves in the
+// monolithic layout, or each slot's router under DHTNodes — wire
+// clients keep addressing n logical servers while physical nodes join
+// and leave behind each slot.
+func (c *Cluster) WireTargets() []transport.API {
+	out := make([]transport.API, 0, len(c.apis))
+	if c.slots != nil {
+		for _, sl := range c.slots {
+			out = append(out, sl)
+		}
+		return out
+	}
+	for _, s := range c.servers {
+		out = append(out, s)
+	}
 	return out
 }
