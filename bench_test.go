@@ -10,6 +10,7 @@
 package zerber_test
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -286,6 +287,100 @@ func BenchmarkSearchTop10(b *testing.B) {
 		if _, err := bc.searcher.Search(bc.tok, query, 10); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---- top-k early termination ----------------------------------------
+
+// topkBenchEnv holds one cluster per posting-list length, shared across
+// the BenchmarkSearchTopK sub-benchmarks.
+var (
+	topkBenchMu   sync.Mutex
+	topkBenchEnvs = map[int]*benchCluster{}
+)
+
+// topkCluster builds (once per length) a cluster whose hot term has a
+// posting list of exactly listLen elements: a head of 30 high-frequency
+// documents and a long tf=1 tail — the Zipfian hot-term shape whose
+// whole-list retrieval cost the block protocol is meant to escape.
+func topkCluster(b *testing.B, listLen int) *benchCluster {
+	b.Helper()
+	topkBenchMu.Lock()
+	defer topkBenchMu.Unlock()
+	if bc, ok := topkBenchEnvs[listLen]; ok {
+		return bc
+	}
+	dfs := map[string]int{"hotterm": listLen, "aside": 50, "bside": 40}
+	c, err := zerber.NewCluster(dfs, zerber.Options{Seed: 17, M: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.AddUser("bench", 1)
+	tok := c.IssueToken("bench")
+	p, err := c.NewPeer("topk-site", 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := p.NewBatch()
+	for i := 0; i < listLen; i++ {
+		content := "hotterm"
+		if i < 30 {
+			// The contenders: tf high enough to land in a top impact
+			// bucket, so rank 10 is provably final after the head.
+			for j := 0; j < 7; j++ {
+				content += " hotterm"
+			}
+		}
+		if i%2 == 0 {
+			content += " aside"
+		} else {
+			content += " bside"
+		}
+		if err := batch.Add(peer.Document{ID: uint32(i + 1), Content: content, Group: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := batch.Flush(tok); err != nil {
+		b.Fatal(err)
+	}
+	bc := &benchCluster{cluster: c, tok: tok, peer: p}
+	topkBenchEnvs[listLen] = bc
+	return bc
+}
+
+// BenchmarkSearchTopK pits whole-list retrieval against the
+// early-terminating block protocol at k=10 over growing posting-list
+// lengths. Exhaustive cost grows linearly with the list; the top-k
+// path's stays near-flat (it stops after the head blocks prove rank 10
+// final), so the gap must widen as the list grows — the tentpole claim
+// of Zerber+R §6. Both variants run the same client machinery over the
+// same cluster; only the retrieval protocol differs.
+func BenchmarkSearchTopK(b *testing.B) {
+	for _, listLen := range []int{500, 2000, 8000} {
+		bc := topkCluster(b, listLen)
+		cl, err := client.New(bc.cluster.APIs(), bc.cluster.K(), bc.cluster.Table(), bc.cluster.Vocab())
+		if err != nil {
+			b.Fatal(err)
+		}
+		query := []string{"hotterm"}
+		b.Run(fmt.Sprintf("full/len=%d", listLen), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := cl.Search(bc.tok, query, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("topk/len=%d", listLen), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := cl.SearchTopK(bc.tok, query, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"zerber/internal/client"
 	"zerber/internal/merging"
 	"zerber/internal/peer"
+	"zerber/internal/ranking"
 	"zerber/internal/transport"
 	"zerber/internal/vocab"
 )
@@ -41,6 +42,7 @@ func main() {
 		tablePath = flag.String("table", "table.json", "mapping table file")
 		vocabPath = flag.String("vocab", "vocab.json", "vocabulary file")
 		topK      = flag.Int("top", 10, "number of results")
+		topkMode  = flag.Bool("topk", false, "early-terminating top-k retrieval (score-ordered blocks, frequency-sum ranking)")
 		peers     = flag.String("peers", "", "comma-separated peer snippet-service URLs (optional)")
 		verbose   = flag.Bool("v", false, "print retrieval statistics")
 	)
@@ -79,7 +81,15 @@ func main() {
 	tok := svc.Issue(auth.UserID(*user))
 
 	start := time.Now()
-	results, stats, err := cl.Search(tok, lower(query), *topK)
+	var (
+		results []ranking.ScoredDoc
+		stats   client.Stats
+	)
+	if *topkMode {
+		results, stats, err = cl.SearchTopK(tok, lower(query), *topK)
+	} else {
+		results, stats, err = cl.Search(tok, lower(query), *topK)
+	}
 	if err != nil {
 		log.Fatalf("zerber-search: %v", err)
 	}
@@ -118,6 +128,11 @@ func main() {
 		fmt.Printf("\n%d lists requested, %d elements decrypted, %d false positives filtered, %d servers, %v\n",
 			stats.ListsRequested, stats.ElementsFetched, stats.FalsePositives,
 			stats.ServersQueried, elapsed.Round(time.Millisecond))
+		if *topkMode {
+			fmt.Printf("top-k: %d/%d postings touched, %d block fetches, %d bytes on wire, depth %d\n",
+				stats.TA.ElementsDecrypted, stats.TA.TotalPostings,
+				stats.TA.BlocksFetched, stats.TA.WireBytes, stats.TA.Depth)
+		}
 	}
 }
 

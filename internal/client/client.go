@@ -43,6 +43,9 @@ type Client struct {
 	tuning  Tuning
 	// verify enables k+1 cross-checked retrieval (see EnableVerification).
 	verify bool
+	// recs caches Lagrange bases across queries, keyed by the responding
+	// servers' x-coordinate sequence (hot terms hit the same basis).
+	recs recCache
 }
 
 // Stats describes one search, for the bandwidth/efficiency experiments.
@@ -60,6 +63,15 @@ type Stats struct {
 	// ElementsVerified counts elements whose shares were cross-checked
 	// against two k-subsets (verified retrieval only).
 	ElementsVerified int
+	// ReconstructorHits and ReconstructorMisses count Lagrange-basis
+	// cache lookups for this query: hits skip the O(k²) basis build, so
+	// a hot-term workload should show hits approaching every query after
+	// the first.
+	ReconstructorHits   int
+	ReconstructorMisses int
+	// TA instruments the streaming top-k path (SearchTopK); zero for
+	// exact retrieval.
+	TA ranking.TAStats
 }
 
 // New creates a client. servers are the index servers in preference
@@ -150,14 +162,20 @@ func (c *Client) RetrieveContext(ctx context.Context, tok auth.Token, query []st
 	stats.ServersQueried = len(responses)
 
 	// Elements replicated on all k responding servers share one Lagrange
-	// basis; precompute it once (the §7.6 "700 elements/ms" fast path).
+	// basis; fetch it from the cross-query cache (the §7.6 "700
+	// elements/ms" fast path, amortized across repeated hot-term queries).
 	fullXs := make([]field.Element, c.k)
 	for i, resp := range responses {
 		fullXs[i] = resp.x
 	}
-	fastRec, err := shamir.NewReconstructor(fullXs)
+	fastRec, hit, err := c.recs.get(fullXs)
 	if err != nil {
 		return nil, stats, fmt.Errorf("client: building reconstructor: %w", err)
+	}
+	if hit {
+		stats.ReconstructorHits++
+	} else {
+		stats.ReconstructorMisses++
 	}
 
 	jobs := joinResponses(lids, responses)

@@ -326,3 +326,6 @@ func (f failingAPI) Apply(context.Context, auth.Token, transport.OpID, []transpo
 func (f failingAPI) GetPostingLists(context.Context, auth.Token, []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error) {
 	return nil, errors.New("down")
 }
+func (f failingAPI) GetPostingBlocks(context.Context, auth.Token, merging.ListID, int, int) (transport.BlockPage, error) {
+	return transport.BlockPage{}, errors.New("down")
+}

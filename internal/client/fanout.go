@@ -20,23 +20,33 @@ type response struct {
 	lists map[merging.ListID][]posting.EncryptedShare
 }
 
-// fanOut runs the parallel first-need-of-n retrieval (Algorithm 2: "the
-// client queries the available Zerber servers and needs k responses"):
-// it launches GetPostingLists against up to Tuning.Fanout servers at
-// once, replaces each failed request with the next untried server,
-// optionally hedges stragglers after Tuning.HedgeDelay, and returns as
-// soon as need servers have answered. Outstanding requests are cancelled
-// through the per-call context. The returned responses are sorted back
-// into preference order so downstream Lagrange bases are deterministic.
-func (c *Client) fanOut(ctx context.Context, tok auth.Token, lids []merging.ListID, need int) ([]response, error) {
+// fanResult is one server's answer in a generic fan-out round.
+type fanResult[T any] struct {
+	idx int
+	x   field.Element
+	val T
+}
+
+// fanOutCall runs the parallel first-need-of-n retrieval (Algorithm 2:
+// "the client queries the available Zerber servers and needs k
+// responses") for any per-server call: it launches call against up to
+// Tuning.Fanout servers at once, replaces each failed request with the
+// next untried server, optionally hedges stragglers after
+// Tuning.HedgeDelay, and returns as soon as need servers have answered.
+// Outstanding requests are cancelled through the per-call context. The
+// returned results are sorted back into preference order so downstream
+// Lagrange bases are deterministic. Both the whole-list fetch and each
+// top-k block round run through this one engine, so hedging and first-k
+// completion apply uniformly.
+func fanOutCall[T any](ctx context.Context, c *Client, need int, call func(ctx context.Context, server int) (T, error)) ([]fanResult[T], error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	n := len(c.servers)
 	type result struct {
-		idx   int
-		lists map[merging.ListID][]posting.EncryptedShare
-		err   error
+		idx int
+		val T
+		err error
 	}
 	// Buffered to n: cancelled stragglers can always deliver and exit.
 	results := make(chan result, n)
@@ -48,8 +58,8 @@ func (c *Client) fanOut(ctx context.Context, tok auth.Token, lids []merging.List
 		i := next
 		next++
 		go func() {
-			out, err := c.servers[i].GetPostingLists(ctx, tok, lids)
-			results <- result{idx: i, lists: out, err: err}
+			out, err := call(ctx, i)
+			results <- result{idx: i, val: out, err: err}
 		}()
 		return true
 	}
@@ -67,7 +77,7 @@ func (c *Client) fanOut(ctx context.Context, tok auth.Token, lids []merging.List
 		hedge = hedgeTimer.C
 	}
 
-	responses := make([]response, 0, need)
+	responses := make([]fanResult[T], 0, need)
 	var lastErr error
 	finished := 0
 	for len(responses) < need {
@@ -87,7 +97,7 @@ func (c *Client) fanOut(ctx context.Context, tok auth.Token, lids []merging.List
 				launch() // replace the failed request with the next server
 				continue
 			}
-			responses = append(responses, response{idx: r.idx, x: c.servers[r.idx].XCoord(), lists: r.lists})
+			responses = append(responses, fanResult[T]{idx: r.idx, x: c.servers[r.idx].XCoord(), val: r.val})
 		case <-hedge:
 			if launch() && next < n {
 				hedgeTimer.Reset(c.tuning.HedgeDelay)
@@ -99,5 +109,21 @@ func (c *Client) fanOut(ctx context.Context, tok auth.Token, lids []merging.List
 		}
 	}
 	sort.Slice(responses, func(i, j int) bool { return responses[i].idx < responses[j].idx })
+	return responses, nil
+}
+
+// fanOut is the whole-list fetch round: GetPostingLists from need
+// servers through the generic fan-out engine.
+func (c *Client) fanOut(ctx context.Context, tok auth.Token, lids []merging.ListID, need int) ([]response, error) {
+	results, err := fanOutCall(ctx, c, need, func(ctx context.Context, i int) (map[merging.ListID][]posting.EncryptedShare, error) {
+		return c.servers[i].GetPostingLists(ctx, tok, lids)
+	})
+	if err != nil {
+		return nil, err
+	}
+	responses := make([]response, len(results))
+	for i, r := range results {
+		responses[i] = response{idx: r.idx, x: r.x, lists: r.val}
+	}
 	return responses, nil
 }

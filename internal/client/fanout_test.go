@@ -41,6 +41,12 @@ func (b *blockingAPI) GetPostingLists(ctx context.Context, _ auth.Token, _ []mer
 	return nil, ctx.Err()
 }
 
+func (b *blockingAPI) GetPostingBlocks(ctx context.Context, _ auth.Token, _ merging.ListID, _, _ int) (transport.BlockPage, error) {
+	<-ctx.Done()
+	b.once.Do(func() { close(b.done) })
+	return transport.BlockPage{}, ctx.Err()
+}
+
 func TestFanoutSurvivesFailuresMidFanout(t *testing.T) {
 	// Dead servers interleaved with healthy ones: the parallel fan-out
 	// must replace each failure with the next untried server and still

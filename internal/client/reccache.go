@@ -1,0 +1,80 @@
+package client
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"zerber/internal/field"
+	"zerber/internal/shamir"
+)
+
+// recCacheCap bounds the reconstructor cache. A Lagrange basis is keyed
+// by the exact x-coordinate sequence it was built for; a steady cluster
+// produces a handful of distinct sequences (the k fastest responders in
+// arrival order), while failures and hedging add a few more. 64 entries
+// hold every subset a realistic fan-out cycles through, at ~3 cache
+// lines per entry, and the FIFO eviction below keeps pathological
+// subsets (one-off stragglers) from growing the map without bound.
+const recCacheCap = 64
+
+// recCache memoizes Lagrange bases per x-coordinate sequence, so
+// repeated queries against the same responding servers — the hot-term
+// case the Zipfian workload hammers — skip the O(k²) basis computation
+// and its k field inversions entirely. Reconstructor is immutable after
+// construction, so one entry serves concurrent decrypt workers.
+type recCache struct {
+	mu    sync.Mutex
+	m     map[string]*shamir.Reconstructor
+	order []string // FIFO eviction order
+}
+
+// xsKey packs the x-coordinate sequence into a map key. Order matters:
+// share values are consumed positionally.
+func xsKey(xs []field.Element) string {
+	buf := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(buf[i*8:], x.Uint64())
+	}
+	return string(buf)
+}
+
+// get returns the reconstructor for xs, building and caching it on a
+// miss. hit reports whether the basis was already cached.
+func (rc *recCache) get(xs []field.Element) (rec *shamir.Reconstructor, hit bool, err error) {
+	key := xsKey(xs)
+	rc.mu.Lock()
+	if r, ok := rc.m[key]; ok {
+		rc.mu.Unlock()
+		return r, true, nil
+	}
+	rc.mu.Unlock()
+	// Build outside the lock: the O(k²) computation must not serialize
+	// concurrent decrypt workers. A racing builder of the same key just
+	// loses and discards its copy.
+	r, err := shamir.NewReconstructor(xs)
+	if err != nil {
+		return nil, false, err
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if cached, ok := rc.m[key]; ok {
+		return cached, true, nil
+	}
+	if rc.m == nil {
+		rc.m = make(map[string]*shamir.Reconstructor, recCacheCap)
+	}
+	if len(rc.order) >= recCacheCap {
+		delete(rc.m, rc.order[0])
+		rc.order = rc.order[1:]
+	}
+	rc.m[key] = r
+	rc.order = append(rc.order, key)
+	return r, false, nil
+}
+
+// len returns the number of cached bases (test hook).
+func (rc *recCache) len() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return len(rc.m)
+}

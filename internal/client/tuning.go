@@ -24,6 +24,22 @@ type Tuning struct {
 	// DecryptWorkers is the number of goroutines reconstructing Shamir
 	// shares. 0 means runtime.NumCPU(); 1 decrypts serially.
 	DecryptWorkers int
+	// BlockSize is the number of score-ordered posting elements fetched
+	// per list per round by the top-k retrieval loop (SearchTopK). 0
+	// selects the default. Larger blocks cost bandwidth on short
+	// queries; smaller blocks cost round trips on deep ones.
+	BlockSize int
+}
+
+// defaultBlockSize is the top-k block window when Tuning.BlockSize is 0.
+const defaultBlockSize = 256
+
+// blockSize resolves the top-k retrieval window.
+func (t Tuning) blockSize() int {
+	if t.BlockSize > 0 {
+		return t.BlockSize
+	}
+	return defaultBlockSize
 }
 
 // fanoutWidth resolves the initial number of in-flight requests for a

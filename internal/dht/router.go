@@ -405,6 +405,26 @@ func (s *Slot) GetPostingLists(ctx context.Context, tok auth.Token, lists []merg
 	return out, nil
 }
 
+// GetPostingBlocks routes a paged lookup to the single authoritative
+// holder of the list, under the same mid-migration routing rules as
+// GetPostingLists: the source serves during a copy, the recorded holder
+// after an aborted move, so a page never comes from a half-ingested
+// target copy.
+func (s *Slot) GetPostingBlocks(ctx context.Context, tok auth.Token, list merging.ListID, from, n int) (transport.BlockPage, error) {
+	s.mu.RLock()
+	owner, err := s.ownerOfLocked(list)
+	if err != nil {
+		s.mu.RUnlock()
+		return transport.BlockPage{}, err
+	}
+	srv := s.nodes[owner]
+	s.mu.RUnlock()
+	if srv == nil {
+		return transport.BlockPage{}, fmt.Errorf("dht: owner %s vanished", owner)
+	}
+	return srv.GetPostingBlocks(ctx, tok, list, from, n)
+}
+
 // NumNodes returns the number of physical nodes serving the slot
 // (including nodes still draining out).
 func (s *Slot) NumNodes() int {

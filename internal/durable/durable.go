@@ -157,6 +157,11 @@ func (s *Server) GetPostingLists(ctx context.Context, tok auth.Token, lists []me
 	return s.inner.GetPostingLists(ctx, tok, lists)
 }
 
+// GetPostingBlocks serves paged reads from memory.
+func (s *Server) GetPostingBlocks(ctx context.Context, tok auth.Token, list merging.ListID, from, n int) (transport.BlockPage, error) {
+	return s.inner.GetPostingBlocks(ctx, tok, list, from, n)
+}
+
 // Close flushes and closes the log. The in-memory state stays usable
 // for reads, but further writes fail.
 func (s *Server) Close() error { return s.log.Close() }

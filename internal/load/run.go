@@ -170,7 +170,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	recs := map[string]*recorder{
-		"search": {}, "index": {}, "update": {}, "delete": {},
+		"search": {}, "searchk": {}, "index": {}, "update": {}, "delete": {},
 		"churn": {}, "reshare": {}, "nodechurn": {},
 	}
 
@@ -181,21 +181,33 @@ func Run(cfg Config) (*Report, error) {
 	start := time.Now()
 
 	// Searchers: each samples the query log's frequency model with its
-	// own deterministic stream.
+	// own deterministic stream. Odd-indexed searchers drive the
+	// early-terminating top-k block protocol ("searchk") so both
+	// retrieval paths are measured against the same Zipfian traffic.
 	for i := 0; i < cfg.Searchers; i++ {
 		sampler := workload.NewQuerySampler(qlog.Queries, cfg.Seed+200+int64(i))
 		tok := searcherToks[i]
+		topk := i%2 == 1
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for ctx.Err() == nil {
 				q := sampler.Next()
 				t0 := time.Now()
-				_, _, err := cl.SearchContext(ctx, tok, q, cfg.TopK)
+				var err error
+				if topk {
+					_, _, err = cl.SearchTopKContext(ctx, tok, q, cfg.TopK)
+				} else {
+					_, _, err = cl.SearchContext(ctx, tok, q, cfg.TopK)
+				}
 				if ctx.Err() != nil {
 					return // shutdown-aborted call: not a measurement
 				}
-				recs["search"].done(time.Since(t0), err)
+				if topk {
+					recs["searchk"].done(time.Since(t0), err)
+				} else {
+					recs["search"].done(time.Since(t0), err)
+				}
 			}
 		}()
 	}

@@ -38,6 +38,10 @@ func (discardAPI) GetPostingLists(context.Context, auth.Token, []merging.ListID)
 	return nil, nil
 }
 
+func (discardAPI) GetPostingBlocks(context.Context, auth.Token, merging.ListID, int, int) (transport.BlockPage, error) {
+	return transport.BlockPage{}, nil
+}
+
 // bench5kPeer builds a peer over a 5,000-term vocabulary wired to n
 // discarding servers, plus the document containing every term once.
 func bench5kPeer(b *testing.B, n, k, workers int) (*Peer, Document) {

@@ -412,6 +412,9 @@ func (st *staged) addDoc(p *Peer, doc Document, counts map[string]int, terms []s
 			st.truncate(base)
 			return nil, fmt.Errorf("peer: generating element ID: %w", err)
 		}
+		// Carry the element's impact bucket in the public ID so servers
+		// can keep the list score-ordered without seeing the TF (§6).
+		gid = posting.TagImpact(gid, posting.ImpactBucket(elem.TF))
 		lid := p.cfg.Table.ListOf(term)
 		st.elems = append(st.elems, elem)
 		st.gids = append(st.gids, gid)

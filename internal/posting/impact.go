@@ -1,0 +1,66 @@
+// Impact bucketing for score-ordered posting lists (Zerber+R, paper §6).
+//
+// Zerber+R stores posting elements in relevance order so that a top-k
+// query can fetch score-ordered blocks and stop early. The servers never
+// see term frequencies — they hold encrypted shares — so the order has to
+// be carried by something public. We use the top ImpactBits bits of the
+// element's GlobalID: the owner peer assigns them at indexing time from
+// the element's TF, and every store keeps each list sorted by that bucket,
+// highest first.
+//
+// The bucket is a coarse, order-preserving quantization of TF: bucket
+// b = floor(log2(tf)), so all TFs in [2^b, 2^(b+1)) share a bucket. This
+// coarseness IS the padding the paper calls for — block boundaries reveal
+// only the log-scale magnitude of an element's TF, never its exact value,
+// which is the same order information any score-ordered confidential
+// layout must leak to be fetchable best-first (§6: order-preserving score
+// buckets within the leak budget). The remaining 60 bits of the GlobalID
+// stay uniformly random, so IDs remain unique for joining and deleting.
+package posting
+
+import "math/bits"
+
+// ImpactBits is the width of the impact bucket carried in the top bits of
+// a GlobalID. 16 buckets cover the full 15-bit TF range at log2
+// granularity with one value to spare.
+const ImpactBits = 4
+
+// ImpactBuckets is the number of distinct impact buckets.
+const ImpactBuckets = 1 << ImpactBits
+
+// MaxImpact is the highest bucket an in-range TF can map to
+// (ImpactBucket(MaxTF) == 14).
+const MaxImpact = TFBits - 1
+
+// ImpactBucket quantizes a term frequency to its impact bucket:
+// floor(log2(tf)), with tf <= 1 mapping to bucket 0. Monotone in TF, so
+// bucket-descending order is score-descending order up to quantization.
+func ImpactBucket(tf uint16) uint8 {
+	if tf <= 1 {
+		return 0
+	}
+	return uint8(bits.Len16(tf) - 1)
+}
+
+// BucketMaxTF returns the largest TF that maps to bucket b: the upper
+// bound a client may assume for any element still inside that bucket.
+// Buckets above MaxImpact are unreachable from in-range TFs but are
+// still bounded (by MaxTF) so arbitrary IDs stay safe to reason about.
+func BucketMaxTF(b uint8) uint16 {
+	if int(b) >= MaxImpact {
+		return MaxTF
+	}
+	return uint16(1<<(int(b)+1)) - 1
+}
+
+// TagImpact overwrites the impact bits of id with bucket b.
+func TagImpact(id GlobalID, b uint8) GlobalID {
+	const shift = 64 - ImpactBits
+	id &^= GlobalID(ImpactBuckets-1) << shift
+	return id | GlobalID(b&(ImpactBuckets-1))<<shift
+}
+
+// ImpactOf extracts the impact bucket from a GlobalID.
+func ImpactOf(id GlobalID) uint8 {
+	return uint8(id >> (64 - ImpactBits))
+}

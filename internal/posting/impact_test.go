@@ -1,0 +1,60 @@
+package posting
+
+import "testing"
+
+func TestImpactBucketMonotone(t *testing.T) {
+	prev := uint8(0)
+	for tf := 0; tf <= MaxTF; tf++ {
+		b := ImpactBucket(uint16(tf))
+		if b < prev {
+			t.Fatalf("ImpactBucket not monotone: tf=%d bucket=%d < prev %d", tf, b, prev)
+		}
+		if tf > 0 && uint16(tf) > BucketMaxTF(b) {
+			t.Fatalf("tf=%d exceeds BucketMaxTF(%d)=%d", tf, b, BucketMaxTF(b))
+		}
+		prev = b
+	}
+	if got := ImpactBucket(MaxTF); got != MaxImpact {
+		t.Fatalf("ImpactBucket(MaxTF) = %d, want %d", got, MaxImpact)
+	}
+}
+
+func TestImpactBucketBounds(t *testing.T) {
+	cases := []struct {
+		tf     uint16
+		bucket uint8
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3},
+		{255, 7}, {256, 8}, {16384, 14}, {MaxTF, 14},
+	}
+	for _, c := range cases {
+		if got := ImpactBucket(c.tf); got != c.bucket {
+			t.Errorf("ImpactBucket(%d) = %d, want %d", c.tf, got, c.bucket)
+		}
+	}
+	for b := uint8(0); b < ImpactBuckets; b++ {
+		max := BucketMaxTF(b)
+		if max > MaxTF {
+			t.Fatalf("BucketMaxTF(%d) = %d exceeds MaxTF", b, max)
+		}
+		if ImpactBucket(max) > b {
+			t.Fatalf("BucketMaxTF(%d) = %d maps above its own bucket", b, max)
+		}
+	}
+}
+
+func TestTagImpactRoundTrip(t *testing.T) {
+	ids := []GlobalID{0, 1, 0xFFFFFFFFFFFFFFFF, 0x0123456789ABCDEF}
+	for _, id := range ids {
+		for b := uint8(0); b < ImpactBuckets; b++ {
+			tagged := TagImpact(id, b)
+			if got := ImpactOf(tagged); got != b {
+				t.Fatalf("ImpactOf(TagImpact(%#x, %d)) = %d", id, b, got)
+			}
+			const low = GlobalID(1)<<(64-ImpactBits) - 1
+			if tagged&low != id&low {
+				t.Fatalf("TagImpact(%#x, %d) disturbed low bits: %#x", id, b, tagged)
+			}
+		}
+	}
+}

@@ -113,6 +113,17 @@ type TAStats struct {
 	RandomAccesses int
 	// TotalPostings is the summed length of the query's posting lists.
 	TotalPostings int
+
+	// The remaining fields instrument the streaming (networked) TA path;
+	// the in-memory TopKStats leaves them zero.
+
+	// BlocksFetched counts score-ordered block requests sent to servers.
+	BlocksFetched int
+	// ElementsDecrypted counts posting elements actually reconstructed —
+	// the early-termination win is TotalPostings/ElementsDecrypted.
+	ElementsDecrypted int
+	// WireBytes is the response payload volume under the wire encoding.
+	WireBytes int
 }
 
 // TopK returns the K highest-scoring documents using Fagin's Threshold

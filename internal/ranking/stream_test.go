@@ -1,0 +1,144 @@
+package ranking
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"zerber/internal/posting"
+)
+
+// TestStreamMatchesExhaustive drives the NRA stream the way the client
+// does — impact-bucket-ordered blocks with quantized bounds — over random
+// inputs, and checks the converged result equals the exhaustive top-k
+// under the same (sum of TF, doc ID asc) order, including boundary ties.
+func TestStreamMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		nTerms := 1 + rng.Intn(3)
+		k := 1 + rng.Intn(5)
+		blockSize := 1 + rng.Intn(4)
+
+		type post struct {
+			doc uint32
+			tf  uint16
+		}
+		lists := make([][]post, nTerms)
+		truth := map[uint32]float64{}
+		for ti := range lists {
+			n := rng.Intn(30)
+			seen := map[uint32]bool{}
+			for i := 0; i < n; i++ {
+				doc := uint32(rng.Intn(20))
+				if seen[doc] {
+					continue
+				}
+				seen[doc] = true
+				tf := uint16(1 + rng.Intn(200))
+				lists[ti] = append(lists[ti], post{doc, tf})
+				truth[doc] += float64(tf)
+			}
+			// Server order: impact bucket descending, arbitrary inside.
+			sort.SliceStable(lists[ti], func(a, b int) bool {
+				return posting.ImpactBucket(lists[ti][a].tf) > posting.ImpactBucket(lists[ti][b].tf)
+			})
+		}
+		want := make([]ScoredDoc, 0, len(truth))
+		for doc, sc := range truth {
+			want = append(want, ScoredDoc{DocID: doc, Score: sc})
+		}
+		sortScored(want)
+		if len(want) > k {
+			want = want[:k]
+		}
+
+		s := NewStream(nTerms, k)
+		fetched := make([]int, nTerms)
+		for round := 0; ; round++ {
+			progressed := false
+			for ti, list := range lists {
+				if fetched[ti] >= len(list) {
+					s.SetBound(ti, 0, false)
+					continue
+				}
+				end := fetched[ti] + blockSize
+				if end > len(list) {
+					end = len(list)
+				}
+				for _, p := range list[fetched[ti]:end] {
+					s.Observe(ti, p.doc, float64(p.tf))
+				}
+				fetched[ti] = end
+				progressed = true
+				if end >= len(list) {
+					s.SetBound(ti, 0, false)
+				} else {
+					b := posting.ImpactBucket(list[end].tf)
+					s.SetBound(ti, float64(posting.BucketMaxTF(b)), true)
+				}
+			}
+			if s.Converged() {
+				break
+			}
+			if !progressed {
+				t.Fatalf("trial %d: exhausted without converging", trial)
+			}
+		}
+		got := s.Results()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d results, want %d\ngot:  %v\nwant: %v", trial, len(got), len(want), got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: result[%d] = %v, want %v\ngot:  %v\nwant: %v", trial, i, got[i], want[i], got, want)
+			}
+		}
+	}
+}
+
+// TestStreamEarlyTermination pins the point of the exercise: with one
+// hot term whose list has a few high-impact elements in front, the
+// stream converges long before the tail is fetched.
+func TestStreamEarlyTermination(t *testing.T) {
+	const n, k = 10000, 10
+	s := NewStream(1, k)
+	// 50 high-TF docs, then a long uniform low-TF tail.
+	fed := 0
+	for i := 0; i < 64 && fed < n; i += 1 {
+		var tf uint16
+		if i < 50 {
+			tf = 1000
+		} else {
+			tf = 3
+		}
+		s.Observe(0, uint32(i), float64(tf))
+		fed++
+	}
+	// After one block round the bound is the tail bucket's max.
+	s.SetBound(0, float64(posting.BucketMaxTF(posting.ImpactBucket(3))), true)
+	if !s.Converged() {
+		t.Fatal("stream did not converge after the high-impact prefix")
+	}
+	res := s.Results()
+	if len(res) != k || res[0].Score != 1000 {
+		t.Fatalf("unexpected results: %v", res[:3])
+	}
+}
+
+// TestStreamDuplicateObserve pins redelivery safety: the same (term,
+// doc) observation must not double-count.
+func TestStreamDuplicateObserve(t *testing.T) {
+	s := NewStream(2, 1)
+	s.Observe(0, 7, 5)
+	s.Observe(0, 7, 5)
+	s.Observe(1, 7, 3)
+	s.SetBound(0, 0, false)
+	s.SetBound(1, 0, false)
+	if !s.Converged() {
+		t.Fatal("closed stream must converge")
+	}
+	res := s.Results()
+	if len(res) != 1 || res[0].Score != 8 {
+		t.Fatalf("score = %v, want 8", res)
+	}
+}

@@ -307,6 +307,31 @@ func (s *Server) GetPostingLists(ctx context.Context, tok auth.Token, lists []me
 	return out, nil
 }
 
+// GetPostingBlocks authenticates the caller and returns one window of a
+// score-ordered posting list, filtered to the caller's groups (the
+// Zerber+R §6 paged lookup). Total and Next describe the unfiltered
+// list — list lengths and the public impact buckets are already inside
+// the leak budget (§5.2), and the top-k client needs them to bound the
+// unfetched remainder.
+func (s *Server) GetPostingBlocks(ctx context.Context, tok auth.Token, list merging.ListID, from, n int) (transport.BlockPage, error) {
+	if err := ctx.Err(); err != nil {
+		return transport.BlockPage{}, fmt.Errorf("%s: %w", s.cfg.Name, err)
+	}
+	user, err := s.cfg.Auth.Verify(tok)
+	if err != nil {
+		return transport.BlockPage{}, fmt.Errorf("%s: %w", s.cfg.Name, err)
+	}
+	memberOf := s.cfg.Groups.GroupSetOf(user)
+	authorized := func(sh posting.EncryptedShare) bool {
+		_, member := memberOf[auth.GroupID(sh.Group)]
+		return member
+	}
+	shares, total, next := s.st.ScanRange(list, from, n, authorized)
+	s.lookups.Add(1)
+	s.served.Add(int64(len(shares)))
+	return transport.BlockPage{Shares: shares, Total: total, Next: next}, nil
+}
+
 // ListLength returns the combined length of a merged posting list — the
 // quantity a compromised server administrator can observe (§5.2).
 func (s *Server) ListLength(lid merging.ListID) int { return s.st.ListLen(lid) }

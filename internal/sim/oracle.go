@@ -5,6 +5,8 @@ import (
 
 	"zerber/internal/auth"
 	"zerber/internal/invindex"
+	"zerber/internal/posting"
+	"zerber/internal/ranking"
 	"zerber/internal/textproc"
 )
 
@@ -85,6 +87,46 @@ func (o *Oracle) DocIDs() []uint32 {
 		out = append(out, id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ExpectedTopK returns the ranked top-k answer the cluster's
+// early-terminating retrieval (client.SearchTopK) must produce for a
+// query by user: accessible documents scored by summed clamped term
+// frequency over the distinct query terms, ties broken by ascending
+// document ID, cut to k. The clamp mirrors the packed TF width posting
+// elements carry on the wire.
+func (o *Oracle) ExpectedTopK(user auth.UserID, query []string, k int) []ranking.ScoredDoc {
+	if k <= 0 {
+		return nil
+	}
+	member := o.membership[user]
+	seen := make(map[string]bool, len(query))
+	scores := make(map[uint32]float64)
+	for _, term := range query {
+		if term == "" || seen[term] {
+			continue
+		}
+		seen[term] = true
+		for _, p := range o.idx.Lookup(term) {
+			if member[o.docGroup[p.DocID]] {
+				scores[p.DocID] += float64(posting.ClampTF(int(p.TF)))
+			}
+		}
+	}
+	out := make([]ranking.ScoredDoc, 0, len(scores))
+	for doc, sc := range scores {
+		out = append(out, ranking.ScoredDoc{DocID: doc, Score: sc})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].DocID < out[j].DocID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
 	return out
 }
 

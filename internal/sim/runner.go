@@ -52,6 +52,11 @@ type oracleMut struct {
 // failure, since every fault in the plan is survivable by design.
 const healAttempts = 100
 
+// topkCheckK is the cut the quiescent top-k equivalence check compares
+// at: deep enough to exercise ranking and ties, small enough that early
+// termination actually terminates early on the sim corpora.
+const topkCheckK = 5
+
 // runner holds one simulation's live cluster and checker state.
 type runner struct {
 	cfg Config
@@ -77,13 +82,17 @@ type runner struct {
 	binServers []*transport.BinaryServer
 	binClients []*transport.BinaryClient
 
-	peer     *peer.Peer
-	batch    *peer.Batch
-	client   *client.Client
-	oracle   *Oracle
-	ownerTok auth.Token
-	userID   []auth.UserID
-	userTok  []auth.Token
+	peer  *peer.Peer
+	batch *peer.Batch
+	// client runs exact retrieval; topkClient the early-terminating
+	// block protocol (compared against the oracle's scored top k at
+	// every quiescent point).
+	client     *client.Client
+	topkClient *client.Client
+	oracle     *Oracle
+	ownerTok   auth.Token
+	userID     []auth.UserID
+	userTok    []auth.Token
 
 	// queued are the oracle effects of the single begun-but-incomplete
 	// peer operation (the engine never has more than one in flight);
@@ -250,6 +259,15 @@ func newRunner(cfg Config) (*runner, error) {
 	// Sequential fan-out and a single decrypt worker keep the whole run
 	// deterministic under one seed.
 	r.client.SetTuning(client.Tuning{Fanout: 1, DecryptWorkers: 1})
+	// A second client drives the early-terminating top-k protocol over
+	// the same transports; the tiny block size forces multi-round block
+	// streaming so the TA loop is exercised, not just its first page.
+	r.topkClient, err = client.New(r.apis, cfg.K, r.table, r.voc)
+	if err != nil {
+		r.close()
+		return nil, err
+	}
+	r.topkClient.SetTuning(client.Tuning{Fanout: 1, DecryptWorkers: 1, BlockSize: 4})
 	return r, nil
 }
 
@@ -858,6 +876,32 @@ func (r *runner) fullCheck() error {
 			}
 			if err := r.compareSets(names[ui], []string{term}, gotSet); err != nil {
 				return err
+			}
+		}
+		// Ranked top-k equivalence: the early-terminating block protocol
+		// must reproduce the oracle's frequency-sum ranking exactly —
+		// same documents, same scores, same tie order — per term and for
+		// one multi-term query over the whole vocabulary.
+		queries := make([][]string, 0, len(r.cfg.Vocabulary)+1)
+		for _, term := range r.cfg.Vocabulary {
+			queries = append(queries, []string{term})
+		}
+		queries = append(queries, r.cfg.Vocabulary)
+		for _, q := range queries {
+			got, _, err := r.topkClient.SearchTopK(tok, q, topkCheckK)
+			if err != nil {
+				return fmt.Errorf("quiescent top-k search %v by %s failed: %v", q, names[ui], err)
+			}
+			want := r.oracle.ExpectedTopK(names[ui], q, topkCheckK)
+			if len(got) != len(want) {
+				return fmt.Errorf("top-k %v by %s: %d results, oracle %d (cluster %v, oracle %v)",
+					q, names[ui], len(got), len(want), got, want)
+			}
+			for i := range got {
+				if got[i].DocID != want[i].DocID || got[i].Score != want[i].Score {
+					return fmt.Errorf("top-k %v by %s: rank %d = doc %d score %v, oracle doc %d score %v",
+						q, names[ui], i, got[i].DocID, got[i].Score, want[i].DocID, want[i].Score)
+				}
 			}
 		}
 	}

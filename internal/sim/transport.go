@@ -307,6 +307,15 @@ func (t *Transport) GetPostingLists(ctx context.Context, tok auth.Token, lists [
 	return t.api.GetPostingLists(ctx, tok, lists)
 }
 
+// GetPostingBlocks forwards when the server is up; like GetPostingLists,
+// the read path is fault-free by design so checks are exact.
+func (t *Transport) GetPostingBlocks(ctx context.Context, tok auth.Token, list merging.ListID, from, n int) (transport.BlockPage, error) {
+	if t.core.isDown(t.idx) {
+		return transport.BlockPage{}, fmt.Errorf("server %d: %w", t.idx, ErrServerDown)
+	}
+	return t.api.GetPostingBlocks(ctx, tok, list, from, n)
+}
+
 // migDecision is one migration delivery's fault schedule, drawn
 // atomically from the shared stream.
 type migDecision struct {

@@ -18,7 +18,10 @@ import (
 //   - no phantom lists: every reported list is non-empty (an emptied
 //     list must disappear from the adversary view entirely);
 //   - inventory consistency: Keys reports exactly the stored
-//     (list, global ID) pairs, per-list in ascending ID order.
+//     (list, global ID) pairs, per-list in ascending ID order;
+//   - score order: within every list, impact buckets are non-increasing
+//     (the Zerber+R layout ScanRange depends on), and ScanRange over the
+//     whole list agrees with Scan element-for-element.
 //
 // The model checker (internal/sim) runs this after every simulation
 // step; it is only meaningful while no writer is concurrently mutating
@@ -69,6 +72,24 @@ func CheckInvariants(s Store) error {
 		for _, id := range ids {
 			if !seen[id] {
 				return fmt.Errorf("store: list %d: Keys reports ID %d not in List", lid, id)
+			}
+		}
+		for i := 1; i < len(shares); i++ {
+			if posting.ImpactOf(shares[i].GlobalID) > posting.ImpactOf(shares[i-1].GlobalID) {
+				return fmt.Errorf("store: list %d: impact order violated at position %d (bucket %d after %d)",
+					lid, i, posting.ImpactOf(shares[i].GlobalID), posting.ImpactOf(shares[i-1].GlobalID))
+			}
+		}
+		ranged, totalLen, next := s.ScanRange(lid, 0, n, nil)
+		if totalLen != n || next != 0 {
+			return fmt.Errorf("store: list %d: ScanRange(0, %d) reports total=%d next=%d", lid, n, totalLen, next)
+		}
+		if len(ranged) != len(shares) {
+			return fmt.Errorf("store: list %d: ScanRange returns %d shares, Scan %d", lid, len(ranged), len(shares))
+		}
+		for i := range ranged {
+			if ranged[i] != shares[i] {
+				return fmt.Errorf("store: list %d: ScanRange/Scan disagree at position %d", lid, i)
 			}
 		}
 	}

@@ -52,6 +52,13 @@ func (m *Memory) Scan(lid merging.ListID, keep func(posting.EncryptedShare) bool
 	return m.tab.scan(lid, keep)
 }
 
+// ScanRange implements Store.
+func (m *Memory) ScanRange(lid merging.ListID, from, n int, keep func(posting.EncryptedShare) bool) ([]posting.EncryptedShare, int, uint8) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.tab.scanRange(lid, from, n, keep)
+}
+
 // IngestList implements Store.
 func (m *Memory) IngestList(lid merging.ListID, shares []posting.EncryptedShare) {
 	m.Upsert(lid, shares)

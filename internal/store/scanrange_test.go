@@ -1,0 +1,111 @@
+package store_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"zerber/internal/merging"
+	"zerber/internal/posting"
+	"zerber/internal/store"
+)
+
+// tagged builds a share whose GlobalID carries impact bucket b.
+func tagged(seq uint64, b uint8, group uint32) posting.EncryptedShare {
+	gid := posting.TagImpact(posting.GlobalID(seq), b)
+	return sh(gid, group, seq)
+}
+
+func TestScanRangeOrderedWindows(t *testing.T) {
+	each(t, func(t *testing.T, st store.Store) {
+		const lid = merging.ListID(3)
+		rng := rand.New(rand.NewSource(42))
+		live := map[posting.GlobalID]posting.EncryptedShare{}
+		seq := uint64(0)
+		for step := 0; step < 400; step++ {
+			switch {
+			case rng.Intn(3) > 0 || len(live) == 0: // insert
+				seq++
+				s := tagged(seq, uint8(rng.Intn(posting.ImpactBuckets)), uint32(rng.Intn(3)))
+				st.Upsert(lid, []posting.EncryptedShare{s})
+				live[s.GlobalID] = s
+			default: // delete a random live element
+				for gid := range live {
+					st.DeleteIf(lid, gid, nil)
+					delete(live, gid)
+					break
+				}
+			}
+		}
+		if err := store.CheckInvariants(st); err != nil {
+			t.Fatal(err)
+		}
+		full := st.Scan(lid, nil)
+		if len(full) != len(live) {
+			t.Fatalf("Scan returned %d shares, want %d", len(full), len(live))
+		}
+		// Impact buckets must be non-increasing across the whole list.
+		for i := 1; i < len(full); i++ {
+			if posting.ImpactOf(full[i].GlobalID) > posting.ImpactOf(full[i-1].GlobalID) {
+				t.Fatalf("impact order violated at %d", i)
+			}
+		}
+		// Every window agrees with the corresponding Scan slice, total is
+		// the unfiltered length, and next is the bucket just past the
+		// window.
+		total := len(full)
+		for _, w := range []int{1, 3, 7, total, total + 5} {
+			for from := 0; from <= total; from += w {
+				got, gotTotal, next := st.ScanRange(lid, from, w, nil)
+				if gotTotal != total {
+					t.Fatalf("ScanRange(%d,%d) total = %d, want %d", from, w, gotTotal, total)
+				}
+				end := from + w
+				if end > total {
+					end = total
+				}
+				want := full[from:end]
+				if len(got) != len(want) {
+					t.Fatalf("ScanRange(%d,%d) returned %d shares, want %d", from, w, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("ScanRange(%d,%d)[%d] = %+v, want %+v", from, w, i, got[i], want[i])
+					}
+				}
+				wantNext := uint8(0)
+				if end < total {
+					wantNext = posting.ImpactOf(full[end].GlobalID)
+				}
+				if next != wantNext {
+					t.Fatalf("ScanRange(%d,%d) next = %d, want %d", from, w, next, wantNext)
+				}
+			}
+		}
+	})
+}
+
+func TestScanRangeGroupFilterAndEdges(t *testing.T) {
+	each(t, func(t *testing.T, st store.Store) {
+		const lid = merging.ListID(9)
+		st.Upsert(lid, []posting.EncryptedShare{
+			tagged(1, 5, 1), tagged(2, 5, 2), tagged(3, 2, 1), tagged(4, 0, 2),
+		})
+		shares, total, next := st.ScanRange(lid, 0, 2, func(s posting.EncryptedShare) bool { return s.Group == 1 })
+		if total != 4 || len(shares) != 1 || shares[0].GlobalID != posting.TagImpact(1, 5) {
+			t.Fatalf("filtered window: shares=%v total=%d", shares, total)
+		}
+		if next != 2 {
+			t.Fatalf("next = %d, want 2 (bucket of position 2)", next)
+		}
+		// Window past the end: empty, exhausted.
+		shares, total, next = st.ScanRange(lid, 10, 5, nil)
+		if shares != nil || total != 4 || next != 0 {
+			t.Fatalf("past-end window: shares=%v total=%d next=%d", shares, total, next)
+		}
+		// Unknown list: zero everything.
+		shares, total, next = st.ScanRange(merging.ListID(77), 0, 5, nil)
+		if shares != nil || total != 0 || next != 0 {
+			t.Fatalf("unknown list: shares=%v total=%d next=%d", shares, total, next)
+		}
+	})
+}

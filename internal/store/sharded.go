@@ -125,6 +125,14 @@ func (s *Sharded) Scan(lid merging.ListID, keep func(posting.EncryptedShare) boo
 	return sh.tab.scan(lid, keep)
 }
 
+// ScanRange implements Store.
+func (s *Sharded) ScanRange(lid merging.ListID, from, n int, keep func(posting.EncryptedShare) bool) ([]posting.EncryptedShare, int, uint8) {
+	sh := s.shardOf(lid)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.tab.scanRange(lid, from, n, keep)
+}
+
 // IngestList implements Store.
 func (s *Sharded) IngestList(lid merging.ListID, shares []posting.EncryptedShare) {
 	s.Upsert(lid, shares)

@@ -19,11 +19,20 @@
 //   - Keyed addressing only. All mutation is addressed by
 //     (ListID, GlobalID). Upserting an existing key replaces the stored
 //     share in place; it never duplicates the element.
-//   - Stable within-list order. List reads observe shares in arrival
-//     (append) order, except that a swap-delete moves the last element
-//     of a list into the vacated slot. Order across lists carries no
-//     meaning. This makes retrieval output independent of how the
+//   - Score-ordered within-list layout. List reads observe shares in
+//     descending impact-bucket order (posting.ImpactOf of the public
+//     GlobalID, the Zerber+R §6 relevance layout): every element of
+//     bucket b precedes every element of bucket b-1, so a ranged read
+//     fetches the highest-scoring elements first. Within a bucket the
+//     order is arrival (append) order, except that a delete moves the
+//     last element of the same bucket segment into the vacated slot
+//     and shifts one element per lower bucket. Order across lists
+//     carries no meaning. The layout is a pure function of the per-list
+//     operation history, so retrieval output is independent of how the
 //     store is sharded: a list lives in exactly one shard.
+//   - Ranged reads. ScanRange exposes a position window of the ordered
+//     list plus the impact bucket of the first unfetched element — the
+//     upper bound a top-k client needs for early termination.
 //   - Per-list linearizability. Operations touching a single list are
 //     atomic with respect to each other. Operations spanning lists
 //     (ApplyDeltas, Keys, ListLengths, TotalElements) need not present
@@ -32,8 +41,13 @@
 //     undecryptable (see Store.ApplyDeltas).
 //   - Leak budget. The adversary view an implementation may expose is
 //     list lengths and stored shares — exactly what a compromised
-//     server box already sees (§5.2). No auxiliary index may reveal
-//     more (e.g. insertion timestamps or per-term structure).
+//     server box already sees (§5.2) — plus the impact bucket each
+//     GlobalID publicly carries: a coarse log2 quantization of the
+//     element's TF assigned by the owner peer, which is the minimum
+//     order information any score-ordered confidential layout must
+//     reveal (§6; the bucket granularity is the padding). No auxiliary
+//     index may reveal more (e.g. insertion timestamps or per-term
+//     structure).
 //
 // Two implementations ship: Memory, the single-lock baseline, and
 // Sharded, which stripes lists across independently locked shards for
@@ -76,6 +90,14 @@ type Store interface {
 	// in stored order, or nil if none match. The same locking rules as
 	// DeleteIf's allow apply to keep.
 	Scan(lid merging.ListID, keep func(posting.EncryptedShare) bool) []posting.EncryptedShare
+
+	// ScanRange returns the shares at positions [from, from+n) of lid's
+	// score-ordered list that keep accepts (nil keeps all), the
+	// unfiltered list length, and the impact bucket of the element at
+	// position from+n (0 when the window reaches the end). total and
+	// next describe the whole list, before keep filtering, so a top-k
+	// client can bound the score of everything it has not fetched.
+	ScanRange(lid merging.ListID, from, n int, keep func(posting.EncryptedShare) bool) (shares []posting.EncryptedShare, total int, next uint8)
 
 	// IngestList merges a whole list — the trusted node-to-node
 	// migration and log-replay path — with Upsert's replace-by-GlobalID

@@ -12,20 +12,32 @@ import (
 // table is the unsynchronized core shared by Memory and Sharded: merged
 // posting lists plus a position index for O(1) keyed access. Callers
 // hold the appropriate lock.
+//
+// Each list is kept bucket-major in descending impact order (the Zerber+R
+// score-ordered layout): all elements whose GlobalID carries impact bucket
+// b precede all elements with bucket b-1. cnt tracks the per-bucket
+// segment sizes, so inserts and deletes restore the order by shifting at
+// most one element per lower bucket — O(ImpactBuckets) moves, never a
+// full-list shift.
 type table struct {
 	lists map[merging.ListID][]posting.EncryptedShare
 	// pos locates an element inside its list for O(1) replace/delete.
 	pos map[merging.ListID]map[posting.GlobalID]int
+	// cnt is the per-list count of elements in each impact bucket.
+	cnt map[merging.ListID]*[posting.ImpactBuckets]int
 }
 
 func newTable() table {
 	return table{
 		lists: make(map[merging.ListID][]posting.EncryptedShare),
 		pos:   make(map[merging.ListID]map[posting.GlobalID]int),
+		cnt:   make(map[merging.ListID]*[posting.ImpactBuckets]int),
 	}
 }
 
 // upsert appends or replaces shares; returns the number newly appended.
+// New elements land at the tail of their impact-bucket segment; replaced
+// elements keep their slot (same GlobalID means same bucket).
 func (t *table) upsert(lid merging.ListID, shares []posting.EncryptedShare) int {
 	if len(shares) == 0 {
 		return 0
@@ -33,20 +45,44 @@ func (t *table) upsert(lid merging.ListID, shares []posting.EncryptedShare) int 
 	if t.pos[lid] == nil {
 		t.pos[lid] = make(map[posting.GlobalID]int, len(shares))
 	}
+	cnt := t.cnt[lid]
+	if cnt == nil {
+		cnt = new([posting.ImpactBuckets]int)
+		t.cnt[lid] = cnt
+	}
 	added := 0
 	for _, sh := range shares {
 		if i, exists := t.pos[lid][sh.GlobalID]; exists {
 			t.lists[lid][i] = sh
 			continue
 		}
-		t.pos[lid][sh.GlobalID] = len(t.lists[lid])
-		t.lists[lid] = append(t.lists[lid], sh)
+		b := posting.ImpactOf(sh.GlobalID)
+		list := append(t.lists[lid], posting.EncryptedShare{})
+		// Bubble the hole from the tail up to the end of bucket b's
+		// segment, displacing the first element of each lower bucket to
+		// the (new) tail of its own segment.
+		hole := len(list) - 1
+		for j := 0; j < int(b); j++ {
+			if cnt[j] == 0 {
+				continue
+			}
+			s := hole - cnt[j]
+			list[hole] = list[s]
+			t.pos[lid][list[hole].GlobalID] = hole
+			hole = s
+		}
+		list[hole] = sh
+		t.pos[lid][sh.GlobalID] = hole
+		t.lists[lid] = list
+		cnt[b]++
 		added++
 	}
 	return added
 }
 
-// deleteIf swap-removes the element if allow approves it.
+// deleteIf removes the element if allow approves it, preserving the
+// impact-bucket layout: swap-delete within the element's own bucket
+// segment, then shift one element per lower bucket into the hole.
 func (t *table) deleteIf(lid merging.ListID, gid posting.GlobalID, allow func(posting.EncryptedShare) bool) (found, deleted bool) {
 	idx, ok := t.pos[lid][gid]
 	if !ok {
@@ -56,17 +92,34 @@ func (t *table) deleteIf(lid merging.ListID, gid posting.GlobalID, allow func(po
 	if allow != nil && !allow(list[idx]) {
 		return true, false
 	}
-	last := len(list) - 1
-	moved := list[last]
-	list[idx] = moved
-	t.lists[lid] = list[:last]
-	if idx != last {
-		t.pos[lid][moved.GlobalID] = idx
+	b := posting.ImpactOf(gid)
+	cnt := t.cnt[lid]
+	// End of bucket b's segment: everything in buckets >= b.
+	end := 0
+	for j := int(b); j < posting.ImpactBuckets; j++ {
+		end += cnt[j]
 	}
+	hole := end - 1
+	if idx != hole {
+		list[idx] = list[hole]
+		t.pos[lid][list[idx].GlobalID] = idx
+	}
+	for j := int(b) - 1; j >= 0; j-- {
+		if cnt[j] == 0 {
+			continue
+		}
+		src := hole + cnt[j]
+		list[hole] = list[src]
+		t.pos[lid][list[hole].GlobalID] = hole
+		hole = src
+	}
+	t.lists[lid] = list[:len(list)-1]
+	cnt[b]--
 	delete(t.pos[lid], gid)
 	if len(t.lists[lid]) == 0 {
 		delete(t.lists, lid)
 		delete(t.pos, lid)
+		delete(t.cnt, lid)
 	}
 	return true, true
 }
@@ -90,10 +143,43 @@ func (t *table) scan(lid merging.ListID, keep func(posting.EncryptedShare) bool)
 	return out
 }
 
+// scanRange copies positions [from, from+n) of the list (group-filtered
+// by keep), and reports the unfiltered list length plus the impact bucket
+// of the first element past the range — the client's upper bound on
+// everything it has not fetched yet. next is 0 when the range reaches the
+// end of the list.
+func (t *table) scanRange(lid merging.ListID, from, n int, keep func(posting.EncryptedShare) bool) (shares []posting.EncryptedShare, total int, next uint8) {
+	src := t.lists[lid]
+	total = len(src)
+	if from < 0 {
+		from = 0
+	}
+	if n < 0 {
+		n = 0
+	}
+	end := from + n
+	if end > total || end < from { // overflow-safe clamp
+		end = total
+	}
+	if from > total {
+		from = total
+	}
+	for _, sh := range src[from:end] {
+		if keep == nil || keep(sh) {
+			shares = append(shares, sh)
+		}
+	}
+	if end < total {
+		next = posting.ImpactOf(src[end].GlobalID)
+	}
+	return shares, total, next
+}
+
 func (t *table) dropList(lid merging.ListID) int {
 	n := len(t.lists[lid])
 	delete(t.lists, lid)
 	delete(t.pos, lid)
+	delete(t.cnt, lid)
 	return n
 }
 

@@ -83,6 +83,25 @@ type API interface {
 	// requested list, the shares belonging to groups the caller is a
 	// member of (paper §5.4.2).
 	GetPostingLists(ctx context.Context, tok auth.Token, lists []merging.ListID) (map[merging.ListID][]posting.EncryptedShare, error)
+	// GetPostingBlocks is the paged lookup behind top-k retrieval
+	// (Zerber+R §6): it authenticates the caller and returns the window
+	// [from, from+n) of one score-ordered posting list, group-filtered
+	// like GetPostingLists. The page reports the unfiltered list length
+	// and the impact bucket of the first element past the window so the
+	// client can bound the score of everything it has not fetched.
+	GetPostingBlocks(ctx context.Context, tok auth.Token, list merging.ListID, from, n int) (BlockPage, error)
+}
+
+// BlockPage is one window of a score-ordered posting list.
+type BlockPage struct {
+	// Shares holds the group-filtered shares at positions [from, from+n)
+	// of the list, highest impact first.
+	Shares []posting.EncryptedShare `json:"shares"`
+	// Total is the unfiltered length of the whole list.
+	Total int `json:"total"`
+	// Next is the impact bucket of the element at position from+n, or 0
+	// when the window reaches the end of the list.
+	Next uint8 `json:"next"`
 }
 
 // Wire-size constants for the byte accounting (§7.3). A posting list
@@ -96,4 +115,10 @@ const (
 	// OpIDBytes is the wire cost of the operation-ID header on an Apply
 	// call: 8 bytes ID + 1 byte stage.
 	OpIDBytes = 9
+	// BlockReqBytes is the wire cost of a paged-lookup request beyond the
+	// token: 4 bytes list ID + 4 bytes from + 4 bytes n.
+	BlockReqBytes = ListIDBytes + 8
+	// BlockHeaderBytes is the fixed-width page header on a paged-lookup
+	// response: 4 bytes total + 1 byte next bucket + 4 bytes share count.
+	BlockHeaderBytes = 9
 )

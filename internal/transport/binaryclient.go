@@ -117,6 +117,21 @@ func (c *BinaryClient) GetPostingLists(ctx context.Context, tok auth.Token, list
 	return out, nil
 }
 
+// GetPostingBlocks sends a lookupblocks request and awaits the page.
+func (c *BinaryClient) GetPostingBlocks(ctx context.Context, tok auth.Token, list merging.ListID, from, n int) (BlockPage, error) {
+	if from < 0 {
+		from = 0
+	}
+	if n < 0 {
+		n = 0
+	}
+	resp, err := c.call(ctx, binRequest{kind: binMsgLookupBlocks, tok: tok, list: list, from: uint32(from), n: uint32(n)})
+	if err != nil {
+		return BlockPage{}, err
+	}
+	return resp.page, nil
+}
+
 // Close tears down the connection; in-flight calls fail.
 func (c *BinaryClient) Close() error {
 	c.mu.Lock()

@@ -43,11 +43,12 @@ import (
 // exactly is rejected, so a frame decodes to precisely one value or to
 // an error — never to a value plus trailing garbage.
 const (
-	binMsgXCoord byte = 1
-	binMsgInsert byte = 2
-	binMsgDelete byte = 3
-	binMsgApply  byte = 4
-	binMsgLookup byte = 5
+	binMsgXCoord       byte = 1
+	binMsgInsert       byte = 2
+	binMsgDelete       byte = 3
+	binMsgApply        byte = 4
+	binMsgLookup       byte = 5
+	binMsgLookupBlocks byte = 6
 )
 
 // Fixed record sizes of the codec, in bytes.
@@ -70,6 +71,10 @@ type binRequest struct {
 	inserts []InsertOp // insert, apply
 	deletes []DeleteOp // delete, apply
 	lists   []merging.ListID
+
+	list merging.ListID // lookupblocks
+	from uint32         // lookupblocks
+	n    uint32         // lookupblocks
 }
 
 // binResponse is the decoded form of one response frame.
@@ -81,6 +86,7 @@ type binResponse struct {
 
 	x     uint64 // xcoord
 	lists map[merging.ListID][]posting.EncryptedShare
+	page  BlockPage // lookupblocks
 }
 
 func appendU16(dst []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(dst, v) }
@@ -120,6 +126,8 @@ func binRequestSize(r *binRequest) int {
 		n += OpIDBytes + 4 + len(r.inserts)*binInsertSize + 4 + len(r.deletes)*binDeleteSize
 	case binMsgLookup:
 		n += 4 + len(r.lists)*ListIDBytes
+	case binMsgLookupBlocks:
+		n += BlockReqBytes
 	}
 	return n
 }
@@ -155,6 +163,10 @@ func appendBinRequest(dst []byte, r *binRequest) []byte {
 		for _, lid := range r.lists {
 			dst = appendU32(dst, uint32(lid))
 		}
+	case binMsgLookupBlocks:
+		dst = appendU32(dst, uint32(r.list))
+		dst = appendU32(dst, r.from)
+		dst = appendU32(dst, r.n)
 	}
 	return dst
 }
@@ -282,6 +294,10 @@ func decodeBinRequest(payload []byte) (binRequest, error) {
 				req.lists[i] = merging.ListID(r.u32())
 			}
 		}
+	case binMsgLookupBlocks:
+		req.list = merging.ListID(r.u32())
+		req.from = r.u32()
+		req.n = r.u32()
 	default:
 		return req, fmt.Errorf("%w: unknown message kind %d", errBinMalformed, req.kind)
 	}
@@ -341,6 +357,26 @@ func appendLookupBody(dst []byte, out map[merging.ListID][]posting.EncryptedShar
 	return dst
 }
 
+// binBlockBodySize returns the exact encoded size of a paged-lookup
+// response body: the fixed-width page header plus the shares.
+func binBlockBodySize(page BlockPage) int {
+	return BlockHeaderBytes + len(page.Shares)*binShareSize
+}
+
+// appendBlockBody encodes one score-ordered page: a fixed-width header
+// (total, next bucket, share count) followed by the share records.
+func appendBlockBody(dst []byte, page BlockPage) []byte {
+	dst = appendU32(dst, uint32(page.Total))
+	dst = append(dst, page.Next)
+	dst = appendU32(dst, uint32(len(page.Shares)))
+	for _, sh := range page.Shares {
+		dst = appendU64(dst, uint64(sh.GlobalID))
+		dst = appendU32(dst, sh.Group)
+		dst = appendU64(dst, sh.Y.Uint64())
+	}
+	return dst
+}
+
 // decodeBinResponse decodes one response frame payload.
 func decodeBinResponse(payload []byte) (binResponse, error) {
 	r := binReader{p: payload}
@@ -363,6 +399,18 @@ func decodeBinResponse(payload []byte) (binResponse, error) {
 	case binMsgXCoord:
 		resp.x = r.u64()
 	case binMsgInsert, binMsgDelete, binMsgApply:
+	case binMsgLookupBlocks:
+		resp.page.Total = int(r.u32())
+		resp.page.Next = r.u8()
+		nShares := r.count(binShareSize)
+		if nShares > 0 {
+			resp.page.Shares = make([]posting.EncryptedShare, nShares)
+			for j := range resp.page.Shares {
+				resp.page.Shares[j].GlobalID = posting.GlobalID(r.u64())
+				resp.page.Shares[j].Group = r.u32()
+				resp.page.Shares[j].Y = field.Element(r.u64())
+			}
+		}
 	case binMsgLookup:
 		nLists := r.count(8) // at least list ID + share count per list
 		resp.lists = make(map[merging.ListID][]posting.EncryptedShare, nLists)
@@ -414,6 +462,8 @@ func binKindName(kind byte) string {
 		return "apply"
 	case binMsgLookup:
 		return "lookup"
+	case binMsgLookupBlocks:
+		return "lookupblocks"
 	}
 	return fmt.Sprintf("kind%d", kind)
 }

@@ -210,6 +210,15 @@ func (s *BinaryServer) dispatch(ctx context.Context, req binRequest) []byte {
 		return appendBinOK(dst, req.id, req.kind, func(dst []byte) []byte {
 			return appendLookupBody(dst, out)
 		})
+	case binMsgLookupBlocks:
+		page, err := s.api.GetPostingBlocks(ctx, req.tok, req.list, int(req.from), int(req.n))
+		if err != nil {
+			return appendBinError(nil, req.id, req.kind, statusCodeOf(err), err.Error())
+		}
+		dst := make([]byte, 0, 11+binBlockBodySize(page))
+		return appendBinOK(dst, req.id, req.kind, func(dst []byte) []byte {
+			return appendBlockBody(dst, page)
+		})
 	}
 	var err error
 	switch req.kind {

@@ -18,6 +18,7 @@ const (
 	MethodDelete
 	MethodApply
 	MethodLookup
+	MethodLookupBlocks
 )
 
 // String returns the method's wire-path-like name.
@@ -31,6 +32,8 @@ func (m Method) String() string {
 		return "apply"
 	case MethodLookup:
 		return "lookup"
+	case MethodLookupBlocks:
+		return "lookupblocks"
 	}
 	return "unknown"
 }
@@ -121,6 +124,20 @@ func (h *Hooked) GetPostingLists(ctx context.Context, tok auth.Token, lists []me
 	})
 	if err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// GetPostingBlocks runs the hooks around the wrapped paged lookup.
+func (h *Hooked) GetPostingBlocks(ctx context.Context, tok auth.Token, list merging.ListID, from, n int) (BlockPage, error) {
+	var out BlockPage
+	err := h.run(Call{Method: MethodLookupBlocks, Lists: []merging.ListID{list}}, func() error {
+		var derr error
+		out, derr = h.api.GetPostingBlocks(ctx, tok, list, from, n)
+		return derr
+	})
+	if err != nil {
+		return BlockPage{}, err
 	}
 	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -21,11 +22,12 @@ import (
 // paper's near-random share values make compression pointless (§7.3), so
 // none is applied.
 const (
-	pathInsert = "/v1/insert"
-	pathDelete = "/v1/delete"
-	pathApply  = "/v1/apply"
-	pathLookup = "/v1/lookup"
-	pathXCoord = "/v1/xcoord"
+	pathInsert       = "/v1/insert"
+	pathDelete       = "/v1/delete"
+	pathApply        = "/v1/apply"
+	pathLookup       = "/v1/lookup"
+	pathLookupBlocks = "/v1/lookupblocks"
+	pathXCoord       = "/v1/xcoord"
 
 	authHeader = "Authorization"
 )
@@ -95,7 +97,30 @@ func NewHTTPHandler(api API) http.Handler {
 		}
 		writeJSON(w, enc)
 	})
+	mux.HandleFunc(pathLookupBlocks, func(w http.ResponseWriter, r *http.Request) {
+		var req blockRequest
+		if !readJSONLimited(w, r, &req) {
+			return
+		}
+		page, err := api.GetPostingBlocks(r.Context(), token(r), req.List, req.From, req.N)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		// Stream the page straight onto the wire: unlike the full lookup,
+		// a page is written as it encodes, never buffered into an
+		// intermediate map, so a wide block round holds no per-request
+		// response copies.
+		writeJSON(w, page)
+	})
 	return mux
+}
+
+// blockRequest is the wire form of one paged lookup.
+type blockRequest struct {
+	List merging.ListID `json:"list"`
+	From int            `json:"from"`
+	N    int            `json:"n"`
 }
 
 func token(r *http.Request) auth.Token { return auth.Token(r.Header.Get(authHeader)) }
@@ -124,6 +149,32 @@ func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 		return false
 	}
 	if err := json.Unmarshal(body, v); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// readJSONLimited is readJSON built on http.MaxBytesReader: the limit is
+// enforced by the connection machinery itself (which also closes the
+// connection on overrun, so an oversized sender stops transmitting) and
+// the body streams through the decoder instead of being slurped into one
+// buffer first. The 413 status is identical to readJSON's, so both
+// decode paths present the same error contract. New endpoints should use
+// this; the legacy endpoints keep readJSON for byte-compatible errors.
+func readJSONLimited(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	body := http.MaxBytesReader(w, r.Body, bodyLimit)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", bodyLimit),
+				http.StatusRequestEntityTooLarge)
+			return false
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return false
 	}
@@ -248,6 +299,15 @@ func (c *HTTPClient) GetPostingLists(ctx context.Context, tok auth.Token, lists 
 		out[merging.ListID(lid)] = shares
 	}
 	return out, nil
+}
+
+// GetPostingBlocks posts a paged lookup and decodes the page.
+func (c *HTTPClient) GetPostingBlocks(ctx context.Context, tok auth.Token, list merging.ListID, from, n int) (BlockPage, error) {
+	var page BlockPage
+	if err := c.post(ctx, pathLookupBlocks, tok, blockRequest{List: list, From: from, N: n}, &page); err != nil {
+		return BlockPage{}, err
+	}
+	return page, nil
 }
 
 func (c *HTTPClient) post(ctx context.Context, path string, tok auth.Token, in, out any) error {

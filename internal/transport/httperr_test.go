@@ -100,6 +100,25 @@ func TestApplyHandlerErrorPaths(t *testing.T) {
 			name: "malformed JSON on lookup", path: "/v1/lookup",
 			body: `{`, wantCode: http.StatusBadRequest,
 		},
+		{
+			name: "malformed JSON on lookupblocks", path: "/v1/lookupblocks",
+			body: `{"list":`, wantCode: http.StatusBadRequest,
+		},
+		{
+			name: "wrong method on lookupblocks", path: "/v1/lookupblocks",
+			method: http.MethodGet, body: `{"list":1,"from":0,"n":4}`,
+			wantCode: http.StatusMethodNotAllowed,
+		},
+		{
+			name: "oversized payload on lookupblocks", path: "/v1/lookupblocks",
+			body:     `{"list":1,"from":0,"n":4,"pad":"` + strings.Repeat("x", 8<<10) + `"}`,
+			wantCode: http.StatusRequestEntityTooLarge,
+		},
+		{
+			name: "invalid token on lookupblocks", path: "/v1/lookupblocks",
+			token: "garbage", body: `{"list":1,"from":0,"n":4}`,
+			wantCode: http.StatusUnauthorized,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -64,6 +64,14 @@ func (l *Latency) GetPostingLists(ctx context.Context, tok auth.Token, lists []m
 	return l.api.GetPostingLists(ctx, tok, lists)
 }
 
+// GetPostingBlocks waits out the simulated RTT, then forwards.
+func (l *Latency) GetPostingBlocks(ctx context.Context, tok auth.Token, list merging.ListID, from, n int) (BlockPage, error) {
+	if err := l.wait(ctx); err != nil {
+		return BlockPage{}, err
+	}
+	return l.api.GetPostingBlocks(ctx, tok, list, from, n)
+}
+
 func (l *Latency) wait(ctx context.Context) error {
 	if l.rtt <= 0 {
 		return ctx.Err()

@@ -70,6 +70,21 @@ func (l *Local) GetPostingLists(ctx context.Context, tok auth.Token, lists []mer
 	return out, nil
 }
 
+// GetPostingBlocks forwards to the wrapped server and charges request and
+// response bytes under the fixed-width page encoding.
+func (l *Local) GetPostingBlocks(ctx context.Context, tok auth.Token, list merging.ListID, from, n int) (BlockPage, error) {
+	l.charge(int64(len(tok))+BlockReqBytes, 1)
+	page, err := l.api.GetPostingBlocks(ctx, tok, list, from, n)
+	if err != nil {
+		return BlockPage{}, err
+	}
+	l.mu.Lock()
+	l.recv += BlockHeaderBytes + int64(len(page.Shares))*ShareBytes
+	l.queries++
+	l.mu.Unlock()
+	return page, nil
+}
+
 func (l *Local) charge(req int64, _ int) {
 	l.mu.Lock()
 	l.sent += req

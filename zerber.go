@@ -48,6 +48,41 @@
 //     Shamir shares (0 = one per CPU). Joined elements are processed in
 //     a deterministic order, so results and Stats are reproducible.
 //
+// # Top-k retrieval
+//
+// By default a search fetches the full posting list of every query term
+// — exact retrieval, whose cost grows linearly with list length. The
+// TopKMode option switches searches to the early-terminating block
+// protocol of Zerber+R (§6): each peer tags every posting element, at
+// encryption time, with a coarse impact bucket (the rounded log2 of its
+// term frequency) carried in the top bits of the element's public
+// global ID, and every index server keeps each merged list ordered by
+// descending bucket. A top-k query then streams score-ordered blocks —
+// GetPostingBlocks(list, from, n) — from k servers round by round,
+// decrypts incrementally on the worker pool, and stops as soon as a
+// no-random-access threshold argument (ranking.Stream) proves that no
+// unfetched element can alter the top k: the bucket of the first
+// unfetched position bounds everything behind it. Latency then scales
+// with the depth of the k-th result, not with the list length, which is
+// what makes hot Zipfian terms affordable; BlockSize tunes the
+// per-round window (doubling each round), trading round trips against
+// over-fetch.
+//
+// Ranking under TopKMode is by summed term frequency with ties broken
+// by ascending document ID — a collection-independent order that the
+// bucket layout sorts servers by and that exhaustive retrieval
+// reproduces exactly, so early termination is a pure optimization:
+// results are bit-identical to scanning everything. (Exact mode keeps
+// TF-IDF ranking, which needs the full lists for personalized
+// collection statistics.)
+//
+// The bucket is a deliberate, bounded widening of the leak budget: a
+// compromised server already sees list lengths and access patterns;
+// under TopKMode it additionally sees each element's ~log2(tf) — 16
+// quantized levels, not the tf itself — which is exactly the §6 trade
+// the paper makes for sub-linear retrieval. Per-term document
+// frequencies stay hidden by list merging as before.
+//
 // # Storage engine
 //
 // Server-side concurrency is governed by the storage engine behind each
@@ -337,6 +372,16 @@ type Options struct {
 	// DecryptWorkers is the share-reconstruction worker count per query.
 	// 0 means one worker per CPU; 1 decrypts serially.
 	DecryptWorkers int
+	// TopKMode switches searches to the early-terminating block protocol
+	// (see "Top-k retrieval" above): score-ordered block rounds that stop
+	// as soon as the top k are provably final, ranked by summed term
+	// frequency. Off, searches fetch whole lists and rank by TF-IDF.
+	TopKMode bool
+	// BlockSize is the number of score-ordered posting elements fetched
+	// per list per round under TopKMode (doubling each round; 0 picks
+	// the default). Smaller blocks terminate earlier on easy queries;
+	// larger blocks save round trips on deep ones.
+	BlockSize int
 	// DHTNodes, when greater than 1, fronts each of the N share slots
 	// with that many physical storage nodes behind a consistent-hashing
 	// router (see "Membership & rebalancing" above); JoinNode and
@@ -700,10 +745,13 @@ type Result struct {
 type Searcher struct {
 	c       *client.Client
 	cluster *Cluster
+	// topK selects the early-terminating block protocol (Options.TopKMode).
+	topK bool
 }
 
 // Searcher creates a query client over the cluster's servers, tuned by
-// the cluster's FanoutWidth, HedgeDelay, and DecryptWorkers options.
+// the cluster's FanoutWidth, HedgeDelay, DecryptWorkers, TopKMode, and
+// BlockSize options.
 func (c *Cluster) Searcher() (*Searcher, error) {
 	cl, err := client.New(c.apis, c.opts.K, c.table, c.voc)
 	if err != nil {
@@ -713,8 +761,9 @@ func (c *Cluster) Searcher() (*Searcher, error) {
 		Fanout:         c.opts.FanoutWidth,
 		HedgeDelay:     c.opts.HedgeDelay,
 		DecryptWorkers: c.opts.DecryptWorkers,
+		BlockSize:      c.opts.BlockSize,
 	})
-	return &Searcher{c: cl, cluster: c}, nil
+	return &Searcher{c: cl, cluster: c, topK: c.opts.TopKMode}, nil
 }
 
 // Search runs a ranked keyword query and resolves snippets for the top-K
@@ -724,9 +773,10 @@ func (s *Searcher) Search(tok Token, query []string, topK int) ([]Result, error)
 }
 
 // SearchContext is Search bounded by ctx: cancellation aborts the server
-// fan-out and the decrypt stage.
+// fan-out and the decrypt stage. Under TopKMode the query runs the
+// early-terminating block protocol instead of fetching whole lists.
 func (s *Searcher) SearchContext(ctx context.Context, tok Token, query []string, topK int) ([]Result, error) {
-	ranked, _, err := s.c.SearchContext(ctx, tok, query, topK)
+	ranked, _, err := s.ranked(ctx, tok, query, topK)
 	if err != nil {
 		return nil, err
 	}
@@ -734,14 +784,23 @@ func (s *Searcher) SearchContext(ctx context.Context, tok Token, query []string,
 }
 
 // SearchStats runs a query and additionally returns retrieval statistics
-// (elements fetched, false positives) for instrumentation.
+// (elements fetched, false positives, and under TopKMode the TA
+// instrumentation) for the bandwidth/efficiency experiments.
 func (s *Searcher) SearchStats(tok Token, query []string, topK int) ([]Result, client.Stats, error) {
-	ranked, stats, err := s.c.Search(tok, query, topK)
+	ranked, stats, err := s.ranked(context.Background(), tok, query, topK)
 	if err != nil {
 		return nil, stats, err
 	}
 	res, err := s.cluster.resolveSnippets(tok, query, ranked)
 	return res, stats, err
+}
+
+// ranked dispatches to the configured retrieval protocol.
+func (s *Searcher) ranked(ctx context.Context, tok Token, query []string, topK int) ([]ranking.ScoredDoc, client.Stats, error) {
+	if s.topK {
+		return s.c.SearchTopKContext(ctx, tok, query, topK)
+	}
+	return s.c.SearchContext(ctx, tok, query, topK)
 }
 
 var errNoPeer = errors.New("zerber: no peer hosts the document")
