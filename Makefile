@@ -7,8 +7,8 @@ FUZZTIME ?= 10s
 COMMIT ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
 .PHONY: build test test-full race fuzz cover bench benchstore benchjson \
-	loadsmoke loadfull loadbaseline loadbaseline-binary loadbaseline-full \
-	lint fmt ci
+	loadsmoke loadfull loadbaseline loadbaseline-binary loadbaseline-disk \
+	loadbaseline-full lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,7 @@ race:
 fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME) ./internal/wal
 	$(GO) test -run='^$$' -fuzz='^FuzzJournalDecode$$' -fuzztime=$(FUZZTIME) ./internal/journal
+	$(GO) test -run='^$$' -fuzz='^FuzzSegmentDecode$$' -fuzztime=$(FUZZTIME) ./internal/store
 	$(GO) test -run='^$$' -fuzz='^FuzzApplyRequest$$' -fuzztime=$(FUZZTIME) ./internal/transport
 	$(GO) test -run='^$$' -fuzz='^FuzzBinaryFrameDecode$$' -fuzztime=$(FUZZTIME) ./internal/transport
 	$(GO) test -run='^$$' -fuzz='^FuzzTokenize$$' -fuzztime=$(FUZZTIME) ./internal/textproc
@@ -61,8 +62,10 @@ bench:
 
 # Storage-engine comparison: BenchmarkServerMixed runs the same parallel
 # mixed insert/lookup/delete workload against the single-lock baseline
-# (StoreShards=1) and the sharded default, so the sharding speedup is
-# reproducible from one command. Needs >1 CPU to show parallel gain.
+# (StoreShards=1), the sharded default, and the log-structured disk
+# engine under a cache budget well below the dataset, so the sharding
+# speedup and the disk residency cost are reproducible from one
+# command. Needs >1 CPU to show parallel gain.
 benchstore:
 	$(GO) test -run='^$$' -bench='^BenchmarkServerMixed$$' -benchtime=0.5s -count=1 ./internal/server/
 
@@ -77,10 +80,10 @@ benchstore:
 # would truncate it before the parser even runs.
 benchjson:
 	$(GO) test -run='^$$' \
-		-bench='^(BenchmarkSplitBatch|BenchmarkSplitSequential|BenchmarkEncryptBatch|BenchmarkEncryptSequential|BenchmarkIndexDocument5k|BenchmarkIndexDocument5kSerial|BenchmarkUpdateDocument|BenchmarkJournaledFlush|BenchmarkUnjournaledFlush|BenchmarkFillRandDRBG|BenchmarkFillRandCryptoDirect|BenchmarkInvChain|BenchmarkInvGenericPow|BenchmarkEncodeGetPostingLists|BenchmarkBinaryVsJSONRoundTrip|BenchmarkMigrationThroughput|BenchmarkSearchTopK)$$' \
+		-bench='^(BenchmarkSplitBatch|BenchmarkSplitSequential|BenchmarkEncryptBatch|BenchmarkEncryptSequential|BenchmarkIndexDocument5k|BenchmarkIndexDocument5kSerial|BenchmarkUpdateDocument|BenchmarkJournaledFlush|BenchmarkUnjournaledFlush|BenchmarkFillRandDRBG|BenchmarkFillRandCryptoDirect|BenchmarkInvChain|BenchmarkInvGenericPow|BenchmarkEncodeGetPostingLists|BenchmarkBinaryVsJSONRoundTrip|BenchmarkMigrationThroughput|BenchmarkSearchTopK|BenchmarkServerMixed)$$' \
 		-benchmem -benchtime=$(BENCHTIME) -count=1 \
 		./internal/field/ ./internal/shamir/ ./internal/posting/ ./internal/peer/ \
-		./internal/transport/ ./internal/dht/ . \
+		./internal/transport/ ./internal/dht/ ./internal/server/ . \
 		> bench_index.out.tmp
 	$(GO) run ./cmd/zerber-benchjson -commit $(COMMIT) -scale benchtime-$(BENCHTIME) \
 		< bench_index.out.tmp > bench_index.json.tmp
@@ -107,6 +110,11 @@ loadsmoke:
 	mv load_smoke_binary.json.tmp LOAD_smoke_binary.json
 	$(GO) run ./cmd/zerber-loadgen compare -out LOAD_verdict_binary.json \
 		LOAD_baseline_binary.json LOAD_smoke_binary.json
+	$(GO) run ./cmd/zerber-loadgen run -scale smoke -store-engine disk \
+		-commit $(COMMIT) -out load_smoke_disk.json.tmp
+	mv load_smoke_disk.json.tmp LOAD_smoke_disk.json
+	$(GO) run ./cmd/zerber-loadgen compare -out LOAD_verdict_disk.json \
+		LOAD_baseline_disk.json LOAD_smoke_disk.json
 
 loadfull:
 	$(GO) run ./cmd/zerber-loadgen run -scale full -commit $(COMMIT) \
@@ -126,6 +134,11 @@ loadbaseline-binary:
 	$(GO) run ./cmd/zerber-loadgen run -scale smoke -transport binary \
 		-commit $(COMMIT) -out load_baseline.json.tmp
 	mv load_baseline.json.tmp LOAD_baseline_binary.json
+
+loadbaseline-disk:
+	$(GO) run ./cmd/zerber-loadgen run -scale smoke -store-engine disk \
+		-commit $(COMMIT) -out load_baseline.json.tmp
+	mv load_baseline.json.tmp LOAD_baseline_disk.json
 
 loadbaseline-full:
 	$(GO) run ./cmd/zerber-loadgen run -scale full -commit $(COMMIT) \

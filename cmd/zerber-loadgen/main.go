@@ -5,7 +5,8 @@
 // Two subcommands:
 //
 //	zerber-loadgen run -scale smoke|full [-transport http|binary]
-//	                   [-dht-nodes N] [-seed N] [-duration D]
+//	                   [-store-engine memory|sharded|disk] [-dht-nodes N]
+//	                   [-seed N] [-duration D]
 //	                   [-commit SHA] [-out FILE] [-q]
 //
 // runs one closed-loop load session (internal/load): N concurrent users
@@ -62,6 +63,7 @@ func runCmd(args []string) {
 		seed      = fs.Int64("seed", 0, "workload seed override (0 = tier default)")
 		duration  = fs.Duration("duration", 0, "measured-phase duration override (0 = tier default)")
 		transport = fs.String("transport", "http", "wire codec the cluster serves and dials: http or binary")
+		engine    = fs.String("store-engine", "", "storage engine the servers run on: memory, sharded, or disk (empty = tier default)")
 		dhtNodes  = fs.Int("dht-nodes", -1, "physical nodes per share slot (-1 = tier default; 0 or 1 = monolithic, disables node churn)")
 		commit    = fs.String("commit", "", "commit SHA recorded in the artifact meta")
 		out       = fs.String("out", "", "artifact path (empty = stdout)")
@@ -84,6 +86,7 @@ func runCmd(args []string) {
 		cfg.Duration = *duration
 	}
 	cfg.Transport = *transport
+	cfg.StoreEngine = *engine
 	cfg.Commit = *commit
 	if *dhtNodes >= 0 {
 		cfg.DHTNodes = *dhtNodes

@@ -48,6 +48,8 @@ func main() {
 		ttl    = flag.Duration("token-ttl", time.Hour, "token lifetime")
 		walAt  = flag.String("wal", "", "write-ahead log path for crash recovery (empty = in-memory only)")
 		shards = flag.Int("store-shards", 0, "storage engine lock stripes: 1 = single-lock baseline, 0 = GOMAXPROCS-scaled sharded default")
+		engine = flag.String("store-engine", "", "storage engine: memory, sharded, or disk (empty = -store-shards selection)")
+		stdir  = flag.String("store-dir", "", "segment directory for -store-engine disk (default <name>.store)")
 		wire   = flag.String("transport", "binary", "wire codec served on -addr: binary or http")
 	)
 	flag.Parse()
@@ -82,12 +84,19 @@ func main() {
 		}
 	}
 
+	if *stdir == "" {
+		*stdir = *name + ".store"
+	}
+	st, err := store.NewEngine(*engine, *shards, *stdir)
+	if err != nil {
+		log.Fatalf("zerber-server: %v", err)
+	}
 	cfg := server.Config{
 		Name:   *name,
 		X:      xe,
 		Auth:   auth.NewServiceWithKey(key, *ttl),
 		Groups: gt,
-		Store:  store.New(*shards),
+		Store:  st,
 	}
 	var api transport.API
 	if *walAt != "" {

@@ -6,6 +6,14 @@
 // [can] recover after failure" (§5.4.1) — and its I/O observation that
 // batching "reduces the average network and disk overhead per update":
 // the log is fsynced once per batch, not once per element.
+//
+// This wrapper is for servers on in-memory engines, whose state would
+// otherwise die with the process. The log-structured store.Disk engine
+// owns its persistence — its segment files are the log, with the same
+// wal framing, torn-tail truncation, and temp-file-plus-rename
+// compaction discipline as here — so a disk-backed server recovers from
+// its store directory and does not need (or want) this second log in
+// front of it.
 package durable
 
 import (

@@ -50,6 +50,11 @@ type Meta struct {
 	// "binary"). Empty in artifacts recorded before the codec knob
 	// existed, which comparisons treat as "http".
 	Transport string `json:"transport,omitempty"`
+	// StoreEngine is the storage engine the run's servers used
+	// ("memory", "sharded", or "disk"). Empty in artifacts recorded
+	// before the engine knob existed, which comparisons treat as
+	// "sharded" (the long-standing default).
+	StoreEngine string `json:"store_engine,omitempty"`
 }
 
 // NewMeta fills a Meta from the current runtime. An empty commit is

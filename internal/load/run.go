@@ -62,14 +62,26 @@ func Run(cfg Config) (*Report, error) {
 	logf("load: corpus %d docs, %d terms, %d postings; query log %d queries (%d distinct terms)",
 		len(corp.Docs), len(corp.Vocab), corp.TotalPostings(), len(qlog.Queries), len(qlog.TermFreq))
 
-	cluster, err := zerber.NewCluster(corp.DocFreqs(), zerber.Options{
+	opts := zerber.Options{
 		N:           cfg.Servers,
 		K:           cfg.K,
 		Seed:        cfg.Seed,
 		StoreShards: cfg.StoreShards,
+		StoreEngine: cfg.StoreEngine,
 		DHTNodes:    cfg.DHTNodes,
 		Transport:   cfg.transportName(),
-	})
+	}
+	if cfg.StoreEngine == "disk" {
+		// Root the segment files in a run-scoped directory so the
+		// artifact measures a disk-backed index without littering.
+		dir, err := os.MkdirTemp("", "zerber-load-store-")
+		if err != nil {
+			return nil, fmt.Errorf("load: creating store dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		opts.StoreDir = dir
+	}
+	cluster, err := zerber.NewCluster(corp.DocFreqs(), opts)
 	if err != nil {
 		return nil, fmt.Errorf("load: building cluster: %w", err)
 	}
@@ -347,6 +359,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 	meta := NewMeta(cfg.Commit, cfg.Scale, cfg.Seed)
 	meta.Transport = cfg.transportName()
+	meta.StoreEngine = cfg.engineName()
 	report := &Report{
 		Schema: Schema,
 		Meta:   meta,

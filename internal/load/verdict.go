@@ -3,6 +3,7 @@ package load
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -130,6 +131,10 @@ func Compare(base, cand *Report, th Thresholds) ([]MetricVerdict, Verdict, error
 		return nil, Neutral, fmt.Errorf("load: cannot compare %s-transport baseline against %s-transport candidate",
 			bt, ct)
 	}
+	if be, ce := engineOf(base.Meta), engineOf(cand.Meta); be != ce {
+		return nil, Neutral, fmt.Errorf("load: cannot compare %s-engine baseline against %s-engine candidate",
+			be, ce)
+	}
 	th.fill()
 
 	kinds := make([]string, 0, len(base.Ops))
@@ -198,6 +203,16 @@ func transportOf(m Meta) string {
 	return m.Transport
 }
 
+// engineOf maps a Meta's storage engine to its effective name:
+// artifacts recorded before the knob existed carry no field and ran on
+// the sharded default.
+func engineOf(m Meta) string {
+	if m.StoreEngine == "" {
+		return "sharded"
+	}
+	return m.StoreEngine
+}
+
 // judgeMoreIsBetter compares a metric where larger is better
 // (throughput): PASS at or above passRatio, REGRESS at or below
 // regressRatio.
@@ -217,9 +232,18 @@ func judgeMoreIsBetter(metric string, b, c, passRatio, regressRatio float64) Met
 	return row
 }
 
+// latencyFloorMs is the latency measurement floor. Values below it are
+// dominated by scheduler and clock jitter — an in-memory map update
+// "regressing" from 5µs to 60µs is a 12x ratio and zero information —
+// so latency verdicts are judged on values clamped up to the floor:
+// sub-floor differences never decide a verdict, while a genuine jump
+// from microseconds to hundreds of microseconds still registers.
+const latencyFloorMs = 0.05
+
 // judgeLessIsBetter compares a metric where smaller is better
 // (latency): PASS at or below passRatio, REGRESS at or above
-// regressRatio.
+// regressRatio. The reported ratio is the raw one; the verdict is
+// judged with both sides clamped up to latencyFloorMs.
 func judgeLessIsBetter(metric string, b, c, passRatio, regressRatio float64) MetricVerdict {
 	row := MetricVerdict{Metric: metric, Baseline: b, Candidate: c, Verdict: Neutral}
 	if b <= 0 {
@@ -227,10 +251,14 @@ func judgeLessIsBetter(metric string, b, c, passRatio, regressRatio float64) Met
 		return row
 	}
 	row.Ratio = c / b
+	judged := math.Max(c, latencyFloorMs) / math.Max(b, latencyFloorMs)
+	if judged != row.Ratio {
+		row.Note = "judged with values clamped to the measurement floor"
+	}
 	switch {
-	case row.Ratio >= regressRatio:
+	case judged >= regressRatio:
 		row.Verdict = Regress
-	case row.Ratio <= passRatio:
+	case judged <= passRatio:
 		row.Verdict = Pass
 	}
 	return row

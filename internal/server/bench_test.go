@@ -17,12 +17,16 @@ import (
 
 // BenchmarkServerMixed drives parallel mixed insert/lookup/delete
 // traffic against one index server, once per storage engine: the
-// single-lock Memory baseline (StoreShards=1) and the lock-striped
-// Sharded default. The workload models steady-state server traffic —
-// mostly posting-list scans with a stream of single-element updates —
-// which is exactly where a global RWMutex collapses: every update
-// excludes all concurrent scans, while the sharded engine only excludes
-// scans of the 1/shards lists sharing the stripe.
+// single-lock Memory baseline (StoreShards=1), the lock-striped
+// Sharded default, and the log-structured Disk engine with a cache
+// budget well below the seeded dataset (~1.5 MB of payloads against a
+// 256 KB cache), so scans pay real segment reads and the stream of
+// updates drives rollover and auto-compaction. The in-memory workload
+// models steady-state server traffic — mostly posting-list scans with
+// a stream of single-element updates — which is exactly where a global
+// RWMutex collapses: every update excludes all concurrent scans, while
+// the sharded engine only excludes scans of the 1/shards lists sharing
+// the stripe.
 //
 // Reproduce with `make benchstore`.
 func BenchmarkServerMixed(b *testing.B) {
@@ -34,10 +38,18 @@ func BenchmarkServerMixed(b *testing.B) {
 	)
 	engines := []struct {
 		name string
-		mk   func() store.Store
+		mk   func(b *testing.B) store.Store
 	}{
-		{"shards=1", func() store.Store { return store.New(1) }},
-		{fmt.Sprintf("shards=%d", store.DefaultShards()), func() store.Store { return store.New(0) }},
+		{"shards=1", func(*testing.B) store.Store { return store.New(1) }},
+		{fmt.Sprintf("shards=%d", store.DefaultShards()), func(*testing.B) store.Store { return store.New(0) }},
+		{"disk", func(b *testing.B) store.Store {
+			d, err := store.OpenDisk(b.TempDir(), store.DiskOptions{CacheBytes: 256 << 10})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { d.Close() })
+			return d
+		}},
 	}
 	for _, eng := range engines {
 		b.Run(eng.name, func(b *testing.B) {
@@ -49,7 +61,7 @@ func BenchmarkServerMixed(b *testing.B) {
 			for g := 1; g <= nGroups; g++ {
 				groups.Add("alice", auth.GroupID(g))
 			}
-			srv := New(Config{Name: "bench", X: 17, Auth: svc, Groups: groups, Store: eng.mk()})
+			srv := New(Config{Name: "bench", X: 17, Auth: svc, Groups: groups, Store: eng.mk(b)})
 			tok := svc.Issue("alice")
 			ctx := context.Background()
 

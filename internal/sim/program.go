@@ -63,6 +63,16 @@ const (
 	// in-flight transfer's target dies after Server%4+1 deliveries and
 	// stays dead — stranding moves mid-copy — until heal revives it.
 	KindKillMigration
+	// KindStoreReopen kills and recovers every disk store in place: the
+	// in-memory index and cache are discarded and rebuilt by replaying
+	// the segment files (with a torn tail injected first when the config
+	// arms TearSegments). A no-op on memory/sharded engines.
+	KindStoreReopen
+	// KindCrashCompact crashes every disk store's compaction inside one
+	// of its two crash windows (Server%2 selects: temp written but not
+	// renamed, or renamed but stale segments kept) and then recovers by
+	// reopening. A no-op on memory/sharded engines.
+	KindCrashCompact
 )
 
 var kindNames = map[Kind]string{
@@ -74,6 +84,8 @@ var kindNames = map[Kind]string{
 	KindCompact: "KindCompact", KindCrash: "KindCrash", KindHeal: "KindHeal",
 	KindJoinNode: "KindJoinNode", KindLeaveNode: "KindLeaveNode",
 	KindKillMigration: "KindKillMigration",
+	KindStoreReopen:   "KindStoreReopen",
+	KindCrashCompact:  "KindCrashCompact",
 }
 
 // String returns the kind's Go constant name.
@@ -174,6 +186,19 @@ func Generate(cfg Config) Program {
 			continue
 		}
 		var op Op
+		// Disk-engine configs fold in the storage fault class with a
+		// pre-roll, leaving memory/sharded programs byte-identical
+		// seed-for-seed (the branch draws from the rng only for disk).
+		if cfg.StoreEngine == "disk" {
+			switch roll := rng.Intn(100); {
+			case roll < 6:
+				prog = append(prog, Op{Kind: KindStoreReopen})
+				continue
+			case roll < 10:
+				prog = append(prog, Op{Kind: KindCrashCompact, Server: rng.Intn(8)})
+				continue
+			}
+		}
 		if churn {
 			switch roll := rng.Intn(100); {
 			case roll < 24:

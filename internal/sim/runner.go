@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -81,6 +82,11 @@ type runner struct {
 	// one persistent client per logical server, torn down in close.
 	binServers []*transport.BinaryServer
 	binClients []*transport.BinaryClient
+
+	// disks registers every disk-engine store (cfg.StoreEngine "disk")
+	// so KindStoreReopen / KindCrashCompact reach them all — including
+	// nodes joined mid-run — and close releases their files.
+	disks []*store.Disk
 
 	peer  *peer.Peer
 	batch *peer.Batch
@@ -192,12 +198,17 @@ func newRunner(cfg Config) (*runner, error) {
 				slot.SetSimHooks(&dht.SimHooks{LoseCutover: true})
 			}
 			for j := 0; j < cfg.DHTNodes; j++ {
+				st, err := r.newStore(fmt.Sprintf("ix%d-n%d", i, j))
+				if err != nil {
+					r.close()
+					return nil, err
+				}
 				s := server.New(server.Config{
 					Name:   fmt.Sprintf("sim-ix%d-n%d", i, j),
 					X:      x,
 					Auth:   r.svc,
 					Groups: r.groups,
-					Store:  store.New(cfg.StoreShards),
+					Store:  st,
 				})
 				// Node names must match across slots so every slot's
 				// ring partitions the lists identically.
@@ -209,12 +220,17 @@ func newRunner(cfg Config) (*runner, error) {
 			r.slots = append(r.slots, slot)
 			api = slot
 		} else {
+			st, err := r.newStore(fmt.Sprintf("ix%d", i))
+			if err != nil {
+				r.close()
+				return nil, err
+			}
 			s := server.New(server.Config{
 				Name:   fmt.Sprintf("sim-ix%d", i),
 				X:      x,
 				Auth:   r.svc,
 				Groups: r.groups,
-				Store:  store.New(cfg.StoreShards),
+				Store:  st,
 			})
 			r.plain = append(r.plain, s)
 			api = s
@@ -318,9 +334,44 @@ func (r *runner) serveBinary(api transport.API) (transport.API, error) {
 	return bc, nil
 }
 
+// diskHooks derives the store.DiskSimHooks the config asks for, or nil.
+func (r *runner) diskHooks() *store.DiskSimHooks {
+	if !r.cfg.TearSegments && !r.cfg.SkipTornTruncate {
+		return nil
+	}
+	return &store.DiskSimHooks{
+		TearActiveTail:   r.cfg.TearSegments,
+		SkipTornTruncate: r.cfg.SkipTornTruncate,
+	}
+}
+
+// newStore builds one server's storage engine. Disk engines live under
+// the run's temp dir with thresholds small enough that segment
+// rollover, cache misses, and auto-compaction all fire inside a
+// 32-step program.
+func (r *runner) newStore(name string) (store.Store, error) {
+	if r.cfg.StoreEngine != "disk" {
+		return store.New(r.cfg.StoreShards), nil
+	}
+	d, err := store.OpenDisk(filepath.Join(r.dir, "stores", name), store.DiskOptions{
+		SegmentBytes:    4 << 10,
+		CacheBytes:      2 << 10,
+		CompactMinBytes: 8 << 10,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: opening disk store %s: %w", name, err)
+	}
+	d.SetSimHooks(r.diskHooks())
+	r.disks = append(r.disks, d)
+	return d, nil
+}
+
 func (r *runner) close() {
 	if r.peer != nil {
 		r.peer.Close()
+	}
+	for _, d := range r.disks {
+		d.Close()
 	}
 	for _, bc := range r.binClients {
 		bc.Close()
@@ -605,8 +656,53 @@ func (r *runner) exec(op Op) error {
 			r.core.armMigKill(1 + op.Server%4)
 		}
 		return nil
+
+	case KindStoreReopen:
+		return r.execStoreReopen()
+
+	case KindCrashCompact:
+		return r.execCrashCompact(op)
 	}
 	return fmt.Errorf("unknown op kind %d", op.Kind)
+}
+
+// execStoreReopen kills and recovers every disk store in place: index
+// and cache are rebuilt from the segment files. Server stats survive (a
+// restart loses no acknowledged writes), so quickInvariants' stats
+// identity — and the next heal's oracle equality — catch any element a
+// buggy replay loses. A no-op on non-disk engines.
+func (r *runner) execStoreReopen() error {
+	for _, d := range r.disks {
+		if err := d.Reopen(); err != nil {
+			return fmt.Errorf("disk store reopen: %v", err)
+		}
+	}
+	return nil
+}
+
+// execCrashCompact crashes every disk store's compaction in one of its
+// two crash windows and recovers by reopening — the compaction analog
+// of KindCrash. Compact must report the simulated crash; anything else
+// (including success with the hook armed) is a checker failure.
+func (r *runner) execCrashCompact(op Op) error {
+	stage := 1 + op.Server%2
+	for _, d := range r.disks {
+		h := store.DiskSimHooks{CrashCompaction: stage}
+		if base := r.diskHooks(); base != nil {
+			h.TearActiveTail = base.TearActiveTail
+			h.SkipTornTruncate = base.SkipTornTruncate
+		}
+		d.SetSimHooks(&h)
+		err := d.Compact()
+		d.SetSimHooks(r.diskHooks())
+		if !errors.Is(err, store.ErrSimulatedCrash) {
+			return fmt.Errorf("crash-compaction hook armed but Compact returned %v", err)
+		}
+		if err := d.Reopen(); err != nil {
+			return fmt.Errorf("reopen after crashed compaction: %v", err)
+		}
+	}
+	return nil
 }
 
 // maxChurnNodes caps a slot's ring under generated churn so programs
@@ -627,12 +723,16 @@ func (r *runner) execJoinNode() error {
 	name := fmt.Sprintf("j%d", r.joined)
 	r.joined++
 	for i, sl := range r.slots {
+		st, err := r.newStore(fmt.Sprintf("ix%d-%s", i, name))
+		if err != nil {
+			return err
+		}
 		s := server.New(server.Config{
 			Name:   fmt.Sprintf("sim-ix%d-%s", i, name),
 			X:      field.Element(i + 1),
 			Auth:   r.svc,
 			Groups: r.groups,
-			Store:  store.New(r.cfg.StoreShards),
+			Store:  st,
 		})
 		_ = sl.AddNode(name, s)
 	}

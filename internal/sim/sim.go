@@ -39,6 +39,13 @@ type Config struct {
 	// single-lock Memory baseline, 0 the GOMAXPROCS-scaled Sharded
 	// default, any other value that many shards.
 	StoreShards int
+	// StoreEngine overrides the shard-count engine selection: "disk"
+	// runs every server/node on a log-structured store.Disk with tiny
+	// segment/cache/compaction thresholds (so rollover, cache misses,
+	// and auto-compaction all fire inside a 32-step program), and adds
+	// KindStoreReopen / KindCrashCompact to generated programs. Empty
+	// keeps the StoreShards selection.
+	StoreEngine string
 	// DHTNodes, when > 1, fronts every logical server with a dht.Slot
 	// of that many ring-partitioned physical nodes, so mutation stages
 	// and lookups route per posting list.
@@ -61,6 +68,17 @@ type Config struct {
 	// test sets it: the checker must catch the bug, proving it is not
 	// vacuous.
 	SkipDeleteReplay bool
+	// TearSegments appends a torn frame to every disk store's newest
+	// segment before each replay (the kill-mid-append shape), via
+	// store.DiskSimHooks. Lossless under correct torn-tail truncation;
+	// only meaningful with StoreEngine "disk".
+	TearSegments bool
+	// SkipTornTruncate re-enables the torn-segment bug shape through
+	// store.DiskSimHooks: replay stops at a tear but leaves the file
+	// untruncated, so later appends are silently lost at the next
+	// reopen. Only the disk-torn smoke test sets it: the checker must
+	// catch the loss, proving the disk fault class is not vacuous.
+	SkipTornTruncate bool
 	// LoseCutover re-enables the lost-cutover migration bug shape
 	// through dht.SimHooks: the source drops its copy of a migrated list
 	// but the routing flip is lost, leaving authority pointing at a node
@@ -108,8 +126,10 @@ func (c Config) withDefaults() Config {
 // engineName names the configured storage engine for reports.
 func (c Config) engineName() string {
 	var b strings.Builder
-	switch c.StoreShards {
-	case 1:
+	switch {
+	case c.StoreEngine == "disk":
+		b.WriteString("disk")
+	case c.StoreShards == 1:
 		b.WriteString("memory")
 	default:
 		b.WriteString("sharded")

@@ -1,0 +1,148 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"zerber/internal/field"
+	"zerber/internal/merging"
+	"zerber/internal/posting"
+)
+
+// Segment record codec for the Disk engine's log-structured files.
+//
+// A segment file is a sequence of wal frames (length + payload + CRC-32,
+// see internal/wal). One frame is one atomic mutation batch: either every
+// record in a frame is applied on replay or — if the frame is torn or its
+// checksum fails — none are, which is what makes multi-list ApplyDeltas
+// all-or-nothing across a crash. Records inside a frame are fixed-width
+// per opcode, little endian:
+//
+//	upsert  op(1) lid(4) gid(8) group(4) y(8)   = 25 bytes
+//	delete  op(1) lid(4) gid(8)                 = 13 bytes
+//	drop    op(1) lid(4)                        = 5 bytes
+//	reset   op(1)                               = 1 byte
+//
+// reset clears the whole store; compaction writes it as the first frame
+// of a snapshot segment so that replaying stale predecessor segments
+// followed by the snapshot converges on the snapshot alone.
+const (
+	segOpUpsert byte = 1
+	segOpDelete byte = 2
+	segOpDrop   byte = 3
+	segOpReset  byte = 4
+)
+
+const (
+	segUpsertSize = 1 + 4 + 8 + 4 + 8
+	segDeleteSize = 1 + 4 + 8
+	segDropSize   = 1 + 4
+	segResetSize  = 1
+)
+
+// segRec is one decoded segment record. relOff is the record's byte
+// offset inside the frame payload; replay adds the frame's position to
+// recover the absolute offset an upsert's payload lives at.
+type segRec struct {
+	op     byte
+	lid    merging.ListID
+	gid    posting.GlobalID
+	group  uint32
+	y      field.Element
+	relOff int
+}
+
+func appendUpsertRec(buf []byte, lid merging.ListID, sh posting.EncryptedShare) []byte {
+	buf = append(buf, segOpUpsert)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(lid))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(sh.GlobalID))
+	buf = binary.LittleEndian.AppendUint32(buf, sh.Group)
+	buf = binary.LittleEndian.AppendUint64(buf, sh.Y.Uint64())
+	return buf
+}
+
+func appendDeleteRec(buf []byte, lid merging.ListID, gid posting.GlobalID) []byte {
+	buf = append(buf, segOpDelete)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(lid))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(gid))
+	return buf
+}
+
+func appendDropRec(buf []byte, lid merging.ListID) []byte {
+	buf = append(buf, segOpDrop)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(lid))
+	return buf
+}
+
+// parseSegFrame decodes every record in one frame payload. The whole
+// frame is parsed before anything is applied: a frame that fails here is
+// rejected in full, preserving batch atomicity.
+func parseSegFrame(payload []byte) ([]segRec, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("store: empty segment frame")
+	}
+	recs := make([]segRec, 0, len(payload)/segDeleteSize+1)
+	off := 0
+	for off < len(payload) {
+		rec := segRec{op: payload[off], relOff: off}
+		switch rec.op {
+		case segOpUpsert:
+			if off+segUpsertSize > len(payload) {
+				return nil, fmt.Errorf("store: truncated upsert record at %d", off)
+			}
+			rec.lid = merging.ListID(binary.LittleEndian.Uint32(payload[off+1:]))
+			rec.gid = posting.GlobalID(binary.LittleEndian.Uint64(payload[off+5:]))
+			rec.group = binary.LittleEndian.Uint32(payload[off+13:])
+			y, err := field.Check(binary.LittleEndian.Uint64(payload[off+17:]))
+			if err != nil {
+				return nil, fmt.Errorf("store: upsert record at %d: %w", off, err)
+			}
+			rec.y = y
+			off += segUpsertSize
+		case segOpDelete:
+			if off+segDeleteSize > len(payload) {
+				return nil, fmt.Errorf("store: truncated delete record at %d", off)
+			}
+			rec.lid = merging.ListID(binary.LittleEndian.Uint32(payload[off+1:]))
+			rec.gid = posting.GlobalID(binary.LittleEndian.Uint64(payload[off+5:]))
+			off += segDeleteSize
+		case segOpDrop:
+			if off+segDropSize > len(payload) {
+				return nil, fmt.Errorf("store: truncated drop record at %d", off)
+			}
+			rec.lid = merging.ListID(binary.LittleEndian.Uint32(payload[off+1:]))
+			off += segDropSize
+		case segOpReset:
+			off += segResetSize
+		default:
+			return nil, fmt.Errorf("store: unknown segment opcode %d at %d", rec.op, off)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// decodeUpsertAt decodes the share stored by the upsert record in buf
+// (a raw 25-byte window read back from a segment file) and verifies it
+// addresses the expected list and element. A mismatch means the in-memory
+// index and the file disagree — an engine bug, not recoverable corruption.
+func decodeUpsertAt(buf []byte, lid merging.ListID, gid posting.GlobalID) (posting.EncryptedShare, error) {
+	if len(buf) < segUpsertSize || buf[0] != segOpUpsert {
+		return posting.EncryptedShare{}, fmt.Errorf("store: disk index points at a non-upsert record")
+	}
+	gotLID := merging.ListID(binary.LittleEndian.Uint32(buf[1:]))
+	gotGID := posting.GlobalID(binary.LittleEndian.Uint64(buf[5:]))
+	if gotLID != lid || gotGID != gid {
+		return posting.EncryptedShare{}, fmt.Errorf("store: disk index points at list %d gid %d, want list %d gid %d",
+			gotLID, gotGID, lid, gid)
+	}
+	y, err := field.Check(binary.LittleEndian.Uint64(buf[17:]))
+	if err != nil {
+		return posting.EncryptedShare{}, fmt.Errorf("store: stored share: %w", err)
+	}
+	return posting.EncryptedShare{
+		GlobalID: gid,
+		Group:    binary.LittleEndian.Uint32(buf[13:]),
+		Y:        y,
+	}, nil
+}

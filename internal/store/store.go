@@ -49,13 +49,16 @@
 //     index may reveal more (e.g. insertion timestamps or per-term
 //     structure).
 //
-// Two implementations ship: Memory, the single-lock baseline, and
-// Sharded, which stripes lists across independently locked shards for
-// parallel mixed workloads (see BenchmarkServerMixed in package server).
+// Three implementations ship: Memory, the single-lock baseline; Sharded,
+// which stripes lists across independently locked shards for parallel
+// mixed workloads (see BenchmarkServerMixed in package server); and
+// Disk, the log-structured engine whose resident memory is O(index)
+// rather than O(shares), for indexes that outgrow RAM (see disk.go).
 package store
 
 import (
 	"errors"
+	"fmt"
 
 	"zerber/internal/field"
 	"zerber/internal/merging"
@@ -143,4 +146,24 @@ func New(shards int) Store {
 		return NewMemory()
 	}
 	return NewSharded(shards)
+}
+
+// NewEngine returns the store selected by name: "memory", "sharded"
+// (shards lock stripes, 0 for the GOMAXPROCS default), "disk" (the
+// log-structured engine rooted at dir, with default DiskOptions), or ""
+// for the legacy shard-count selection of New. Only "disk" can fail —
+// opening replays the segment files.
+func NewEngine(engine string, shards int, dir string) (Store, error) {
+	switch engine {
+	case "":
+		return New(shards), nil
+	case "memory":
+		return NewMemory(), nil
+	case "sharded":
+		return NewSharded(shards), nil
+	case "disk":
+		return OpenDisk(dir, DiskOptions{})
+	default:
+		return nil, fmt.Errorf("store: unknown engine %q (want memory, sharded, or disk)", engine)
+	}
 }

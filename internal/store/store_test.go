@@ -14,22 +14,48 @@ import (
 )
 
 // each runs a subtest against every Store implementation, so the
-// interface contract is enforced uniformly on the baseline and the
-// sharded engine (including the degenerate 1- and 2-shard layouts).
+// interface contract is enforced uniformly on the baseline, the sharded
+// engine (including the degenerate 1- and 2-shard layouts), and the
+// log-structured disk engine — the latter with segment, cache, and
+// compaction thresholds shrunk so rollover, cache misses, and
+// auto-compaction all fire inside these small tests.
 func each(t *testing.T, run func(t *testing.T, st store.Store)) {
 	t.Helper()
-	impls := []struct {
+	for _, impl := range []struct {
 		name string
-		mk   func() store.Store
+		mk   func(t *testing.T) store.Store
 	}{
-		{"memory", func() store.Store { return store.NewMemory() }},
-		{"sharded-1", func() store.Store { return store.NewSharded(1) }},
-		{"sharded-2", func() store.Store { return store.NewSharded(2) }},
-		{"sharded-default", func() store.Store { return store.NewSharded(0) }},
+		{"memory", func(t *testing.T) store.Store { return store.NewMemory() }},
+		{"sharded-1", func(t *testing.T) store.Store { return store.NewSharded(1) }},
+		{"sharded-2", func(t *testing.T) store.Store { return store.NewSharded(2) }},
+		{"sharded-default", func(t *testing.T) store.Store { return store.NewSharded(0) }},
+		{"disk", func(t *testing.T) store.Store { return newTestDisk(t) }},
+		{"disk-nocache", func(t *testing.T) store.Store {
+			d, err := store.OpenDisk(t.TempDir(), store.DiskOptions{CacheBytes: -1, SegmentBytes: 1 << 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { d.Close() })
+			return d
+		}},
+	} {
+		t.Run(impl.name, func(t *testing.T) { run(t, impl.mk(t)) })
 	}
-	for _, impl := range impls {
-		t.Run(impl.name, func(t *testing.T) { run(t, impl.mk()) })
+}
+
+// newTestDisk opens a Disk engine with tiny thresholds in a per-test dir.
+func newTestDisk(t *testing.T) *store.Disk {
+	t.Helper()
+	d, err := store.OpenDisk(t.TempDir(), store.DiskOptions{
+		SegmentBytes:    4 << 10,
+		CacheBytes:      2 << 10,
+		CompactMinBytes: 16 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
+	t.Cleanup(func() { d.Close() })
+	return d
 }
 
 func sh(gid posting.GlobalID, group uint32, y uint64) posting.EncryptedShare {
@@ -312,52 +338,177 @@ func TestNewSelectsEngine(t *testing.T) {
 	}
 }
 
-// TestShardedMatchesMemory replays one randomized operation history
-// against the baseline and the sharded engine and requires identical
-// observable state — the sharding-is-invisible half of the acceptance
-// criteria at the store level.
-func TestShardedMatchesMemory(t *testing.T) {
+// TestEnginesMatch replays one randomized operation history against the
+// baseline, the sharded engine, and the log-structured disk engine, and
+// requires identical observable state — the engine-is-invisible half of
+// the acceptance criteria at the store level. The history mixes
+// impact-tagged inserts (so the bucket-major layout gets exercised, not
+// just bucket 0), deletes, drops, valid and deliberately failing
+// ApplyDeltas rounds (a failed round must leave every engine unchanged),
+// and periodic disk Reopens so the comparison also proves the replayed
+// layout equals the live one.
+func TestEnginesMatch(t *testing.T) {
 	mem := store.NewMemory()
 	shd := store.NewSharded(8)
+	dsk := newTestDisk(t)
+	engines := []struct {
+		name string
+		st   store.Store
+	}{{"memory", mem}, {"sharded", shd}, {"disk", dsk}}
+
 	r := rand.New(rand.NewSource(7))
+	randGID := func() posting.GlobalID {
+		return posting.TagImpact(posting.GlobalID(r.Intn(400)), uint8(r.Intn(posting.ImpactBuckets)))
+	}
+	// live tracks a sample of present elements so ApplyDeltas rounds can
+	// address real keys.
+	live := make(map[merging.ListID]map[posting.GlobalID]bool)
+	note := func(lid merging.ListID, gid posting.GlobalID, present bool) {
+		if present {
+			if live[lid] == nil {
+				live[lid] = make(map[posting.GlobalID]bool)
+			}
+			live[lid][gid] = true
+		} else if live[lid] != nil {
+			delete(live[lid], gid)
+			if len(live[lid]) == 0 {
+				delete(live, lid)
+			}
+		}
+	}
 	for i := 0; i < 3000; i++ {
 		lid := merging.ListID(r.Intn(32))
-		gid := posting.GlobalID(r.Intn(400))
-		switch r.Intn(4) {
-		case 0, 1:
+		gid := randGID()
+		switch r.Intn(8) {
+		case 0, 1, 2:
 			s := sh(gid, uint32(1+r.Intn(3)), uint64(r.Intn(1<<20)))
-			if mem.Upsert(lid, []posting.EncryptedShare{s}) != shd.Upsert(lid, []posting.EncryptedShare{s}) {
-				t.Fatalf("op %d: Upsert return values diverged", i)
+			want := mem.Upsert(lid, []posting.EncryptedShare{s})
+			for _, e := range engines[1:] {
+				if got := e.st.Upsert(lid, []posting.EncryptedShare{s}); got != want {
+					t.Fatalf("op %d: %s Upsert = %d, memory = %d", i, e.name, got, want)
+				}
 			}
-		case 2:
-			mf, md := mem.DeleteIf(lid, gid, nil)
-			sf, sd := shd.DeleteIf(lid, gid, nil)
-			if mf != sf || md != sd {
-				t.Fatalf("op %d: DeleteIf diverged: (%v,%v) vs (%v,%v)", i, mf, md, sf, sd)
-			}
+			note(lid, s.GlobalID, true)
 		case 3:
-			if mem.DropList(lid) != shd.DropList(lid) {
-				t.Fatalf("op %d: DropList diverged", i)
+			batch := make([]posting.EncryptedShare, 1+r.Intn(5))
+			for j := range batch {
+				batch[j] = sh(randGID(), uint32(1+r.Intn(3)), uint64(r.Intn(1<<20)))
+				note(lid, batch[j].GlobalID, true)
+			}
+			want := mem.Upsert(lid, batch)
+			for _, e := range engines[1:] {
+				if got := e.st.Upsert(lid, batch); got != want {
+					t.Fatalf("op %d: %s batch Upsert = %d, memory = %d", i, e.name, got, want)
+				}
+			}
+		case 4:
+			mf, md := mem.DeleteIf(lid, gid, nil)
+			for _, e := range engines[1:] {
+				if f, del := e.st.DeleteIf(lid, gid, nil); f != mf || del != md {
+					t.Fatalf("op %d: %s DeleteIf = (%v,%v), memory = (%v,%v)", i, e.name, f, del, mf, md)
+				}
+			}
+			note(lid, gid, false)
+		case 5:
+			want := mem.DropList(lid)
+			for _, e := range engines[1:] {
+				if got := e.st.DropList(lid); got != want {
+					t.Fatalf("op %d: %s DropList = %d, memory = %d", i, e.name, got, want)
+				}
+			}
+			delete(live, lid)
+		case 6:
+			// A resharing round over up to three live elements; every
+			// fourth round addresses a missing element too, and must then
+			// mutate nothing anywhere.
+			deltas := make(map[merging.ListID]map[posting.GlobalID]field.Element)
+			n := 0
+			for dlid, gids := range live {
+				for dgid := range gids {
+					if deltas[dlid] == nil {
+						deltas[dlid] = make(map[posting.GlobalID]field.Element)
+					}
+					deltas[dlid][dgid] = field.New(uint64(r.Intn(1 << 16)))
+					if n++; n >= 3 {
+						break
+					}
+				}
+				if n >= 3 {
+					break
+				}
+			}
+			if len(deltas) == 0 {
+				continue
+			}
+			wantFail := i%4 == 0
+			if wantFail {
+				if deltas[lid] == nil {
+					deltas[lid] = make(map[posting.GlobalID]field.Element)
+				}
+				deltas[lid][posting.GlobalID(1<<50)] = field.New(1)
+			}
+			for _, e := range engines {
+				err := e.st.ApplyDeltas(deltas)
+				if wantFail && !errors.Is(err, store.ErrMissing) {
+					t.Fatalf("op %d: %s failing ApplyDeltas = %v, want ErrMissing", i, e.name, err)
+				}
+				if !wantFail && err != nil {
+					t.Fatalf("op %d: %s ApplyDeltas: %v", i, e.name, err)
+				}
+			}
+		case 7:
+			if i%5 == 0 {
+				// Kill and recover the disk engine mid-history: replay must
+				// reconstruct the exact layout the live engines carry.
+				if err := dsk.Reopen(); err != nil {
+					t.Fatalf("op %d: disk reopen: %v", i, err)
+				}
 			}
 		}
 	}
-	if mem.TotalElements() != shd.TotalElements() {
-		t.Fatalf("TotalElements: %d vs %d", mem.TotalElements(), shd.TotalElements())
-	}
-	ml, sl := mem.ListLengths(), shd.ListLengths()
-	// fmt prints maps in sorted key order, so string equality is map
-	// equality here.
-	if fmt.Sprint(ml) != fmt.Sprint(sl) {
-		t.Fatalf("ListLengths diverged: %v vs %v", ml, sl)
-	}
-	for lid := range ml {
-		a, b := mem.List(lid), shd.List(lid)
-		if len(a) != len(b) {
-			t.Fatalf("list %d: lengths %d vs %d", lid, len(a), len(b))
+
+	for _, e := range engines {
+		if err := store.CheckInvariants(e.st); err != nil {
+			t.Fatalf("%s: %v", e.name, err)
 		}
-		for i := range a {
-			if a[i] != b[i] {
-				t.Fatalf("list %d element %d: %+v vs %+v (ordering must match exactly)", lid, i, a[i], b[i])
+	}
+	if err := dsk.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range engines[1:] {
+		if mem.TotalElements() != e.st.TotalElements() {
+			t.Fatalf("TotalElements: memory %d vs %s %d", mem.TotalElements(), e.name, e.st.TotalElements())
+		}
+		ml, el := mem.ListLengths(), e.st.ListLengths()
+		// fmt prints maps in sorted key order, so string equality is map
+		// equality here.
+		if fmt.Sprint(ml) != fmt.Sprint(el) {
+			t.Fatalf("ListLengths diverged: memory %v vs %s %v", ml, e.name, el)
+		}
+		if fmt.Sprint(mem.Keys()) != fmt.Sprint(e.st.Keys()) {
+			t.Fatalf("Keys inventory diverged between memory and %s", e.name)
+		}
+		for lid := range ml {
+			a, b := mem.List(lid), e.st.List(lid)
+			if len(a) != len(b) {
+				t.Fatalf("list %d: memory %d vs %s %d elements", lid, len(a), e.name, len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("list %d element %d: memory %+v vs %s %+v (ordering must match exactly)",
+						lid, i, a[i], e.name, b[i])
+				}
+			}
+			// Ranged windows must agree too — total, the next-bucket
+			// bound, and the window contents.
+			for _, from := range []int{0, len(a) / 2, len(a) - 1} {
+				n := 1 + r.Intn(4)
+				as, at, an := mem.ScanRange(lid, from, n, nil)
+				bs, bt, bn := e.st.ScanRange(lid, from, n, nil)
+				if at != bt || an != bn || fmt.Sprint(as) != fmt.Sprint(bs) {
+					t.Fatalf("list %d ScanRange(%d,%d): memory (%v,%d,%d) vs %s (%v,%d,%d)",
+						lid, from, n, as, at, an, e.name, bs, bt, bn)
+				}
 			}
 		}
 	}

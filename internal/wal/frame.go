@@ -62,6 +62,23 @@ func AppendFrame(w io.Writer, payload []byte) error {
 // bytes.
 func FrameSize(payload []byte) int64 { return int64(len(payload)) + frameOverhead }
 
+// TornFrame returns the on-disk image of a frame cut short by a crash
+// mid-write: a valid length header claiming n payload bytes followed by
+// only half of them and no checksum. Appending it to a log models the
+// kill-mid-append shape; ReadFrame reports it as ErrTornFrame. Test and
+// simulator helper.
+func TornFrame(n int) []byte {
+	if n < 2 {
+		n = 2
+	}
+	buf := make([]byte, 4+n/2)
+	binary.LittleEndian.PutUint32(buf[:4], uint32(n))
+	for i := 4; i < len(buf); i++ {
+		buf[i] = 0x5a
+	}
+	return buf
+}
+
 // ReadFrame reads the next framed payload from r. It returns io.EOF at a
 // clean end of input and ErrTornFrame (or ErrBadRecord for a checksum or
 // length violation) when the input ends or corrupts mid-frame; in both

@@ -9,15 +9,21 @@ import (
 
 // simEngines is the storage/routing matrix every simulation tier runs
 // across: the single-lock Memory baseline, the lock-striped Sharded
-// store, and Sharded behind DHT-routed server slots.
+// store, Sharded behind DHT-routed server slots, and the log-structured
+// Disk engine with tiny segment/cache/compaction thresholds plus torn
+// tails injected before every replay (lossless under correct torn-tail
+// truncation). Disk programs additionally draw KindStoreReopen and
+// KindCrashCompact ops.
 var simEngines = []struct {
 	name     string
 	shards   int
 	dhtNodes int
+	engine   string
 }{
-	{"memory", 1, 0},
-	{"sharded", 0, 0},
-	{"sharded+dht", 0, 2},
+	{"memory", 1, 0, ""},
+	{"sharded", 0, 0, ""},
+	{"sharded+dht", 0, 2, ""},
+	{"disk", 0, 0, "disk"},
 }
 
 // TestSimRandomized is the model checker's randomized tier: seeded
@@ -33,10 +39,12 @@ func TestSimRandomized(t *testing.T) {
 		t.Run(eng.name, func(t *testing.T) {
 			for i := 0; i < perEngine; i++ {
 				cfg := sim.Config{
-					Seed:        int64(ei*100000 + i + 1),
-					StoreShards: eng.shards,
-					DHTNodes:    eng.dhtNodes,
-					Faults:      sim.DefaultFaults(),
+					Seed:         int64(ei*100000 + i + 1),
+					StoreShards:  eng.shards,
+					DHTNodes:     eng.dhtNodes,
+					StoreEngine:  eng.engine,
+					TearSegments: eng.engine == "disk",
+					Faults:       sim.DefaultFaults(),
 				}
 				prog := sim.Generate(cfg)
 				if err := sim.Run(cfg, prog); err != nil {
@@ -90,15 +98,17 @@ func TestSimMutationSmoke(t *testing.T) {
 }
 
 // churnEngines is the matrix the membership-churn tiers run across:
-// both storage engines behind DHT slots, plus the binary framed wire.
+// every storage engine behind DHT slots, plus the binary framed wire.
 var churnEngines = []struct {
 	name   string
 	shards int
 	binary bool
+	engine string
 }{
-	{"memory+dht", 1, false},
-	{"sharded+dht", 0, false},
-	{"sharded+dht+bin", 0, true},
+	{"memory+dht", 1, false, ""},
+	{"sharded+dht", 0, false, ""},
+	{"sharded+dht+bin", 0, true, ""},
+	{"disk+dht", 0, false, "disk"},
 }
 
 // TestSimChurn is the elastic-membership acceptance program: a node
@@ -132,11 +142,13 @@ func TestSimChurn(t *testing.T) {
 		t.Run(eng.name, func(t *testing.T) {
 			for i := 0; i < seeds; i++ {
 				cfg := sim.Config{
-					Seed:        int64(800000 + i),
-					StoreShards: eng.shards,
-					DHTNodes:    2,
-					BinaryWire:  eng.binary,
-					Faults:      sim.DefaultFaults(),
+					Seed:         int64(800000 + i),
+					StoreShards:  eng.shards,
+					DHTNodes:     2,
+					BinaryWire:   eng.binary,
+					StoreEngine:  eng.engine,
+					TearSegments: eng.engine == "disk",
+					Faults:       sim.DefaultFaults(),
 				}
 				if err := sim.Run(cfg, prog); err != nil {
 					t.Fatalf("seed %d: %v", cfg.Seed, err)
@@ -157,11 +169,13 @@ func TestSimChurnRandomized(t *testing.T) {
 		t.Run(eng.name, func(t *testing.T) {
 			for i := 0; i < perEngine; i++ {
 				cfg := sim.Config{
-					Seed:        int64(850000 + ei*10000 + i),
-					StoreShards: eng.shards,
-					DHTNodes:    3,
-					BinaryWire:  eng.binary,
-					Faults:      sim.DefaultFaults(),
+					Seed:         int64(850000 + ei*10000 + i),
+					StoreShards:  eng.shards,
+					DHTNodes:     3,
+					BinaryWire:   eng.binary,
+					StoreEngine:  eng.engine,
+					TearSegments: eng.engine == "disk",
+					Faults:       sim.DefaultFaults(),
 				}
 				prog := sim.Generate(cfg)
 				if err := sim.Run(cfg, prog); err != nil {
@@ -208,6 +222,43 @@ func TestSimChurnSmoke(t *testing.T) {
 	t.Logf("caught and shrunk the re-enabled lost-cutover bug:\n%s", found.Report())
 }
 
+// TestSimDiskTornSmoke proves the disk-engine fault class is not
+// vacuous: with the torn-segment bug shape re-enabled behind
+// store.DiskSimHooks (replay stops at the injected tear but leaves the
+// file untruncated, so post-recovery appends land after the tear and
+// are silently dropped at the next reopen), the harness must catch the
+// lost data within the short tier's budget, shrink it to a minimal
+// trace, and reproduce it deterministically — while the same trace
+// passes once the bug is switched off and torn tails are truncated.
+func TestSimDiskTornSmoke(t *testing.T) {
+	budget := tierCount(6, 12, 60)
+	cfg := sim.Config{
+		Seed:             9700,
+		StoreEngine:      "disk",
+		TearSegments:     true,
+		SkipTornTruncate: true,
+		Faults: sim.Faults{
+			Fail: 0.05, LostResponse: 0.05, Duplicate: 0.05,
+			Redeliver: 0.05, KillPeer: 0.25,
+		},
+	}
+	found := sim.FindFailure(cfg, budget)
+	if found == nil {
+		t.Fatalf("checker is vacuous: the re-enabled torn-segment bug survived %d programs", budget)
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		if err := sim.Run(found.Cfg, found.Shrunk); err == nil {
+			t.Fatalf("shrunk trace did not reproduce on attempt %d:\n%s", attempt+1, found.Report())
+		}
+	}
+	fixed := found.Cfg
+	fixed.SkipTornTruncate = false
+	if err := sim.Run(fixed, found.Shrunk); err != nil {
+		t.Fatalf("trace fails even without the bug — harness artifact, not detection: %v\n%s", err, found.Report())
+	}
+	t.Logf("caught and shrunk the re-enabled torn-segment bug:\n%s", found.Report())
+}
+
 // TestSimBinaryWire runs the randomized fault-injected tier with every
 // peer/client call routed through the binary framed protocol over real
 // loopback TCP (Config.BinaryWire): ServeBinary in front of each
@@ -220,14 +271,17 @@ func TestSimBinaryWire(t *testing.T) {
 	for _, eng := range []struct {
 		name   string
 		shards int
-	}{{"memory", 1}, {"sharded", 0}} {
+		engine string
+	}{{"memory", 1, ""}, {"sharded", 0, ""}, {"disk", 0, "disk"}} {
 		t.Run(eng.name, func(t *testing.T) {
 			for i := 0; i < count; i++ {
 				cfg := sim.Config{
-					Seed:        int64(700000 + i + 1),
-					StoreShards: eng.shards,
-					BinaryWire:  true,
-					Faults:      sim.DefaultFaults(),
+					Seed:         int64(700000 + i + 1),
+					StoreShards:  eng.shards,
+					StoreEngine:  eng.engine,
+					TearSegments: eng.engine == "disk",
+					BinaryWire:   true,
+					Faults:       sim.DefaultFaults(),
 				}
 				prog := sim.Generate(cfg)
 				if err := sim.Run(cfg, prog); err != nil {
@@ -251,9 +305,11 @@ func TestSimFaultFreeEquivalence(t *testing.T) {
 		t.Run(eng.name, func(t *testing.T) {
 			for i := 0; i < perEngine; i++ {
 				cfg := sim.Config{
-					Seed:        int64(500000 + ei*1000 + i),
-					StoreShards: eng.shards,
-					DHTNodes:    eng.dhtNodes,
+					Seed:         int64(500000 + ei*1000 + i),
+					StoreShards:  eng.shards,
+					DHTNodes:     eng.dhtNodes,
+					StoreEngine:  eng.engine,
+					TearSegments: eng.engine == "disk",
 				}
 				if err := sim.Run(cfg, sim.Generate(cfg)); err != nil {
 					t.Fatalf("seed %d: %v", cfg.Seed, err)

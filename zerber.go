@@ -106,6 +106,25 @@
 // access control stays at the server boundary (see the contract in
 // internal/store).
 //
+// # Disk engine
+//
+// The StoreEngine option selects an engine by name instead; "disk"
+// swaps every server's store for the log-structured on-disk engine
+// (store.Disk), whose resident memory is O(index) rather than O(data):
+// share payloads live in CRC-framed append-only segment files under
+// StoreDir and only a compact per-list index — plus a bounded LRU cache
+// of hot lists — stays in memory. Its durability contract mirrors the
+// peer journal's: every mutation batch is one framed record group, so a
+// crash either persists a whole Upsert/ApplyDeltas batch or none of it;
+// a torn tail from a kill mid-append is detected by CRC and truncated
+// at the next open; and background compaction rewrites live data to a
+// fresh segment with a temp-file-plus-rename commit, so a crash at any
+// point inside compaction recovers to exactly the pre- or
+// post-compaction state, never a mix. The engine passes the same
+// randomized cross-engine equivalence and simulation tiers as the
+// in-memory stores — retrieval output and Stats are bit-identical;
+// only residency and latency change.
+//
 // # Indexing pipeline
 //
 // The write side mirrors the query side's batched design. Indexing a
@@ -395,6 +414,17 @@ type Options struct {
 	// identical under every setting; only server-side throughput under
 	// concurrent mixed traffic changes.
 	StoreShards int
+	// StoreEngine overrides the StoreShards engine selection by name:
+	// "memory" (single-lock baseline), "sharded" (the lock-striped
+	// default), or "disk" (the log-structured on-disk engine — see
+	// "Disk engine" above). Empty keeps the StoreShards selection.
+	StoreEngine string
+	// StoreDir is where the "disk" engine keeps its segment files; each
+	// server gets its own subdirectory <StoreDir>/<server name>. Empty
+	// with StoreEngine "disk" picks a fresh temporary directory (the
+	// index is durable for the directory's lifetime but effectively
+	// process-scoped). Ignored by the in-memory engines.
+	StoreDir string
 	// EncryptWorkers caps the goroutines each peer uses to split staged
 	// posting elements into Shamir shares when indexing. 0 means one
 	// per CPU; 1 encrypts serially. Peers created with a deterministic
@@ -511,6 +541,19 @@ func NewCluster(docFreqs map[string]int, opts Options) (*Cluster, error) {
 		return nil, fmt.Errorf("zerber: unknown transport %q (want %q or %q)",
 			opts.Transport, TransportBinary, TransportHTTP)
 	}
+	switch opts.StoreEngine {
+	case "", "memory", "sharded", "disk":
+	default:
+		return nil, fmt.Errorf("zerber: unknown store engine %q (want \"memory\", \"sharded\", or \"disk\")",
+			opts.StoreEngine)
+	}
+	if opts.StoreEngine == "disk" && opts.StoreDir == "" {
+		dir, err := os.MkdirTemp("", "zerber-store-")
+		if err != nil {
+			return nil, fmt.Errorf("zerber: creating temporary store dir: %w", err)
+		}
+		opts.StoreDir = dir
+	}
 
 	dist, err := confidential.NewDistribution(docFreqs)
 	if err != nil {
@@ -569,7 +612,11 @@ func NewCluster(docFreqs map[string]int, opts Options) (*Cluster, error) {
 			}
 			for j := 0; j < opts.DHTNodes; j++ {
 				name := fmt.Sprintf("n%d", j)
-				if err := slot.AddNode(name, c.newNodeServer(i, name)); err != nil {
+				node, err := c.newNodeServer(i, name)
+				if err != nil {
+					return nil, fmt.Errorf("zerber: slot %d: node %s: %w", i+1, name, err)
+				}
+				if err := slot.AddNode(name, node); err != nil {
 					return nil, fmt.Errorf("zerber: slot %d: adding node %s: %w", i+1, name, err)
 				}
 			}
@@ -579,12 +626,17 @@ func NewCluster(docFreqs map[string]int, opts Options) (*Cluster, error) {
 		return c, nil
 	}
 	for i := 0; i < opts.N; i++ {
+		name := fmt.Sprintf("zerber-ix%d", i+1)
+		st, err := c.newStore(name)
+		if err != nil {
+			return nil, err
+		}
 		s := server.New(server.Config{
-			Name:   fmt.Sprintf("zerber-ix%d", i+1),
+			Name:   name,
 			X:      field.Element(i + 1),
 			Auth:   svc,
 			Groups: groups,
-			Store:  store.New(opts.StoreShards),
+			Store:  st,
 		})
 		c.servers = append(c.servers, s)
 		c.apis = append(c.apis, transport.NewLocal(s))
@@ -592,17 +644,34 @@ func NewCluster(docFreqs map[string]int, opts Options) (*Cluster, error) {
 	return c, nil
 }
 
+// newStore builds one server's storage engine from the cluster options.
+// The disk engine roots each server's segment files in its own
+// subdirectory of StoreDir, so servers never share a log.
+func (c *Cluster) newStore(name string) (store.Store, error) {
+	st, err := store.NewEngine(c.opts.StoreEngine, c.opts.StoreShards,
+		filepath.Join(c.opts.StoreDir, name))
+	if err != nil {
+		return nil, fmt.Errorf("zerber: store for %s: %w", name, err)
+	}
+	return st, nil
+}
+
 // newNodeServer builds the physical storage node named name for share
 // slot i (x-coordinate i+1). Shares are bound to x, not to boxes, so
 // every node of a slot carries the slot's x.
-func (c *Cluster) newNodeServer(i int, name string) *server.Server {
+func (c *Cluster) newNodeServer(i int, name string) (*server.Server, error) {
+	serverName := fmt.Sprintf("zerber-ix%d-%s", i+1, name)
+	st, err := c.newStore(serverName)
+	if err != nil {
+		return nil, err
+	}
 	return server.New(server.Config{
-		Name:   fmt.Sprintf("zerber-ix%d-%s", i+1, name),
+		Name:   serverName,
 		X:      field.Element(i + 1),
 		Auth:   c.authSvc,
 		Groups: c.groups,
-		Store:  store.New(c.opts.StoreShards),
-	})
+		Store:  st,
+	}), nil
 }
 
 // JoinNode adds a physical node named name to every share slot and
@@ -622,7 +691,12 @@ func (c *Cluster) JoinNode(name string) error {
 			errs = append(errs, fmt.Errorf("zerber: slot %d: node %s already in slot", i+1, name))
 			continue
 		}
-		if err := sl.AddNode(name, c.newNodeServer(i, name)); err != nil {
+		node, err := c.newNodeServer(i, name)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("zerber: slot %d: %w", i+1, err))
+			continue
+		}
+		if err := sl.AddNode(name, node); err != nil {
 			errs = append(errs, fmt.Errorf("zerber: slot %d: %w", i+1, err))
 		}
 	}
